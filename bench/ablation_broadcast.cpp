@@ -1,0 +1,82 @@
+// Ablation: probe-side broadcast vs shuffle in the indexed join (§III-C:
+// "if the Dataframe size is small enough to be broadcasted efficiently, we
+// fall back to a broadcast-based join instead of a shuffle").
+//
+// We force each path via the broadcast threshold and sweep probe sizes to
+// locate the crossover the auto heuristic should sit near.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "core/indexed_dataframe.h"
+#include "workload/snb.h"
+
+using namespace idf;
+
+namespace {
+
+struct JoinCost {
+  double cpu_ms = 0;
+  double sim_ms = 0;
+};
+
+JoinCost MeasureJoin(Session& session, const IndexedDataFrame& indexed,
+                     const DataFrame& probe, int reps) {
+  (void)session;
+  Sample cpu, sim;
+  for (int r = 0; r < reps; ++r) {
+    QueryMetrics metrics;
+    Stopwatch timer;
+    (void)indexed.Join(probe, "edge_source").Count(&metrics).value();
+    cpu.Add(timer.ElapsedSeconds());
+    sim.Add(metrics.simulated_seconds);
+  }
+  return JoinCost{cpu.Mean() * 1e3, sim.Mean() * 1e3};
+}
+
+}  // namespace
+
+int main() {
+  const double scale = bench::ScaleEnv();
+  const int reps = bench::RepsEnv(5);
+  bench::PrintHeader("Ablation", "indexed join: broadcast vs shuffled probe",
+                     "broadcast wins for small probes (no shuffle round), "
+                     "shuffle wins once the probe outgrows the cluster NICs",
+                     bench::PrivateCluster());
+
+  const SnbConfig snb = SnbConfig::ScaleFactor(1.0 * scale, 32);
+
+  std::printf("%-12s %-14s %-14s %-14s %-14s %-10s\n", "probe rows",
+              "bcast cpu", "shuf cpu", "bcast sim", "shuf sim",
+              "sim winner");
+  for (uint64_t probe_rows : {100ull, 1000ull, 10000ull, 100000ull}) {
+    // Force-broadcast session.
+    SessionOptions bopt = bench::PrivateCluster();
+    bopt.broadcast_threshold_bytes = ~0ull;
+    Session bsession(bopt);
+    SnbGenerator generator(snb);
+    DataFrame bedges = generator.Edges(bsession).value();
+    IndexedDataFrame bidx =
+        IndexedDataFrame::Create(bedges, "edge_source").value();
+    DataFrame bprobe =
+        generator.EdgeSample(bsession, probe_rows, 77).value();
+    const JoinCost broadcast = MeasureJoin(bsession, bidx, bprobe, reps);
+
+    // Force-shuffle session.
+    SessionOptions sopt = bench::PrivateCluster();
+    sopt.broadcast_threshold_bytes = 0;
+    Session ssession(sopt);
+    DataFrame sedges = generator.Edges(ssession).value();
+    IndexedDataFrame sidx =
+        IndexedDataFrame::Create(sedges, "edge_source").value();
+    DataFrame sprobe =
+        generator.EdgeSample(ssession, probe_rows, 77).value();
+    const JoinCost shuffle = MeasureJoin(ssession, sidx, sprobe, reps);
+
+    std::printf("%-12llu %-14.2f %-14.2f %-14.2f %-14.2f %s\n",
+                static_cast<unsigned long long>(probe_rows), broadcast.cpu_ms,
+                shuffle.cpu_ms, broadcast.sim_ms, shuffle.sim_ms,
+                broadcast.sim_ms < shuffle.sim_ms ? "broadcast" : "shuffle");
+  }
+  bench::PrintFooter();
+  return 0;
+}

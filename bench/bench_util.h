@@ -1,0 +1,112 @@
+// Shared scaffolding for the figure/table reproduction benches.
+//
+// Every bench prints (a) what the paper's figure reports, (b) the simulated
+// topology used (Table I analogue), and (c) our measured rows/series.
+// Scale is adjustable without recompiling:
+//   IDF_BENCH_SCALE  — multiplies dataset sizes (default 1.0)
+//   IDF_BENCH_REPS   — repetitions per data point (default per-bench)
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <string>
+
+#include "common/stats.h"
+#include "common/timer.h"
+#include "sql/session.h"
+
+namespace idf::bench {
+
+inline double ScaleEnv() {
+  const char* s = std::getenv("IDF_BENCH_SCALE");
+  if (s == nullptr) return 1.0;
+  const double v = std::atof(s);
+  return v > 0 ? v : 1.0;
+}
+
+inline int RepsEnv(int fallback) {
+  const char* s = std::getenv("IDF_BENCH_REPS");
+  if (s == nullptr) return fallback;
+  const int v = std::atoi(s);
+  return v > 0 ? v : fallback;
+}
+
+/// Table I "Private Cluster": dual-socket 16-core nodes, FDR InfiniBand.
+inline SessionOptions PrivateCluster(uint32_t workers = 8) {
+  SessionOptions options;
+  options.cluster.num_workers = workers;
+  // §IV-B best configuration: 4 executors per machine, 4 cores each,
+  // two per NUMA domain, pinned.
+  options.cluster.executors_per_worker = 4;
+  options.cluster.cores_per_executor = 4;
+  options.cluster.cores_per_worker = 16;
+  options.cluster.sockets_per_worker = 2;
+  options.cluster.numa_pinned = true;
+  options.cluster.network.bandwidth_bytes_per_s = 7.0e9;  // FDR IB ~56 Gbps
+  options.cluster.network.latency_s = 2e-6;
+  options.default_partitions = 32;
+  return options;
+}
+
+/// Table I "Amazon EC2": i3.xlarge (4 cores) or i3.8xlarge (16), 10 Gbps.
+inline SessionOptions Ec2Cluster(uint32_t workers = 4, bool big = false) {
+  SessionOptions options;
+  options.cluster.num_workers = workers;
+  options.cluster.executors_per_worker = 1;
+  options.cluster.cores_per_executor = big ? 16 : 4;
+  options.cluster.cores_per_worker = big ? 16 : 4;
+  options.cluster.sockets_per_worker = big ? 2 : 1;
+  options.cluster.numa_pinned = false;
+  options.cluster.network.bandwidth_bytes_per_s = 1.25e9;  // 10 Gbps
+  options.cluster.network.latency_s = 1e-4;
+  options.default_partitions = workers * (big ? 16u : 4u);
+  return options;
+}
+
+inline void PrintHeader(const std::string& figure, const std::string& title,
+                        const std::string& paper_expectation,
+                        const SessionOptions& options) {
+  std::printf("==============================================================\n");
+  std::printf("%s — %s\n", figure.c_str(), title.c_str());
+  std::printf("paper expectation: %s\n", paper_expectation.c_str());
+  std::printf("simulated topology: %s\n", options.cluster.ToString().c_str());
+  std::printf("bench scale: %.2fx\n", ScaleEnv());
+  std::printf("--------------------------------------------------------------\n");
+}
+
+inline void PrintFooter() {
+  std::printf("==============================================================\n\n");
+}
+
+/// Runs `fn` `reps` times; returns per-run seconds.
+inline Sample TimeRepeated(int reps, const std::function<void()>& fn) {
+  Sample sample;
+  for (int r = 0; r < reps; ++r) {
+    Stopwatch timer;
+    fn();
+    sample.Add(timer.ElapsedSeconds());
+  }
+  return sample;
+}
+
+/// Collected timings of a query under both clocks.
+struct QueryTiming {
+  Sample real;       // host CPU seconds
+  Sample simulated;  // DES cluster seconds
+};
+
+/// Runs a DataFrame query `reps` times, recording both clocks.
+inline QueryTiming TimeQuery(int reps,
+                             const std::function<QueryMetrics()>& run) {
+  QueryTiming timing;
+  for (int r = 0; r < reps; ++r) {
+    Stopwatch timer;
+    QueryMetrics metrics = run();
+    timing.real.Add(timer.ElapsedSeconds());
+    timing.simulated.Add(metrics.simulated_seconds);
+  }
+  return timing;
+}
+
+}  // namespace idf::bench

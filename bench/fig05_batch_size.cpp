@@ -1,0 +1,82 @@
+// Fig. 5 reproduction: row-batch-size sensitivity of the Indexed DataFrame,
+// read and write performance normalized to 4 KB batches (the OS page size).
+//
+// Paper: both reads and writes peak around 4 MB; much larger batches are
+// "exceptionally poor for writes" (up-front page-touch/allocation cost that
+// small appends cannot amortize), tiny batches hurt reads (many buffers,
+// poor locality) and writes (frequent allocation).
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "core/indexed_partition.h"
+#include "workload/snb.h"
+
+using namespace idf;
+
+int main() {
+  const double scale = bench::ScaleEnv();
+  const int reps = bench::RepsEnv(5);
+  SessionOptions options;  // single-partition microbench: topology unused
+  bench::PrintHeader("Fig. 5", "row batch size sweep (read & write)",
+                     "sweet spot at ~4 MB; small batches hurt both; huge "
+                     "batches hurt writes",
+                     options);
+
+  const uint64_t rows = static_cast<uint64_t>(200000 * scale);
+  const uint64_t keys = rows / 50;
+  SnbConfig snb;
+  snb.num_vertices = keys;
+  snb.num_edges = rows;
+  SnbGenerator generator(snb);
+
+  struct Point {
+    uint32_t batch_bytes;
+    const char* label;
+  };
+  const Point points[] = {
+      {4u << 10, "4 KB"},   {64u << 10, "64 KB"}, {1u << 20, "1 MB"},
+      {4u << 20, "4 MB"},   {16u << 20, "16 MB"}, {64u << 20, "64 MB"},
+  };
+
+  // Pre-generate rows once so the sweep measures storage, not generation.
+  std::vector<RowVec> data;
+  data.reserve(rows);
+  for (uint64_t i = 0; i < rows; ++i) data.push_back(generator.EdgeRow(i));
+
+  double write_baseline = 0, read_baseline = 0;
+  std::printf("%-8s %-22s %-22s %-10s %-10s\n", "Batch", "write (rows/s)",
+              "read (lookups/s)", "write_norm", "read_norm");
+  for (const Point& point : points) {
+    Sample write_s, read_s;
+    for (int r = 0; r < reps; ++r) {
+      // Write path: bulk insert, including the paper's "append" mechanics
+      // (batch allocation, backward chains). Fresh partition per rep.
+      Stopwatch write_timer;
+      IndexedPartition part(SnbGenerator::EdgeSchema(), 0, point.batch_bytes);
+      for (const RowVec& row : data) IDF_CHECK_OK(part.InsertRow(row));
+      write_s.Add(write_timer.ElapsedSeconds());
+
+      // Read path: keyed lookups walking backward chains across batches.
+      Stopwatch read_timer;
+      uint64_t matched = 0;
+      for (uint64_t k = 0; k < keys; ++k) {
+        part.ForEachRowOfKey(IndexKeyCode(Value::Int64(static_cast<int64_t>(k))),
+                             [&](const uint8_t*) { ++matched; });
+      }
+      read_s.Add(read_timer.ElapsedSeconds());
+      IDF_CHECK(matched == rows);
+    }
+    const double write_rate = static_cast<double>(rows) / write_s.Median();
+    const double read_rate = static_cast<double>(keys) / read_s.Median();
+    if (point.batch_bytes == (4u << 10)) {
+      write_baseline = write_rate;
+      read_baseline = read_rate;
+    }
+    std::printf("%-8s %-22.0f %-22.0f %-10.2f %-10.2f\n", point.label,
+                write_rate, read_rate, write_rate / write_baseline,
+                read_rate / read_baseline);
+  }
+  std::printf("(normalized to 4 KB batches, as in the paper; >1 is better)\n");
+  bench::PrintFooter();
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Fig. 6 reproduction: horizontal (2..32 workers, fixed data) and vertical
+// (1..16 cores, 4 workers) scalability of the XL indexed join.
+//
+// Paper: horizontal speedup is sub-linear (more workers => more network
+// communication); vertical scaling is close to linear.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "core/indexed_dataframe.h"
+#include "workload/snb.h"
+
+using namespace idf;
+
+namespace {
+
+/// Average simulated seconds for the XL join on the given topology.
+/// Partition count follows the paper's deployment rule of 1-4 partitions
+/// per core, so bigger clusters actually receive more tasks.
+double MeasureJoin(SessionOptions options, SnbConfig snb, int reps) {
+  snb.partitions = std::max(32u, options.cluster.total_cores() * 2);
+  // The XL probe is far above Spark's broadcast threshold at paper scale:
+  // force the shuffle path here as well (see fig07 for the rationale).
+  options.broadcast_threshold_bytes = static_cast<uint64_t>(
+      50.0 * 1024 * bench::ScaleEnv());
+  Session session(options);
+  SnbGenerator generator(snb);
+  DataFrame edges = generator.Edges(session).value();
+  IndexOptions index_options;
+  index_options.num_partitions = snb.partitions;  // 2 per core, like the data
+  IndexedDataFrame indexed =
+      IndexedDataFrame::Create(edges, "edge_source", index_options).value();
+  const uint64_t probe_rows = std::max<uint64_t>(8, snb.num_edges / 100);
+
+  Sample sim;
+  for (int r = 0; r < reps; ++r) {
+    DataFrame probe = generator.EdgeSample(session, probe_rows, 50 + r).value();
+    QueryMetrics metrics;
+    (void)indexed.Join(probe, "edge_source").Execute(&metrics).value();
+    sim.Add(metrics.simulated_seconds);
+  }
+  return sim.Mean();
+}
+
+}  // namespace
+
+int main() {
+  const double scale = bench::ScaleEnv();
+  const int reps = bench::RepsEnv(3);
+  bench::PrintHeader("Fig. 6", "horizontal & vertical scalability (XL join)",
+                     "horizontal: sub-linear (network-bound); vertical: "
+                     "close to linear",
+                     bench::PrivateCluster());
+
+  const SnbConfig snb = SnbConfig::ScaleFactor(2.0 * scale, 32);
+
+  std::printf("--- (a) horizontal: workers 2..32, 16 cores each ---\n");
+  std::printf("%-8s %-14s %-10s %-14s\n", "Workers", "sim time (s)", "speedup",
+              "ideal speedup");
+  double t2 = 0;
+  for (uint32_t workers : {2u, 4u, 8u, 16u, 32u}) {
+    SessionOptions options = bench::PrivateCluster(workers);
+    const double t = MeasureJoin(options, snb, reps);
+    if (workers == 2) t2 = t;
+    std::printf("%-8u %-14.4f %-10.2f %-14.1f\n", workers, t, t2 / t,
+                workers / 2.0);
+  }
+
+  std::printf("--- (b) vertical: 4 workers, 1..16 cores per executor ---\n");
+  std::printf("%-8s %-14s %-10s %-14s\n", "Cores", "sim time (s)", "speedup",
+              "ideal speedup");
+  double t1 = 0;
+  for (uint32_t cores : {1u, 2u, 4u, 8u, 16u}) {
+    SessionOptions options = bench::PrivateCluster(4);
+    // "a single executor per worker machine" (§IV-C), core count varied.
+    options.cluster.executors_per_worker = 1;
+    options.cluster.cores_per_executor = cores;
+    options.cluster.numa_pinned = true;
+    const double t = MeasureJoin(options, snb, reps);
+    if (cores == 1) t1 = t;
+    std::printf("%-8u %-14.4f %-10.2f %-14.1f\n", cores, t, t1 / t,
+                static_cast<double>(cores));
+  }
+  bench::PrintFooter();
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Fig. 7 reproduction: Indexed DataFrame vs vanilla Spark join across the
+// S/M/L/XL probe sizes of Table III.
+//
+// Paper: "irrespective of the probe size, our Indexed DataFrame is faster
+// than Spark with speed-ups in the range of 3 and 8".
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "core/indexed_dataframe.h"
+#include "workload/snb.h"
+
+using namespace idf;
+
+int main() {
+  const double scale = bench::ScaleEnv();
+  const int reps = bench::RepsEnv(10);
+  SessionOptions options = bench::PrivateCluster();
+  // Scale Spark's 10 MB broadcast threshold with the dataset: at paper scale
+  // (1B-row build) the S/M probes broadcast while L/XL exceed the threshold
+  // and force vanilla to shuffle BOTH relations on every query — the regime
+  // responsible for the paper's 3-8x gap. Keeping 10 MB at our reduced scale
+  // would let every probe broadcast and mask that effect.
+  options.broadcast_threshold_bytes =
+      static_cast<uint64_t>(50.0 * 1024 * scale);
+  bench::PrintHeader("Fig. 7", "join runtime vs probe size (S/M/L/XL)",
+                     "indexed wins at every probe size, 3-8x", options);
+  Session session(options);
+
+  const SnbConfig snb = SnbConfig::ScaleFactor(2.0 * scale, 32);
+  SnbGenerator generator(snb);
+  DataFrame edges = generator.Edges(session).value();
+  IndexedDataFrame indexed =
+      IndexedDataFrame::Create(edges, "edge_source").value();
+
+  struct Point {
+    const char* name;
+    double fraction;
+  };
+  const Point points[] = {{"S", 1e-5}, {"M", 1e-4}, {"L", 1e-3}, {"XL", 1e-2}};
+
+  std::printf("%-5s %-11s %-13s %-13s %-8s %-13s %-13s %-8s %s\n", "Size",
+              "probe rows", "van cpu(ms)", "idx cpu(ms)", "cpu x",
+              "van sim(ms)", "idx sim(ms)", "sim x", "result");
+  for (const Point& point : points) {
+    const uint64_t probe_rows = std::max<uint64_t>(
+        4, static_cast<uint64_t>(point.fraction *
+                                 static_cast<double>(snb.num_edges)));
+    DataFrame probe =
+        generator.EdgeSample(session, probe_rows, /*seed=*/2000).value();
+
+    uint64_t result_rows = 0;
+    Sample vanilla_cpu, vanilla_sim;
+    for (int r = 0; r < reps; ++r) {
+      QueryMetrics metrics;
+      Stopwatch timer;
+      result_rows = edges.Join(probe, "edge_source", "edge_source")
+                        .Count(&metrics)
+                        .value();
+      vanilla_cpu.Add(timer.ElapsedSeconds());
+      vanilla_sim.Add(metrics.simulated_seconds);
+    }
+    Sample fast_cpu, fast_sim;
+    for (int r = 0; r < reps; ++r) {
+      QueryMetrics metrics;
+      Stopwatch timer;
+      (void)indexed.Join(probe, "edge_source").Count(&metrics).value();
+      fast_cpu.Add(timer.ElapsedSeconds());
+      fast_sim.Add(metrics.simulated_seconds);
+    }
+    std::printf("%-5s %-11llu %-13.1f %-13.1f %-8.1f %-13.1f %-13.1f %-8.1f "
+                "%llu\n",
+                point.name, static_cast<unsigned long long>(probe_rows),
+                vanilla_cpu.Mean() * 1e3, fast_cpu.Mean() * 1e3,
+                vanilla_cpu.Mean() / fast_cpu.Mean(),
+                vanilla_sim.Mean() * 1e3, fast_sim.Mean() * 1e3,
+                vanilla_sim.Mean() / fast_sim.Mean(),
+                static_cast<unsigned long long>(result_rows));
+  }
+  std::printf("(vanilla = BroadcastHash/ShuffledHash chosen by size, rebuilt "
+              "per query; indexed = pre-built cTrie probe.\n"
+              " 'sim' = discrete-event cluster time incl. network; 'cpu' = "
+              "single-host compute)\n");
+  bench::PrintFooter();
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Fig. 13 reproduction: SNB short-read queries SQ1-SQ7, Indexed DataFrame
+// speedup over vanilla Spark, on an SF-300 analogue.
+//
+// Paper: "the Indexed DataFrame speeds up all queries, with the exception of
+// SQ5 and SQ6, which are unable to use the index properly" (their access
+// patterns hit the row-based representation's weakness vs columnar).
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "core/indexed_dataframe.h"
+#include "workload/snb.h"
+
+using namespace idf;
+
+int main() {
+  const double scale = bench::ScaleEnv();
+  const int reps = bench::RepsEnv(10);
+  SessionOptions options = bench::PrivateCluster();
+  bench::PrintHeader("Fig. 13", "SNB short-read queries SQ1-SQ7 (SF-300)",
+                     "all queries speed up except SQ5/SQ6 (projection-heavy, "
+                     "no index use)",
+                     options);
+  Session session(options);
+
+  const SnbConfig snb = SnbConfig::ScaleFactor(1.2 * scale, 32);
+  SnbGenerator generator(snb);
+  DataFrame edges = generator.Edges(session).value();
+  DataFrame vertices = generator.Vertices(session).value();
+  IndexedDataFrame indexed_edges =
+      IndexedDataFrame::Create(edges, "edge_source").value();
+  IndexedDataFrame indexed_vertices =
+      IndexedDataFrame::Create(vertices, "id").value();
+  DataFrame ie = indexed_edges.AsDataFrame();
+  DataFrame iv = indexed_vertices.AsDataFrame();
+
+  const int64_t person = static_cast<int64_t>(snb.num_vertices / 3);
+  std::printf("%-6s %-16s %-16s %-10s %s\n", "query", "vanilla (ms)",
+              "indexed (ms)", "speedup", "note");
+  const char* notes[] = {
+      "",
+      "vertex point lookup",
+      "edge lookup + join",
+      "lookup + join + project",
+      "lookup + narrow project",
+      "non-eq filter + project (no index)",
+      "full scan aggregate (no index)",
+      "lookup + join + aggregate",
+  };
+  for (int q = 1; q <= 7; ++q) {
+    Sample vanilla, fast;
+    for (int r = 0; r < reps; ++r) {
+      Stopwatch timer;
+      (void)SnbShortQuery(q, edges, vertices, person).Count().value();
+      vanilla.Add(timer.ElapsedSeconds());
+    }
+    for (int r = 0; r < reps; ++r) {
+      Stopwatch timer;
+      (void)SnbShortQuery(q, ie, iv, person).Count().value();
+      fast.Add(timer.ElapsedSeconds());
+    }
+    const double speedup = vanilla.Mean() / fast.Mean();
+    std::printf("SQ%-5d %-16.2f %-16.2f %-10.2f %s%s\n", q,
+                vanilla.Mean() * 1e3, fast.Mean() * 1e3, speedup, notes[q],
+                (q == 5 || q == 6) ? (speedup < 1.3 ? " [as in paper]" : "")
+                                   : "");
+  }
+  bench::PrintFooter();
+  return 0;
+}

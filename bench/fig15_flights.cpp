@@ -1,0 +1,127 @@
+// Fig. 15 reproduction: US Flights queries Q1-Q7 (Table II), Indexed
+// DataFrame speedup over the (Databricks-Runtime) baseline.
+//
+// Paper: 5-20x overall; the largest speedups on integer-key point queries
+// (Q5-Q7); string keys (Q1/Q2) gain less because "strings need to be hashed
+// into a number which is then used as a key in the cTrie".
+#include <cstdio>
+#include <functional>
+
+#include "bench/bench_util.h"
+#include "core/indexed_dataframe.h"
+#include "workload/flights.h"
+
+using namespace idf;
+
+int main() {
+  const double scale = bench::ScaleEnv();
+  const int reps = bench::RepsEnv(10);
+  SessionOptions options = bench::Ec2Cluster(4, /*big=*/false);
+  bench::PrintHeader("Fig. 15", "US Flights queries Q1-Q7",
+                     "5-20x; int-key point queries (Q5-Q7) gain most; "
+                     "string keys gain less",
+                     options);
+  Session session(options);
+
+  FlightsConfig config;
+  config.num_flights = static_cast<uint64_t>(1000000 * scale);
+  config.partitions = 16;
+  FlightsGenerator generator(config);
+  DataFrame flights = generator.Flights(session).value();
+  DataFrame planes = generator.Planes(session).value();
+  IndexedDataFrame by_tail =
+      IndexedDataFrame::Create(flights, "tail_num").value();
+  IndexedDataFrame by_num =
+      IndexedDataFrame::Create(flights, "flight_num").value();
+  DataFrame tail_df = by_tail.AsDataFrame();
+  DataFrame num_df = by_num.AsDataFrame();
+
+  // Probe subsets for Q3/Q4 (Table II: the "selected flights table" is a
+  // materialized temp table, so neither system re-runs the selection per
+  // query).
+  auto materialize = [&](DataFrame df, const char* name) {
+    TableHandle handle = df.Execute().value();
+    return session.Read(std::make_shared<CachedTable>(handle, name));
+  };
+  DataFrame subset200 =
+      materialize(flights.Filter(Lt(Col("flight_num"), Lit(int32_t{200})))
+                      .Select({"flight_num", "arr_delay"}),
+                  "subset200");
+  DataFrame subset400 =
+      materialize(flights.Filter(Lt(Col("flight_num"), Lit(int32_t{400})))
+                      .Select({"flight_num", "arr_delay"}),
+                  "subset400");
+  const std::string tail = FlightsGenerator::TailNum(7);
+
+  struct Query {
+    const char* name;
+    const char* desc;
+    std::function<DataFrame()> vanilla;
+    std::function<DataFrame()> indexed;
+  };
+  const Query queries[] = {
+      {"Q1", "join flights x planes ON tailNum (string)",
+       [&] { return flights.Join(planes, "tail_num", "tail_num"); },
+       [&] { return tail_df.Join(planes, "tail_num", "tail_num"); }},
+      {"Q2", "SELECT * WHERE tailNum = x (string)",
+       [&] { return flights.Filter(Eq(Col("tail_num"), Lit(tail.c_str()))); },
+       [&] { return tail_df.Filter(Eq(Col("tail_num"), Lit(tail.c_str()))); }},
+      {"Q3", "join w/ selected flights (flightNum<200)",
+       [&] { return flights.Join(subset200, "flight_num", "flight_num"); },
+       [&] { return num_df.Join(subset200, "flight_num", "flight_num"); }},
+      {"Q4", "join w/ selected flights (flightNum<400)",
+       [&] { return flights.Join(subset400, "flight_num", "flight_num"); },
+       [&] { return num_df.Join(subset400, "flight_num", "flight_num"); }},
+      {"Q5", "point query, 10 matches (int)",
+       [&] {
+         return flights.Filter(
+             Eq(Col("flight_num"), Lit(FlightsConfig::kKey10)));
+       },
+       [&] {
+         return num_df.Filter(
+             Eq(Col("flight_num"), Lit(FlightsConfig::kKey10)));
+       }},
+      {"Q6", "point query, 100 matches (int)",
+       [&] {
+         return flights.Filter(
+             Eq(Col("flight_num"), Lit(FlightsConfig::kKey100)));
+       },
+       [&] {
+         return num_df.Filter(
+             Eq(Col("flight_num"), Lit(FlightsConfig::kKey100)));
+       }},
+      {"Q7", "point query, 1000 matches (int)",
+       [&] {
+         return flights.Filter(
+             Eq(Col("flight_num"), Lit(FlightsConfig::kKey1000)));
+       },
+       [&] {
+         return num_df.Filter(
+             Eq(Col("flight_num"), Lit(FlightsConfig::kKey1000)));
+       }},
+  };
+
+  std::printf("%-4s %-44s %-14s %-14s %-8s\n", "Q", "description",
+              "baseline (ms)", "indexed (ms)", "speedup");
+  for (const Query& query : queries) {
+    Sample vanilla, fast;
+    uint64_t check_vanilla = 0, check_indexed = 0;
+    for (int r = 0; r < reps; ++r) {
+      Stopwatch timer;
+      check_vanilla = query.vanilla().Count().value();
+      vanilla.Add(timer.ElapsedSeconds());
+    }
+    for (int r = 0; r < reps; ++r) {
+      Stopwatch timer;
+      check_indexed = query.indexed().Count().value();
+      fast.Add(timer.ElapsedSeconds());
+    }
+    IDF_CHECK_MSG(check_vanilla == check_indexed,
+                  "indexed and vanilla disagree");
+    std::printf("%-4s %-44s %-14.2f %-14.2f %-8.1f\n", query.name, query.desc,
+                vanilla.Mean() * 1e3, fast.Mean() * 1e3,
+                vanilla.Mean() / fast.Mean());
+  }
+  bench::PrintFooter();
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Micro-benchmarks (google-benchmark) for the cTrie: the index structure's
+// raw insert / lookup / snapshot / miss costs that underpin every indexed
+// operation in the paper.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "ctrie/ctrie.h"
+
+namespace idf {
+namespace {
+
+void BM_CTrieInsert(benchmark::State& state) {
+  const auto n = static_cast<uint64_t>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    CTrie<uint64_t, uint64_t> trie;
+    Rng rng(7);
+    state.ResumeTiming();
+    for (uint64_t i = 0; i < n; ++i) trie.Put(rng.Next(), i);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_CTrieInsert)->Arg(1000)->Arg(100000);
+
+void BM_CTrieLookupHit(benchmark::State& state) {
+  const auto n = static_cast<uint64_t>(state.range(0));
+  CTrie<uint64_t, uint64_t> trie;
+  for (uint64_t i = 0; i < n; ++i) trie.Put(i, i);
+  Rng rng(5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(trie.Lookup(rng.Below(n)));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_CTrieLookupHit)->Arg(1000)->Arg(100000)->Arg(1000000);
+
+void BM_CTrieLookupMiss(benchmark::State& state) {
+  const auto n = static_cast<uint64_t>(state.range(0));
+  CTrie<uint64_t, uint64_t> trie;
+  for (uint64_t i = 0; i < n; ++i) trie.Put(i, i);
+  Rng rng(5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(trie.Lookup(n + rng.Below(n)));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_CTrieLookupMiss)->Arg(100000);
+
+void BM_CTrieSnapshot(benchmark::State& state) {
+  // The paper's O(1) snapshot claim: cost must not grow with trie size.
+  const auto n = static_cast<uint64_t>(state.range(0));
+  CTrie<uint64_t, uint64_t> trie;
+  for (uint64_t i = 0; i < n; ++i) trie.Put(i, i);
+  for (auto _ : state) {
+    auto snap = trie.Snapshot();
+    benchmark::DoNotOptimize(snap);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_CTrieSnapshot)->Arg(1000)->Arg(100000)->Arg(1000000);
+
+void BM_CTrieReadOnlySnapshotLookup(benchmark::State& state) {
+  CTrie<uint64_t, uint64_t> trie;
+  for (uint64_t i = 0; i < 100000; ++i) trie.Put(i, i);
+  auto snap = trie.ReadOnlySnapshot();
+  Rng rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(snap.Lookup(rng.Below(100000)));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_CTrieReadOnlySnapshotLookup);
+
+void BM_CTrieInsertAfterSnapshot(benchmark::State& state) {
+  // Lazy generational copying: the first writes after a snapshot re-stamp
+  // their path; steady-state inserts stay close to plain insert cost.
+  CTrie<uint64_t, uint64_t> trie;
+  for (uint64_t i = 0; i < 100000; ++i) trie.Put(i, i);
+  Rng rng(9);
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto snap = trie.Snapshot();
+    state.ResumeTiming();
+    for (int i = 0; i < 100; ++i) snap.Put(rng.Below(100000), 1);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 100);
+}
+BENCHMARK(BM_CTrieInsertAfterSnapshot);
+
+}  // namespace
+}  // namespace idf

@@ -1,0 +1,50 @@
+// 64-bit hashing used everywhere a stable, high-quality hash is required:
+// shuffle partitioning, cTrie keys, string-key indexing (§IV-E: strings are
+// hashed into a fixed-width key, then verified against the stored row).
+//
+// All functions are deterministic across runs and platforms — partitioning
+// decisions are part of the lineage, so recomputation after a failure must
+// land rows on the same partitions.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string_view>
+
+namespace idf {
+
+/// Fast, well-mixed 64->64 finalizer (splitmix64 / murmur3 fmix-style).
+constexpr uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Combine two hashes (boost::hash_combine-like, 64-bit).
+constexpr uint64_t HashCombine(uint64_t seed, uint64_t v) {
+  return seed ^ (Mix64(v) + 0x9e3779b97f4a7c15ULL + (seed << 12) + (seed >> 4));
+}
+
+/// xxHash64-style hash over arbitrary bytes. Not the reference implementation
+/// byte-for-byte, but the same construction (striped accumulators + avalanche)
+/// and quality class; stable across runs.
+uint64_t HashBytes(const void* data, size_t len, uint64_t seed = 0);
+
+inline uint64_t HashString(std::string_view s, uint64_t seed = 0) {
+  return HashBytes(s.data(), s.size(), seed);
+}
+
+inline uint64_t HashInt64(int64_t v, uint64_t seed = 0) {
+  return Mix64(static_cast<uint64_t>(v) + seed);
+}
+
+inline uint64_t HashDouble(double v, uint64_t seed = 0) {
+  // Normalize -0.0 to +0.0 so equal values hash equally.
+  if (v == 0.0) v = 0.0;
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return Mix64(bits + seed);
+}
+
+}  // namespace idf

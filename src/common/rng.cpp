@@ -1,0 +1,53 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+namespace idf {
+
+// Rejection-inversion sampling for the Zipf distribution, after
+// W. Hörmann, G. Derflinger, "Rejection-inversion to generate variates from
+// monotone discrete distributions", ACM TOMACS 1996. Indices here are 1-based
+// internally; Sample() returns 0-based ranks.
+ZipfSampler::ZipfSampler(uint64_t n, double s) : n_(n), s_(s) {
+  IDF_CHECK(n >= 1);
+  IDF_CHECK(s > 0.0);
+  h_x1_ = H(1.5) - 1.0;
+  h_n_ = H(static_cast<double>(n) + 0.5);
+  threshold_ = 2.0 - HInverse(H(2.5) - std::pow(2.0, -s_));
+}
+
+double ZipfSampler::H(double x) const {
+  if (s_ == 1.0) return std::log(x);
+  return (std::pow(x, 1.0 - s_) - 1.0) / (1.0 - s_);
+}
+
+double ZipfSampler::HInverse(double x) const {
+  if (s_ == 1.0) return std::exp(x);
+  return std::pow(1.0 + x * (1.0 - s_), 1.0 / (1.0 - s_));
+}
+
+double ZipfSampler::RankProbability(uint64_t rank) const {
+  IDF_CHECK(rank < n_);
+  const double r = static_cast<double>(rank);
+  const double mass = H(r + 1.5) - H(r + 0.5);
+  const double total = H(static_cast<double>(n_) + 0.5) - H(0.5);
+  return mass / total;
+}
+
+uint64_t ZipfSampler::Sample(Rng& rng) {
+  if (n_ == 1) return 0;
+  while (true) {
+    const double u = h_n_ + rng.NextDouble() * (h_x1_ - h_n_);
+    const double x = HInverse(u);
+    double k = std::floor(x + 0.5);
+    if (k < 1.0) k = 1.0;
+    if (k > static_cast<double>(n_)) k = static_cast<double>(n_);
+    // Accept most draws immediately; fall back to the exact test otherwise.
+    if (k - x <= threshold_ ||
+        u >= H(k + 0.5) - std::pow(k, -s_)) {
+      return static_cast<uint64_t>(k) - 1;
+    }
+  }
+}
+
+}  // namespace idf

@@ -1,0 +1,77 @@
+// Streaming statistics and benchmark reporting helpers.
+//
+// The paper reports "averages of performance metrics over many runs" and IQR
+// boxplots (Fig. 4); RunningStat and Sample cover both.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace idf {
+
+/// Welford-style streaming mean/variance plus min/max.
+class RunningStat {
+ public:
+  void Add(double x) {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+
+  uint64_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const { return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0; }
+  double stddev() const { return std::sqrt(variance()); }
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+
+ private:
+  uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// A batch of observations with quantile queries (for boxplots).
+class Sample {
+ public:
+  void Add(double x) { values_.push_back(x); sorted_ = false; }
+  void Reserve(size_t n) { values_.reserve(n); }
+
+  size_t size() const { return values_.size(); }
+  bool empty() const { return values_.empty(); }
+
+  double Mean() const;
+  double Min() { Sort(); return values_.empty() ? 0.0 : values_.front(); }
+  double Max() { Sort(); return values_.empty() ? 0.0 : values_.back(); }
+
+  /// Linear-interpolated quantile, q in [0,1].
+  double Quantile(double q);
+  double Median() { return Quantile(0.5); }
+
+  const std::vector<double>& values() const { return values_; }
+
+  /// "min=.. p25=.. med=.. p75=.. max=.. mean=.." — one boxplot row.
+  std::string BoxplotString();
+
+ private:
+  void Sort();
+
+  std::vector<double> values_;
+  bool sorted_ = false;
+};
+
+/// Formats byte counts as "4.0 KB", "3.2 GB", ...
+std::string FormatBytes(double bytes);
+
+/// Formats seconds as "831 us", "1.24 s", ...
+std::string FormatSeconds(double seconds);
+
+}  // namespace idf

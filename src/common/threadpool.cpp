@@ -1,0 +1,64 @@
+#include "common/threadpool.h"
+
+#include <atomic>
+
+#include "common/status.h"
+
+namespace idf {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  IDF_CHECK(num_threads >= 1);
+  workers_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::IDF_CHECK_POOL_OPEN() const {
+  IDF_CHECK_MSG(!shutdown_, "Submit() on a shut-down ThreadPool");
+}
+
+void ThreadPool::WorkerLoop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutdown and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++completed_;
+    }
+  }
+}
+
+void ThreadPool::ParallelFor(size_t count,
+                             const std::function<void(size_t)>& fn) {
+  if (count == 0) return;
+  std::vector<std::future<void>> futures;
+  futures.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    futures.push_back(Submit([&fn, i] { fn(i); }));
+  }
+  for (auto& f : futures) f.get();  // rethrows worker exceptions here
+}
+
+size_t ThreadPool::completed_tasks() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return completed_;
+}
+
+}  // namespace idf

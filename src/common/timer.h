@@ -1,0 +1,33 @@
+// Wall-clock timing for real measurements. The engine's *simulated* cluster
+// time lives in engine/virtual_clock.h; this header is only for measuring
+// actual CPU work on the host.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace idf {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  uint64_t ElapsedNanos() const {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                             start_)
+            .count());
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace idf

@@ -1,0 +1,70 @@
+// Indexed physical operators (§III-B/C).
+//
+// IndexedJoinExec: "the indexed relation is always the build side (as it is
+// actually pre-built due to the index), while the probe side is the
+// non-indexed relation." Probe rows are shuffled (or broadcast, when small)
+// to the indexed partitions and probed against the local cTrie — no hash
+// table is built at query time.
+//
+// IndexLookupExec: an equality filter on the indexed column becomes a point
+// lookup on the single partition owning the key, plus a residual filter for
+// any remaining conjuncts.
+#pragma once
+
+#include <memory>
+
+#include "core/indexed_rdd.h"
+#include "sql/physical.h"
+
+namespace idf {
+
+class IndexedJoinExec final : public PhysicalOp {
+ public:
+  /// `indexed_is_left`: whether the indexed relation is the left side of the
+  /// logical join (controls output column order).
+  IndexedJoinExec(std::shared_ptr<const IndexedDataset> indexed,
+                  PhysOpPtr probe, std::string probe_key, bool indexed_is_left)
+      : indexed_(std::move(indexed)),
+        children_{std::move(probe)},
+        probe_key_(std::move(probe_key)),
+        indexed_is_left_(indexed_is_left) {}
+
+  Result<TableHandle> Execute(Session& session,
+                              QueryMetrics& metrics) const override;
+  std::string Describe() const override {
+    return "IndexedJoinExec probe_key=" + probe_key_ + " on " +
+           indexed_->name();
+  }
+  const std::vector<PhysOpPtr>& children() const override { return children_; }
+
+ private:
+  std::shared_ptr<const IndexedDataset> indexed_;
+  std::vector<PhysOpPtr> children_;
+  std::string probe_key_;
+  bool indexed_is_left_;
+};
+
+class IndexLookupExec final : public PhysicalOp {
+ public:
+  /// `residual` may be null; when set it is applied to matching rows.
+  IndexLookupExec(std::shared_ptr<const IndexedDataset> indexed, Value key,
+                  ExprPtr residual)
+      : indexed_(std::move(indexed)),
+        key_(std::move(key)),
+        residual_(std::move(residual)) {}
+
+  Result<TableHandle> Execute(Session& session,
+                              QueryMetrics& metrics) const override;
+  std::string Describe() const override {
+    return "IndexLookupExec key=" + key_.ToString() +
+           (residual_ ? " residual=" + residual_->ToString() : "") + " on " +
+           indexed_->name();
+  }
+
+ private:
+  std::shared_ptr<const IndexedDataset> indexed_;
+  Value key_;
+  ExprPtr residual_;
+};
+
+}  // namespace idf

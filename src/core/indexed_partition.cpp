@@ -1,0 +1,110 @@
+#include "core/indexed_partition.h"
+
+namespace idf {
+
+IndexedPartition::IndexedPartition(SchemaPtr schema, size_t key_column,
+                                   uint32_t batch_capacity)
+    : layout_(std::move(schema)),
+      key_column_(key_column),
+      store_(batch_capacity) {
+  IDF_CHECK(key_column_ < layout_.schema().num_fields());
+}
+
+IndexedPartition::IndexedPartition(SchemaPtr schema, size_t key_column,
+                                   CTrie<uint64_t, uint64_t> index,
+                                   PartitionStore store)
+    : layout_(std::move(schema)),
+      key_column_(key_column),
+      index_(std::move(index)),
+      store_(std::move(store)) {}
+
+Status IndexedPartition::InsertRow(const RowVec& row) {
+  IDF_RETURN_IF_ERROR(ValidateRow(layout_.schema(), row));
+  if (row[key_column_].is_null()) {
+    // Unindexed storage: reachable by scans, invisible to lookups.
+    IDF_RETURN_IF_ERROR(
+        store_.AppendRow(layout_, row, PackedRowPtr::Null()).status());
+    return Status::OK();
+  }
+  const uint64_t code = IndexKeyCode(row[key_column_]);
+  // Backward chain: the new row points at the current head for this key.
+  const std::optional<uint64_t> prev = index_.Lookup(code);
+  const PackedRowPtr back_ptr =
+      prev.has_value() ? PackedRowPtr::FromBits(*prev) : PackedRowPtr::Null();
+  IDF_ASSIGN_OR_RETURN(PackedRowPtr ptr,
+                       store_.AppendRow(layout_, row, back_ptr));
+  index_.Put(code, ptr.bits());
+  return Status::OK();
+}
+
+Status IndexedPartition::InsertEncoded(const uint8_t* row, uint32_t len) {
+  if (layout_.IsNull(row, key_column_)) {
+    IDF_RETURN_IF_ERROR(
+        store_.AppendEncoded(row, len, PackedRowPtr::Null()).status());
+    return Status::OK();
+  }
+  const uint64_t code = layout_.KeyCode(row, key_column_);
+  const std::optional<uint64_t> prev = index_.Lookup(code);
+  const PackedRowPtr back_ptr =
+      prev.has_value() ? PackedRowPtr::FromBits(*prev) : PackedRowPtr::Null();
+  IDF_ASSIGN_OR_RETURN(PackedRowPtr ptr,
+                       store_.AppendEncoded(row, len, back_ptr));
+  index_.Put(code, ptr.bits());
+  return Status::OK();
+}
+
+size_t IndexedPartition::ForEachRowOfKey(
+    uint64_t key_code, const std::function<void(const uint8_t*)>& fn) const {
+  const std::optional<uint64_t> head = index_.Lookup(key_code);
+  if (!head.has_value()) return 0;
+  size_t visited = 0;
+  PackedRowPtr ptr = PackedRowPtr::FromBits(*head);
+  while (!ptr.is_null()) {
+    const uint8_t* row = store_.RowAt(ptr);
+    fn(row);
+    ++visited;
+    ptr = RowLayout::BackPtr(row);
+  }
+  return visited;
+}
+
+std::vector<RowVec> IndexedPartition::LookupRows(const Value& key) const {
+  std::vector<RowVec> rows;
+  if (key.is_null()) return rows;
+  const bool verify = KeyCodeNeedsVerify(key.type());
+  ForEachRowOfKey(IndexKeyCode(key), [&](const uint8_t* row) {
+    if (verify && !(layout_.GetValue(row, key_column_) == key)) return;
+    rows.push_back(layout_.DecodeRow(row));
+  });
+  return rows;
+}
+
+void IndexedPartition::ForEachRow(
+    const std::function<void(const uint8_t*)>& fn) const {
+  for (uint32_t b = 0; b < store_.num_batches(); ++b) {
+    const std::shared_ptr<RowBatch> batch = store_.batch(b);
+    const uint8_t* cursor = batch->data();
+    const uint8_t* end = batch->data() + batch->used();
+    while (cursor < end) {
+      const uint32_t size = RowLayout::RowSize(cursor);
+      IDF_CHECK_MSG(size >= 16 && cursor + size <= end, "corrupt row batch");
+      fn(cursor);
+      cursor += size;
+    }
+  }
+}
+
+std::shared_ptr<IndexedPartition> IndexedPartition::Snapshot() const {
+  // Logically const; see header. The single-writer discipline makes the
+  // PartitionStore snapshot safe, and cTrie snapshots are lock-free.
+  auto* self = const_cast<IndexedPartition*>(this);
+  return std::shared_ptr<IndexedPartition>(new IndexedPartition(
+      layout_.schema_ptr(), key_column_, self->index_.Snapshot(),
+      self->store_.Snapshot()));
+}
+
+uint64_t IndexedPartition::IndexBytes() const {
+  return index_.ComputeMemoryStats().approx_bytes;
+}
+
+}  // namespace idf

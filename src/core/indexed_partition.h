@@ -1,0 +1,103 @@
+// IndexedPartition: one partition of the Indexed Batch RDD (§III-C, Fig. 3).
+//
+// Three cooperating structures:
+//  (1) a cTrie mapping 64-bit key codes to the packed pointer of the *latest*
+//      row with that key,
+//  (2) row batches (PartitionStore) holding the binary rows,
+//  (3) backward pointers: each row's header points at the previous row with
+//      the same key, forming one linked list per unique key.
+//
+// Key codes: integer columns use their numeric value (injective); strings and
+// doubles hash into the code and lookups verify the stored column against the
+// probe key (§IV-E: "Strings need to be hashed into a number which is then
+// used as a key in the cTrie").
+//
+// Threading: single writer per partition (the engine schedules at most one
+// append task per partition), any number of readers against snapshots —
+// exactly the cTrie's contract.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "ctrie/ctrie.h"
+#include "engine/block.h"
+#include "storage/partition_store.h"
+#include "storage/row_layout.h"
+#include "types/schema.h"
+
+namespace idf {
+
+class IndexedPartition final : public Block {
+ public:
+  IndexedPartition(SchemaPtr schema, size_t key_column,
+                   uint32_t batch_capacity = RowBatch::kDefaultCapacity);
+
+  const Schema& schema() const { return layout_.schema(); }
+  const RowLayout& layout() const { return layout_; }
+  size_t key_column() const { return key_column_; }
+
+  // ---- writes (single writer) -------------------------------------------
+
+  /// Indexes and stores one row. Rows with a NULL key are stored but not
+  /// indexed (they are unreachable via lookups, like Spark's null join keys).
+  Status InsertRow(const RowVec& row);
+
+  /// Same, for an already-encoded row (shuffle-received bytes).
+  Status InsertEncoded(const uint8_t* row, uint32_t len);
+
+  /// Hints how many bytes of rows are about to be inserted, so freshly
+  /// opened row batches are right-sized (important after snapshots, whose
+  /// sealing would otherwise force a full-size batch per tiny append).
+  void ReserveHint(uint64_t bytes) { store_.ReserveHint(bytes); }
+
+  // ---- reads ------------------------------------------------------------
+
+  /// Walks the backward chain of `key_code`, newest to oldest, invoking `fn`
+  /// for each stored row. Returns the number of rows visited. Callers whose
+  /// key type hashes (strings/doubles) must verify the key column.
+  size_t ForEachRowOfKey(uint64_t key_code,
+                         const std::function<void(const uint8_t*)>& fn) const;
+
+  /// Convenience: all rows whose key column *equals* `key` (verification
+  /// included), decoded.
+  std::vector<RowVec> LookupRows(const Value& key) const;
+
+  /// Scans every row in storage order (index fallback path / full scans).
+  void ForEachRow(const std::function<void(const uint8_t*)>& fn) const;
+
+  // ---- versioning ---------------------------------------------------------
+
+  /// O(1) snapshot for multi-version appends (§III-E): the new partition
+  /// shares the cTrie (generation snapshot) and all sealed row batches; the
+  /// open tail batch is copied lazily on the next divergent write.
+  ///
+  /// Logically const: readers of *this* are unaffected; the cTrie root
+  /// renewal it performs is the algorithm's standard, thread-safe mechanism.
+  std::shared_ptr<IndexedPartition> Snapshot() const;
+
+  // ---- statistics -----------------------------------------------------------
+
+  uint64_t num_rows() const { return store_.num_rows(); }
+  uint64_t data_bytes() const { return store_.data_bytes(); }
+  uint32_t num_batches() const { return store_.num_batches(); }
+
+  /// Approximate bytes held by the cTrie index (Fig. 11's overhead metric).
+  uint64_t IndexBytes() const;
+
+  /// Data + index footprint; drives simulated transfer costs.
+  uint64_t ByteSize() const override { return data_bytes() + IndexBytes(); }
+
+ private:
+  IndexedPartition(SchemaPtr schema, size_t key_column,
+                   CTrie<uint64_t, uint64_t> index, PartitionStore store);
+
+  Status CheckInsertable(const RowVec& row) const;
+
+  RowLayout layout_;
+  size_t key_column_;
+  CTrie<uint64_t, uint64_t> index_;  // key code -> PackedRowPtr bits
+  PartitionStore store_;
+};
+
+}  // namespace idf

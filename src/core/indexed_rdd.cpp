@@ -1,0 +1,377 @@
+#include "core/indexed_rdd.h"
+
+#include "common/logging.h"
+#include "sql/physical.h"
+
+namespace idf {
+
+IndexedRdd::IndexedRdd(Session& session, TableHandle base, size_t key_column,
+                       uint32_t num_partitions, uint32_t batch_capacity)
+    : session_(&session),
+      rdd_id_(session.cluster().NewRddId()),
+      base_(std::move(base)),
+      schema_(base_.schema),
+      key_column_(key_column),
+      num_partitions_(num_partitions),
+      batch_capacity_(batch_capacity) {}
+
+Result<std::shared_ptr<IndexedRdd>> IndexedRdd::Restore(
+    Session& session, SchemaPtr schema, size_t key_column,
+    uint32_t num_partitions, uint32_t batch_capacity, PartitionLoader loader,
+    QueryMetrics& metrics) {
+  if (key_column >= schema->num_fields()) {
+    return Status::InvalidArgument("index column out of range");
+  }
+  IDF_CHECK(loader != nullptr);
+  TableHandle no_base;
+  no_base.schema = schema;
+  auto rdd = std::shared_ptr<IndexedRdd>(new IndexedRdd(
+      session, no_base, key_column, num_partitions, batch_capacity));
+  rdd->loader_ = std::move(loader);
+
+  Cluster& cluster = session.cluster();
+  std::atomic<uint64_t> total_rows{0};
+  StageSpec stage;
+  stage.name = "restore index";
+  for (uint32_t p = 0; p < num_partitions; ++p) {
+    stage.tasks.push_back(TaskSpec{
+        cluster.HomeExecutorFor(rdd->rdd_id_, p),
+        {},
+        0,
+        [&, p](TaskContext& ctx) -> Status {
+          IDF_ASSIGN_OR_RETURN(std::shared_ptr<IndexedPartition> part,
+                               rdd->loader_(p));
+          if (part->schema() != *schema) {
+            return Status::InvalidArgument(
+                "loaded partition schema mismatch");
+          }
+          total_rows += part->num_rows();
+          ctx.metrics().rows_written += part->num_rows();
+          ctx.cluster().blocks().Put(BlockId{rdd->rdd_id_, p, 0},
+                                     ctx.executor(), std::move(part));
+          return Status::OK();
+        }});
+  }
+  IDF_ASSIGN_OR_RETURN(StageMetrics sm, cluster.RunStage(stage));
+  metrics.MergeStage(sm);
+  {
+    std::lock_guard<std::mutex> lock(rdd->mutex_);
+    rdd->versions_[0] = VersionInfo{0, TableHandle{}, total_rows.load()};
+  }
+  // Lineage: the loader is the replayable source for lost partitions.
+  session.cluster().RegisterLineage(
+      rdd->rdd_id_,
+      [weak = std::weak_ptr<IndexedRdd>(rdd)](
+          uint32_t partition, uint64_t version,
+          TaskContext& ctx) -> Result<BlockPtr> {
+        auto self = weak.lock();
+        if (self == nullptr) {
+          return Status::Unavailable("indexed RDD no longer exists");
+        }
+        return self->Recompute(partition, version, ctx);
+      });
+  return rdd;
+}
+
+Result<std::shared_ptr<IndexedRdd>> IndexedRdd::Create(
+    Session& session, const TableHandle& base, size_t key_column,
+    const IndexOptions& options, QueryMetrics& metrics) {
+  if (key_column >= base.schema->num_fields()) {
+    return Status::InvalidArgument("index column out of range");
+  }
+  uint32_t partitions = options.num_partitions != 0
+                            ? options.num_partitions
+                            : session.options().default_partitions;
+  auto rdd = std::shared_ptr<IndexedRdd>(new IndexedRdd(
+      session, base, key_column, partitions, options.batch_capacity));
+  IDF_RETURN_IF_ERROR(rdd->BuildBase(metrics));
+
+  // Lineage: a lost partition of any version is rebuilt from the base table
+  // plus the append chain.
+  session.cluster().RegisterLineage(
+      rdd->rdd_id_,
+      [weak = std::weak_ptr<IndexedRdd>(rdd)](
+          uint32_t partition, uint64_t version,
+          TaskContext& ctx) -> Result<BlockPtr> {
+        auto self = weak.lock();
+        if (self == nullptr) {
+          return Status::Unavailable("indexed RDD no longer exists");
+        }
+        return self->Recompute(partition, version, ctx);
+      });
+  return rdd;
+}
+
+Status IndexedRdd::ShuffleToPartitions(
+    const TableHandle& source, const std::string& stage_name,
+    QueryMetrics& metrics,
+    const std::function<Status(TaskContext&, uint32_t,
+                               const std::vector<const uint8_t*>&)>& consume) {
+  Cluster& cluster = session_->cluster();
+  if (*source.schema != *schema_) {
+    return Status::InvalidArgument(
+        "appended rows must match the indexed schema: " + schema_->ToString() +
+        " vs " + source.schema->ToString());
+  }
+  RowLayout layout(schema_);
+  const uint64_t shuffle_id =
+      cluster.shuffle().NewShuffle(source.num_partitions, num_partitions_);
+
+  // Map: route rows to their indexed partitions by key-code hash (§III-C
+  // "its rows are shuffled based on the hash partitioning scheme").
+  StageSpec map_stage;
+  map_stage.name = stage_name + " (shuffle)";
+  for (uint32_t p = 0; p < source.num_partitions; ++p) {
+    map_stage.tasks.push_back(TaskSpec{
+        cluster.HomeExecutorFor(source.rdd_id, p),
+        {},
+        0,
+        [&, p](TaskContext& ctx) -> Status {
+          Result<ChunkPtr> chunk = FetchChunk(ctx, source, p);
+          IDF_RETURN_IF_ERROR(chunk.status());
+          const ColumnarChunk& input = **chunk;
+          const ColumnVector& key_col = input.column(key_column_);
+          ctx.metrics().rows_read += input.num_rows();
+
+          std::vector<ShuffleBuffer> buffers(num_partitions_);
+          std::vector<uint8_t> scratch;
+          for (size_t i = 0; i < input.num_rows(); ++i) {
+            // Null keys go to partition 0 (stored, never indexed).
+            const uint32_t target =
+                key_col.IsNull(i) ? 0 : PartitionOf(key_col.KeyCodeAt(i));
+            input.EncodeRowTo(layout, i, scratch);
+            buffers[target].AppendRow(scratch.data(),
+                                      static_cast<uint32_t>(scratch.size()));
+          }
+          for (uint32_t t = 0; t < num_partitions_; ++t) {
+            if (buffers[t].num_rows == 0) continue;
+            buffers[t].source = ctx.executor();
+            ctx.metrics().shuffle_bytes_written += buffers[t].bytes.size();
+            cluster.shuffle().PutMapOutput(shuffle_id, p, t,
+                                           std::move(buffers[t]));
+          }
+          return Status::OK();
+        }});
+  }
+  IDF_ASSIGN_OR_RETURN(StageMetrics msm, cluster.RunStage(map_stage));
+  metrics.MergeStage(msm);
+
+  // Reduce: hand each partition its routed rows.
+  StageSpec reduce_stage;
+  reduce_stage.name = stage_name + " (insert)";
+  for (uint32_t t = 0; t < num_partitions_; ++t) {
+    reduce_stage.tasks.push_back(TaskSpec{
+        cluster.HomeExecutorFor(rdd_id_, t),
+        {},
+        0,
+        [&, t](TaskContext& ctx) -> Status {
+          auto inputs = cluster.shuffle().FetchReduceInputs(shuffle_id, t);
+          std::vector<const uint8_t*> rows;
+          for (const auto& buf : inputs) {
+            ctx.AddRead(buf->source, buf->bytes.size());
+            ShuffleBufferReader reader(*buf);
+            while (reader.HasNext()) rows.push_back(reader.Next());
+          }
+          return consume(ctx, t, rows);
+        }});
+  }
+  IDF_ASSIGN_OR_RETURN(StageMetrics rsm, cluster.RunStage(reduce_stage));
+  metrics.MergeStage(rsm);
+  cluster.shuffle().Release(shuffle_id);
+  return Status::OK();
+}
+
+Status IndexedRdd::BuildBase(QueryMetrics& metrics) {
+  std::atomic<uint64_t> total_rows{0};
+  IDF_RETURN_IF_ERROR(ShuffleToPartitions(
+      base_, "createIndex", metrics,
+      [&](TaskContext& ctx, uint32_t partition,
+          const std::vector<const uint8_t*>& rows) -> Status {
+        auto part = std::make_shared<IndexedPartition>(schema_, key_column_,
+                                                       batch_capacity_);
+        uint64_t total_bytes = 0;
+        for (const uint8_t* row : rows) total_bytes += RowLayout::RowSize(row);
+        part->ReserveHint(total_bytes);
+        for (const uint8_t* row : rows) {
+          IDF_RETURN_IF_ERROR(
+              part->InsertEncoded(row, RowLayout::RowSize(row)));
+        }
+        total_rows += part->num_rows();
+        ctx.metrics().rows_written += part->num_rows();
+        ctx.cluster().blocks().Put(BlockId{rdd_id_, partition, 0},
+                                   ctx.executor(), part);
+        return Status::OK();
+      }));
+  std::lock_guard<std::mutex> lock(mutex_);
+  versions_[0] = VersionInfo{0, TableHandle{}, total_rows.load()};
+  return Status::OK();
+}
+
+Result<uint64_t> IndexedRdd::Append(uint64_t parent_version,
+                                    const TableHandle& rows,
+                                    QueryMetrics& metrics) {
+  uint64_t new_version;
+  uint64_t parent_rows;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = versions_.find(parent_version);
+    if (it == versions_.end()) {
+      return Status::NotFound("unknown parent version " +
+                              std::to_string(parent_version));
+    }
+    parent_rows = it->second.num_rows;
+    new_version = next_version_++;
+  }
+
+  std::atomic<uint64_t> appended{0};
+  Status status = ShuffleToPartitions(
+      rows, "appendRows", metrics,
+      [&](TaskContext& ctx, uint32_t partition,
+          const std::vector<const uint8_t*>& routed) -> Status {
+        // Fetch the parent partition, snapshot it (O(1), shared state), and
+        // insert the routed rows into the snapshot (§III-E).
+        IDF_ASSIGN_OR_RETURN(
+            std::shared_ptr<const IndexedPartition> parent,
+            GetPartition(partition, parent_version, ctx));
+        std::shared_ptr<IndexedPartition> next = parent->Snapshot();
+        uint64_t routed_bytes = 0;
+        for (const uint8_t* row : routed) {
+          routed_bytes += RowLayout::RowSize(row);
+        }
+        next->ReserveHint(routed_bytes);
+        for (const uint8_t* row : routed) {
+          IDF_RETURN_IF_ERROR(
+              next->InsertEncoded(row, RowLayout::RowSize(row)));
+        }
+        appended += routed.size();
+        ctx.metrics().rows_written += routed.size();
+        ctx.cluster().blocks().Put(BlockId{rdd_id_, partition, new_version},
+                                   ctx.executor(), std::move(next));
+        return Status::OK();
+      });
+  IDF_RETURN_IF_ERROR(status);
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  versions_[new_version] =
+      VersionInfo{parent_version, rows, parent_rows + appended.load()};
+  return new_version;
+}
+
+Result<std::shared_ptr<const IndexedPartition>> IndexedRdd::GetPartition(
+    uint32_t partition, uint64_t version, TaskContext& ctx) const {
+  IDF_ASSIGN_OR_RETURN(
+      BlockPtr block,
+      ctx.cluster().GetOrCompute(BlockId{rdd_id_, partition, version}, ctx));
+  auto part = std::dynamic_pointer_cast<const IndexedPartition>(block);
+  IDF_CHECK_MSG(part != nullptr, "block is not an indexed partition");
+  return part;
+}
+
+uint64_t IndexedRdd::RowsAtVersion(uint64_t version) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = versions_.find(version);
+  IDF_CHECK_MSG(it != versions_.end(), "unknown version");
+  return it->second.num_rows;
+}
+
+std::vector<uint64_t> IndexedRdd::Versions() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<uint64_t> out;
+  for (const auto& [v, info] : versions_) out.push_back(v);
+  return out;
+}
+
+Status IndexedRdd::InsertRoutedRows(const TableHandle& table,
+                                    uint32_t partition,
+                                    IndexedPartition& target,
+                                    TaskContext& ctx) const {
+  RowLayout layout(schema_);
+  std::vector<uint8_t> scratch;
+  for (uint32_t p = 0; p < table.num_partitions; ++p) {
+    IDF_ASSIGN_OR_RETURN(ChunkPtr chunk, FetchChunk(ctx, table, p));
+    const ColumnVector& key_col = chunk->column(key_column_);
+    for (size_t i = 0; i < chunk->num_rows(); ++i) {
+      const uint32_t t =
+          key_col.IsNull(i) ? 0 : PartitionOf(key_col.KeyCodeAt(i));
+      if (t != partition) continue;
+      chunk->EncodeRowTo(layout, i, scratch);
+      IDF_RETURN_IF_ERROR(target.InsertEncoded(
+          scratch.data(), static_cast<uint32_t>(scratch.size())));
+    }
+  }
+  return Status::OK();
+}
+
+Result<BlockPtr> IndexedRdd::Recompute(uint32_t partition, uint64_t version,
+                                       TaskContext& ctx) const {
+  // Collect the append chain root -> version.
+  std::vector<TableHandle> appends;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    uint64_t v = version;
+    while (v != 0) {
+      auto it = versions_.find(v);
+      if (it == versions_.end()) {
+        return Status::NotFound("recompute of unknown version " +
+                                std::to_string(v));
+      }
+      appends.push_back(it->second.append_source);
+      v = it->second.parent;
+    }
+  }
+  std::reverse(appends.begin(), appends.end());
+
+  IDF_LOG_INFO("re-indexing partition %u of rdd %llu at version %llu "
+               "(replaying %zu appends)",
+               partition, static_cast<unsigned long long>(rdd_id_),
+               static_cast<unsigned long long>(version), appends.size());
+
+  std::shared_ptr<IndexedPartition> part;
+  if (loader_ != nullptr) {
+    // Out-of-core RDD: the spill file is the replayable source.
+    IDF_ASSIGN_OR_RETURN(part, loader_(partition));
+  } else {
+    part = std::make_shared<IndexedPartition>(schema_, key_column_,
+                                              batch_capacity_);
+    IDF_RETURN_IF_ERROR(InsertRoutedRows(base_, partition, *part, ctx));
+  }
+  for (const TableHandle& append : appends) {
+    IDF_RETURN_IF_ERROR(InsertRoutedRows(append, partition, *part, ctx));
+  }
+  return BlockPtr(part);
+}
+
+// ---- IndexedDataset ---------------------------------------------------------
+
+Result<TableHandle> IndexedDataset::ScanAsColumnar(
+    Session& session, QueryMetrics& metrics) const {
+  Cluster& cluster = session.cluster();
+  TableSink sink(session, rdd_->schema(), rdd_->num_partitions());
+  StageSpec stage;
+  stage.name = "indexed fallback scan";
+  for (uint32_t p = 0; p < rdd_->num_partitions(); ++p) {
+    stage.tasks.push_back(TaskSpec{
+        cluster.HomeExecutorFor(rdd_->rdd_id(), p),
+        {},
+        0,
+        [&, p](TaskContext& ctx) -> Status {
+          IDF_ASSIGN_OR_RETURN(std::shared_ptr<const IndexedPartition> part,
+                               rdd_->GetPartition(p, version_, ctx));
+          // Row-to-columnar conversion: the real cost of running regular
+          // operators over the row-wise indexed representation (Fig. 8).
+          ChunkBuilder builder(rdd_->schema());
+          const RowLayout& layout = part->layout();
+          part->ForEachRow([&](const uint8_t* row) {
+            builder.AddEncodedRow(layout, row);
+          });
+          ctx.metrics().rows_read += part->num_rows();
+          sink.Emit(ctx, p, builder.Finish());
+          return Status::OK();
+        }});
+  }
+  IDF_ASSIGN_OR_RETURN(StageMetrics sm, cluster.RunStage(stage));
+  metrics.MergeStage(sm);
+  return sink.Finish();
+}
+
+}  // namespace idf

@@ -1,0 +1,158 @@
+// IndexedRdd: the distributed, multi-versioned Indexed Batch RDD (§III-C/D/E).
+//
+// - Hash-partitioned on the indexed key: row with key code c lives in
+//   partition HashPartition(c, P) — index creation and appends shuffle rows
+//   to their partitions; lookups and joins route probes the same way.
+// - Versioned: every append mints a new version; blocks are keyed
+//   (rdd, partition, version) so the scheduler can never read stale replicas
+//   (§III-D). Divergent appends from one parent get *distinct* versions,
+//   recorded in a version tree (§III-E / Listing 2).
+// - Fault tolerant by lineage: a lost partition is rebuilt by re-routing the
+//   base table's rows and replaying every append along the version chain.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "core/indexed_partition.h"
+#include "sql/session.h"
+
+namespace idf {
+
+struct IndexOptions {
+  /// Indexed partitions; 0 = the session default.
+  uint32_t num_partitions = 0;
+  /// Row batch size (§IV-B Fig. 5: 4 MB is the sweet spot).
+  uint32_t batch_capacity = RowBatch::kDefaultCapacity;
+};
+
+class IndexedRdd : public std::enable_shared_from_this<IndexedRdd> {
+ public:
+  /// Creates the RDD and builds version 0 by hash-shuffling `base` on the
+  /// key column. Registers lineage with the cluster.
+  static Result<std::shared_ptr<IndexedRdd>> Create(Session& session,
+                                                    const TableHandle& base,
+                                                    size_t key_column,
+                                                    const IndexOptions& options,
+                                                    QueryMetrics& metrics);
+
+  /// Produces one already-indexed partition, e.g. by reading a spill file
+  /// (core/persistence.h). Must be deterministic: lineage re-invokes it.
+  using PartitionLoader =
+      std::function<Result<std::shared_ptr<IndexedPartition>>(
+          uint32_t partition)>;
+
+  /// Restores an RDD whose version-0 partitions come from `loader` instead
+  /// of a shuffle (the out-of-core path, §III-C). The loader doubles as the
+  /// replayable source for fault tolerance.
+  static Result<std::shared_ptr<IndexedRdd>> Restore(
+      Session& session, SchemaPtr schema, size_t key_column,
+      uint32_t num_partitions, uint32_t batch_capacity,
+      PartitionLoader loader, QueryMetrics& metrics);
+
+  uint64_t rdd_id() const { return rdd_id_; }
+  const SchemaPtr& schema() const { return schema_; }
+  size_t key_column() const { return key_column_; }
+  uint32_t num_partitions() const { return num_partitions_; }
+  Session& session() const { return *session_; }
+
+  uint32_t PartitionOf(uint64_t key_code) const {
+    return HashPartition(key_code, num_partitions_);
+  }
+
+  /// Appends the rows of `rows` to `parent_version`, producing a new version
+  /// (returned). Both the parent and the new version remain queryable.
+  Result<uint64_t> Append(uint64_t parent_version, const TableHandle& rows,
+                          QueryMetrics& metrics);
+
+  /// Fetches (or lineage-recomputes) one indexed partition at a version.
+  Result<std::shared_ptr<const IndexedPartition>> GetPartition(
+      uint32_t partition, uint64_t version, TaskContext& ctx) const;
+
+  /// Rows in a version (sum over partitions, tracked at build/append time).
+  uint64_t RowsAtVersion(uint64_t version) const;
+
+  /// All live versions (for tests and tooling).
+  std::vector<uint64_t> Versions() const;
+
+ private:
+  IndexedRdd(Session& session, TableHandle base, size_t key_column,
+             uint32_t num_partitions, uint32_t batch_capacity);
+
+  struct VersionInfo {
+    uint64_t parent = 0;        // meaningless for version 0
+    TableHandle append_source;  // invalid for version 0
+    uint64_t num_rows = 0;      // cumulative rows at this version
+  };
+
+  /// Builds version 0 with a real shuffle (map: route rows; reduce: insert).
+  Status BuildBase(QueryMetrics& metrics);
+
+  /// Shuffles `source` rows to their indexed partitions; then `consume` runs
+  /// per partition with the routed encoded rows.
+  Status ShuffleToPartitions(
+      const TableHandle& source, const std::string& stage_name,
+      QueryMetrics& metrics,
+      const std::function<Status(TaskContext&, uint32_t partition,
+                                 const std::vector<const uint8_t*>& rows)>&
+          consume);
+
+  /// Lineage recomputation: rebuild partition `p` at `version` by routing the
+  /// base rows and replaying appends along the version chain (§III-D: "if
+  /// there were any appends on that particular partition, these have to be
+  /// replayed as well").
+  Result<BlockPtr> Recompute(uint32_t partition, uint64_t version,
+                             TaskContext& ctx) const;
+
+  /// Inserts every row of `table` that routes to `partition` (driver of the
+  /// recompute path; scans the full table like Spark's re-shuffle would).
+  Status InsertRoutedRows(const TableHandle& table, uint32_t partition,
+                          IndexedPartition& target, TaskContext& ctx) const;
+
+  Session* session_;
+  uint64_t rdd_id_;
+  TableHandle base_;            // shuffle-built RDDs
+  PartitionLoader loader_;      // restored (out-of-core) RDDs
+  SchemaPtr schema_;
+  size_t key_column_;
+  uint32_t num_partitions_;
+  uint32_t batch_capacity_;
+
+  mutable std::mutex mutex_;
+  std::map<uint64_t, VersionInfo> versions_;
+  uint64_t next_version_ = 1;
+};
+
+/// Adapts an (IndexedRdd, version) pair to the SQL layer's Dataset so scans,
+/// joins and filters of indexed dataframes flow through the planner. The
+/// index-aware strategies recognize this type; everything else falls back to
+/// ScanAsColumnar (row-to-columnar conversion — the regular "Spark Row RDD"
+/// path of Fig. 2).
+class IndexedDataset final : public Dataset {
+ public:
+  IndexedDataset(std::shared_ptr<IndexedRdd> rdd, uint64_t version)
+      : rdd_(std::move(rdd)), version_(version) {}
+
+  const SchemaPtr& schema() const override { return rdd_->schema(); }
+  uint32_t num_partitions() const override { return rdd_->num_partitions(); }
+  int indexed_column() const override {
+    return static_cast<int>(rdd_->key_column());
+  }
+  std::string name() const override {
+    return "indexed(rdd=" + std::to_string(rdd_->rdd_id()) +
+           ", v=" + std::to_string(version_) + ")";
+  }
+
+  Result<TableHandle> ScanAsColumnar(Session& session,
+                                     QueryMetrics& metrics) const override;
+
+  const std::shared_ptr<IndexedRdd>& rdd() const { return rdd_; }
+  uint64_t version() const { return version_; }
+
+ private:
+  std::shared_ptr<IndexedRdd> rdd_;
+  uint64_t version_;
+};
+
+}  // namespace idf

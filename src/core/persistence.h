@@ -1,0 +1,48 @@
+// Out-of-core persistence for the Indexed DataFrame.
+//
+// The paper stores everything in memory "without loss of generality; the
+// representation could easily extend to store data out-of-core, for example
+// in SSD or NVMe devices" (§III-C). This module implements that extension:
+// partitions serialize their row batches verbatim (packed pointers remain
+// valid because batch indices and offsets are preserved) and the cTrie is
+// rebuilt on load with a single storage-order scan — the last row inserted
+// for a key becomes the chain head again, and the backward pointers are
+// already encoded in the row headers.
+//
+// A saved Indexed DataFrame is a directory:
+//   manifest.idf    — schema, key column, partition count, batch capacity
+//   part-<N>.bin    — one file per partition (batches, raw)
+//
+// Loading registers disk-backed lineage: if an executor later loses a
+// loaded partition, it is re-read from the file (and any post-load appends
+// are replayed on top), the same recovery path as §III-D with the file
+// standing in for the replayable source.
+#pragma once
+
+#include <string>
+
+#include "core/indexed_dataframe.h"
+#include "core/indexed_partition.h"
+
+namespace idf {
+
+/// Serializes one partition (schema, key column, batches) to `path`.
+Status SavePartition(const IndexedPartition& partition,
+                     const std::string& path);
+
+/// Loads a partition saved by SavePartition; rebuilds the index.
+Result<std::shared_ptr<IndexedPartition>> LoadPartition(
+    const std::string& path);
+
+/// Saves every partition of `df`'s version plus a manifest into `dir`
+/// (created if missing).
+Status SaveIndexedDataFrame(const IndexedDataFrame& df,
+                            const std::string& dir);
+
+/// Restores an Indexed DataFrame saved by SaveIndexedDataFrame. The result
+/// is fully functional: lookups, joins, appends (new versions), and
+/// fault-tolerant via disk-backed lineage.
+Result<IndexedDataFrame> LoadIndexedDataFrame(Session& session,
+                                              const std::string& dir);
+
+}  // namespace idf

@@ -1,0 +1,930 @@
+// Concurrent hash trie (CTrie) with lock-free, constant-time snapshots.
+//
+// This is the index data structure of the Indexed DataFrame (§III-C): each
+// indexed partition owns one CTrie mapping key -> packed 64-bit pointer to
+// the most recently appended row for that key. Its snapshot capability is
+// what makes multi-version appends cheap (§III-E): "whenever a snapshot is
+// triggered, the newly created copy shares the initial state with no memory
+// overhead and only stores differences to the previous version."
+//
+// The implementation follows Prokopec, Bronson, Bagwell, Odersky,
+// "Concurrent Tries with Efficient Non-Blocking Snapshots" (PPoPP 2012):
+//   - CNode/SNode/INode/TNode/LNode node kinds,
+//   - GCAS (generation-compare-and-swap) for main-node updates,
+//   - RDCSS-style double-compare-single-swap on the root for snapshots,
+//   - lazy generational copying after a snapshot (copy-on-gen-mismatch).
+//
+// Memory reclamation: nodes are managed with std::shared_ptr and published
+// through std::atomic<std::shared_ptr<...>>. The *algorithm* is the lock-free
+// CTrie; the C++ standard library may implement atomic<shared_ptr> with an
+// internal spinlock, which preserves linearizability and progress in practice
+// but is not formally lock-free. Structural sharing across snapshots falls
+// out of reference counting.
+//
+// Hashing consumes 64-bit hashes 6 bits per level (branching factor 64);
+// full-hash collisions beyond the deepest level fall back to LNode lists.
+#pragma once
+
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/hash.h"
+#include "common/status.h"
+
+namespace idf {
+
+namespace ctrie_detail {
+
+/// Default hasher: routes through idf::Mix64 for integers so that dense key
+/// ranges spread across the trie, std::hash for everything else.
+template <typename K>
+struct DefaultHash {
+  uint64_t operator()(const K& k) const {
+    if constexpr (std::is_integral_v<K>) {
+      return Mix64(static_cast<uint64_t>(k));
+    } else {
+      return std::hash<K>{}(k);
+    }
+  }
+};
+
+}  // namespace ctrie_detail
+
+template <typename K, typename V,
+          typename HashFn = ctrie_detail::DefaultHash<K>,
+          typename EqFn = std::equal_to<K>>
+class CTrie {
+  static constexpr int kBitsPerLevel = 6;
+  static constexpr uint64_t kLevelMask = (1ULL << kBitsPerLevel) - 1;
+  static constexpr int kMaxLevel = 60;  // deeper than this => LNode lists
+
+  // ---- node kinds -----------------------------------------------------
+
+  struct Gen {};  // identity-only generation stamp
+  using GenPtr = std::shared_ptr<Gen>;
+
+  struct CNode;
+  struct TNode;
+  struct LNode;
+
+  // A "main node" is what an INode points at.
+  struct MainNode {
+    enum class Kind : uint8_t { kCNode, kTNode, kLNode, kFailed } kind;
+    // GCAS bookkeeping: non-null while the swap that installed this node is
+    // uncommitted; a Failed main node signals the swap must be rolled back.
+    std::atomic<std::shared_ptr<MainNode>> prev{nullptr};
+
+    explicit MainNode(Kind k) : kind(k) {}
+    virtual ~MainNode() = default;
+  };
+  using MainPtr = std::shared_ptr<MainNode>;
+
+  struct FailedNode final : MainNode {
+    explicit FailedNode(MainPtr p) : MainNode(MainNode::Kind::kFailed) {
+      this->prev.store(std::move(p), std::memory_order_relaxed);
+    }
+  };
+
+  // A "branch" is an element of a CNode's array.
+  struct Branch {
+    enum class Kind : uint8_t { kINode, kSNode } kind;
+    explicit Branch(Kind k) : kind(k) {}
+    virtual ~Branch() = default;
+  };
+  using BranchPtr = std::shared_ptr<Branch>;
+
+  struct SNode final : Branch {
+    K key;
+    V value;
+    uint64_t hash;
+    SNode(K k, V v, uint64_t h)
+        : Branch(Branch::Kind::kSNode),
+          key(std::move(k)),
+          value(std::move(v)),
+          hash(h) {}
+  };
+  using SNodePtr = std::shared_ptr<SNode>;
+
+  struct INode final : Branch {
+    std::atomic<MainPtr> main;
+    GenPtr gen;
+    INode(MainPtr m, GenPtr g)
+        : Branch(Branch::Kind::kINode), main(std::move(m)), gen(std::move(g)) {}
+  };
+  using INodePtr = std::shared_ptr<INode>;
+
+  struct CNode final : MainNode {
+    uint64_t bmp = 0;
+    std::vector<BranchPtr> array;
+    GenPtr gen;
+    CNode(uint64_t b, std::vector<BranchPtr> a, GenPtr g)
+        : MainNode(MainNode::Kind::kCNode),
+          bmp(b),
+          array(std::move(a)),
+          gen(std::move(g)) {}
+  };
+  using CNodePtr = std::shared_ptr<CNode>;
+
+  // Tombed singleton: marks a one-entry CNode pending contraction.
+  struct TNode final : MainNode {
+    SNodePtr sn;
+    explicit TNode(SNodePtr s)
+        : MainNode(MainNode::Kind::kTNode), sn(std::move(s)) {}
+  };
+
+  // Collision list for keys whose 64-bit hashes fully coincide.
+  struct LNode final : MainNode {
+    SNodePtr sn;
+    std::shared_ptr<const LNode> next;
+    LNode(SNodePtr s, std::shared_ptr<const LNode> n)
+        : MainNode(MainNode::Kind::kLNode),
+          sn(std::move(s)),
+          next(std::move(n)) {}
+  };
+  using LNodePtr = std::shared_ptr<const LNode>;
+
+  // ---- root holder (RDCSS) --------------------------------------------
+
+  // The root slot holds either the root INode or an in-flight snapshot
+  // descriptor (RDCSS). A descriptor is completed (rolled forward or back)
+  // by any thread that observes it.
+  struct RootEntry {
+    enum class Kind : uint8_t { kINode, kDescriptor } kind;
+    explicit RootEntry(Kind k) : kind(k) {}
+    virtual ~RootEntry() = default;
+  };
+  using RootPtr = std::shared_ptr<RootEntry>;
+
+  struct RootINode final : RootEntry {
+    INodePtr inode;
+    explicit RootINode(INodePtr i)
+        : RootEntry(RootEntry::Kind::kINode), inode(std::move(i)) {}
+  };
+
+  struct Descriptor final : RootEntry {
+    std::shared_ptr<RootINode> old_root;
+    MainPtr expected_main;
+    std::shared_ptr<RootINode> new_root;
+    std::atomic<bool> committed{false};
+    Descriptor(std::shared_ptr<RootINode> o, MainPtr em,
+               std::shared_ptr<RootINode> n)
+        : RootEntry(RootEntry::Kind::kDescriptor),
+          old_root(std::move(o)),
+          expected_main(std::move(em)),
+          new_root(std::move(n)) {}
+  };
+
+ public:
+  CTrie()
+      : root_(std::make_shared<RootINode>(NewRootINode())),
+        read_only_(false) {}
+
+  CTrie(const CTrie&) = delete;
+  CTrie& operator=(const CTrie&) = delete;
+  CTrie(CTrie&&) = default;
+  CTrie& operator=(CTrie&&) = default;
+
+  /// Inserts or overwrites; returns the previous value if the key existed.
+  /// This "return the old pointer" behaviour is what builds the backward-
+  /// pointer chains in IndexedPartition (§III-C, Non-unique Keys).
+  std::optional<V> Put(const K& key, V value) {
+    AssertWritable();
+    const uint64_t h = hash_(key);
+    while (true) {
+      INodePtr r = ReadRoot();
+      auto res = Insert(r, key, value, h, 0, nullptr, r->gen,
+                        /*only_if_absent=*/false);
+      if (res.restart) continue;
+      return res.old_value;
+    }
+  }
+
+  /// Inserts only if absent; returns the existing value otherwise.
+  std::optional<V> PutIfAbsent(const K& key, V value) {
+    AssertWritable();
+    const uint64_t h = hash_(key);
+    while (true) {
+      INodePtr r = ReadRoot();
+      auto res = Insert(r, key, value, h, 0, nullptr, r->gen,
+                        /*only_if_absent=*/true);
+      if (res.restart) continue;
+      return res.old_value;
+    }
+  }
+
+  std::optional<V> Lookup(const K& key) const {
+    const uint64_t h = hash_(key);
+    while (true) {
+      INodePtr r = ReadRoot();
+      auto res = DoLookup(r, key, h, 0, nullptr, r->gen);
+      if (res.restart) continue;
+      return res.old_value;
+    }
+  }
+
+  bool Contains(const K& key) const { return Lookup(key).has_value(); }
+
+  /// Removes the key; returns its value if it was present.
+  std::optional<V> Remove(const K& key) {
+    AssertWritable();
+    const uint64_t h = hash_(key);
+    while (true) {
+      INodePtr r = ReadRoot();
+      auto res = DoRemove(r, key, h, 0, nullptr, r->gen);
+      if (res.restart) continue;
+      return res.old_value;
+    }
+  }
+
+  /// O(1) writable snapshot. Both the snapshot and this trie keep sharing
+  /// all current nodes; each lazily re-generates the path it subsequently
+  /// writes (copy-on-gen-mismatch).
+  CTrie Snapshot() {
+    AssertWritable();
+    while (true) {
+      std::shared_ptr<RootINode> r = RdcssReadRoot();
+      MainPtr expmain = GcasRead(r->inode);
+      // Install a fresh-gen copy of the root into *this* trie ...
+      auto renewed = std::make_shared<RootINode>(
+          CopyRootToNewGen(r->inode, expmain));
+      if (RdcssRootSwap(r, expmain, renewed)) {
+        // ... and hand the snapshot its own fresh-gen copy of the old root.
+        CTrie snap(std::make_shared<RootINode>(
+                       CopyRootToNewGen(r->inode, expmain)),
+                   /*read_only=*/false, hash_, eq_);
+        return snap;
+      }
+    }
+  }
+
+  /// O(1) read-only snapshot: mutation through it aborts; reads never copy.
+  CTrie ReadOnlySnapshot() const {
+    if (read_only_) {
+      return CTrie(std::atomic_load(&root_), true, hash_, eq_);
+    }
+    auto* self = const_cast<CTrie*>(this);
+    while (true) {
+      std::shared_ptr<RootINode> r = self->RdcssReadRoot();
+      MainPtr expmain = self->GcasRead(r->inode);
+      auto renewed = std::make_shared<RootINode>(
+          self->CopyRootToNewGen(r->inode, expmain));
+      if (self->RdcssRootSwap(r, expmain, renewed)) {
+        return CTrie(r, /*read_only=*/true, hash_, eq_);
+      }
+    }
+  }
+
+  bool read_only() const { return read_only_; }
+
+  /// Visits every (key, value); takes an implicit read-only snapshot first,
+  /// so iteration is consistent even under concurrent writes.
+  void ForEach(const std::function<void(const K&, const V&)>& fn) const {
+    if (!read_only_) {
+      ReadOnlySnapshot().ForEach(fn);
+      return;
+    }
+    INodePtr r = ReadRoot();
+    Traverse(r, fn);
+  }
+
+  /// Number of entries. O(n): walks a read-only snapshot.
+  size_t Size() const {
+    size_t n = 0;
+    ForEach([&n](const K&, const V&) { ++n; });
+    return n;
+  }
+
+  bool Empty() const {
+    bool any = false;
+    // Cheap check: inspect root CNode bitmap on a snapshot-consistent read.
+    if (!read_only_) return ReadOnlySnapshot().Empty();
+    INodePtr r = ReadRoot();
+    MainPtr m = const_cast<CTrie*>(this)->GcasRead(r);
+    if (m->kind == MainNode::Kind::kCNode) {
+      any = static_cast<const CNode*>(m.get())->bmp != 0;
+    } else {
+      any = true;
+    }
+    return !any;
+  }
+
+  /// Structural memory statistics for the memory-overhead experiment
+  /// (Fig. 11). Counts nodes reachable from the current root; shared
+  /// snapshot structure is counted once per trie that walks it.
+  struct MemoryStats {
+    size_t cnodes = 0;
+    size_t snodes = 0;
+    size_t inodes = 0;
+    size_t lnodes = 0;
+    size_t approx_bytes = 0;
+  };
+  MemoryStats ComputeMemoryStats() const {
+    if (!read_only_) return ReadOnlySnapshot().ComputeMemoryStats();
+    MemoryStats stats;
+    INodePtr r = ReadRoot();
+    StatsWalkINode(r, stats);
+    return stats;
+  }
+
+ private:
+  struct OpResult {
+    bool restart = false;
+    std::optional<V> old_value;
+    static OpResult Restart() { return {true, std::nullopt}; }
+    static OpResult Done(std::optional<V> old = std::nullopt) {
+      return {false, std::move(old)};
+    }
+  };
+
+  CTrie(RootPtr root, bool read_only, HashFn hash, EqFn eq)
+      : root_(std::move(root)), read_only_(read_only), hash_(hash), eq_(eq) {}
+
+  void AssertWritable() const {
+    IDF_CHECK_MSG(!read_only_, "mutation of a read-only CTrie snapshot");
+  }
+
+  INodePtr NewRootINode() {
+    auto gen = std::make_shared<Gen>();
+    auto cn = std::make_shared<CNode>(0, std::vector<BranchPtr>{}, gen);
+    return std::make_shared<INode>(cn, gen);
+  }
+
+  /// Copies an INode (given its committed main) into a brand-new generation.
+  INodePtr CopyRootToNewGen(const INodePtr& /*root*/, const MainPtr& main) {
+    auto gen = std::make_shared<Gen>();
+    return std::make_shared<INode>(RegenerateMain(main, gen), gen);
+  }
+
+  /// A main node adopted into generation `gen` (CNodes get their gen field
+  /// re-stamped; TNode/LNode carry no generation).
+  MainPtr RegenerateMain(const MainPtr& m, const GenPtr& gen) {
+    if (m->kind == MainNode::Kind::kCNode) {
+      const auto* cn = static_cast<const CNode*>(m.get());
+      return std::make_shared<CNode>(cn->bmp, cn->array, gen);
+    }
+    return m;
+  }
+
+  // ---- RDCSS root access ------------------------------------------------
+
+  std::shared_ptr<RootINode> RdcssReadRoot(bool abort = false) {
+    while (true) {
+      RootPtr r = std::atomic_load(&root_);
+      if (r->kind == RootEntry::Kind::kINode) {
+        return std::static_pointer_cast<RootINode>(r);
+      }
+      RdcssComplete(std::static_pointer_cast<Descriptor>(r), abort);
+    }
+  }
+
+  void RdcssComplete(const std::shared_ptr<Descriptor>& d, bool abort) {
+    RootPtr expected = d;
+    if (abort) {
+      std::atomic_compare_exchange_strong(&root_, &expected,
+                                          RootPtr(d->old_root));
+      return;
+    }
+    MainPtr old_main = GcasRead(d->old_root->inode);
+    if (old_main == d->expected_main) {
+      if (std::atomic_compare_exchange_strong(&root_, &expected,
+                                              RootPtr(d->new_root))) {
+        d->committed.store(true, std::memory_order_release);
+      }
+    } else {
+      std::atomic_compare_exchange_strong(&root_, &expected,
+                                          RootPtr(d->old_root));
+    }
+  }
+
+  bool RdcssRootSwap(const std::shared_ptr<RootINode>& old_root,
+                     const MainPtr& expected_main,
+                     const std::shared_ptr<RootINode>& new_root) {
+    auto d = std::make_shared<Descriptor>(old_root, expected_main, new_root);
+    RootPtr expected = old_root;
+    if (std::atomic_compare_exchange_strong(&root_, &expected, RootPtr(d))) {
+      RdcssComplete(d, /*abort=*/false);
+      return d->committed.load(std::memory_order_acquire);
+    }
+    return false;
+  }
+
+  INodePtr ReadRoot(bool abort = false) const {
+    return const_cast<CTrie*>(this)->RdcssReadRoot(abort)->inode;
+  }
+
+  // ---- GCAS ---------------------------------------------------------------
+
+  MainPtr GcasRead(const INodePtr& in) {
+    MainPtr m = in->main.load(std::memory_order_acquire);
+    if (m == nullptr || m->prev.load(std::memory_order_acquire) == nullptr) {
+      return m;
+    }
+    return GcasCommit(in, m);
+  }
+
+  MainPtr GcasCommit(const INodePtr& in, MainPtr m) {
+    while (true) {
+      MainPtr p = m->prev.load(std::memory_order_acquire);
+      std::shared_ptr<RootINode> r = RdcssReadRoot(/*abort=*/true);
+      if (p == nullptr) return m;
+      if (p->kind == MainNode::Kind::kFailed) {
+        // The swap failed; roll the INode back to the pre-swap main node.
+        MainPtr rollback = p->prev.load(std::memory_order_acquire);
+        MainPtr expected = m;
+        if (in->main.compare_exchange_strong(expected, rollback)) {
+          return rollback;
+        }
+        m = in->main.load(std::memory_order_acquire);
+        continue;
+      }
+      // Commit if the trie's generation still matches this INode's.
+      if (r->inode->gen == in->gen && !read_only_) {
+        MainPtr expected_prev = p;
+        if (m->prev.compare_exchange_strong(expected_prev, nullptr)) {
+          return m;
+        }
+        continue;  // somebody else moved prev; re-inspect
+      }
+      // Generation changed mid-swap: mark failed and retry from main.
+      MainPtr expected_prev = p;
+      m->prev.compare_exchange_strong(expected_prev,
+                                      std::make_shared<FailedNode>(p));
+      m = in->main.load(std::memory_order_acquire);
+    }
+  }
+
+  bool Gcas(const INodePtr& in, const MainPtr& old_main, MainPtr new_main) {
+    new_main->prev.store(old_main, std::memory_order_release);
+    MainPtr expected = old_main;
+    if (in->main.compare_exchange_strong(expected, new_main)) {
+      GcasCommit(in, new_main);
+      return new_main->prev.load(std::memory_order_acquire) == nullptr;
+    }
+    return false;
+  }
+
+  // ---- CNode helpers ------------------------------------------------------
+
+  static void FlagPos(uint64_t hash, int level, uint64_t bmp, uint64_t* flag,
+                      int* pos) {
+    const uint64_t idx = (hash >> level) & kLevelMask;
+    *flag = 1ULL << idx;
+    *pos = std::popcount(bmp & (*flag - 1));
+  }
+
+  CNodePtr CNodeInserted(const CNode& cn, int pos, uint64_t flag,
+                         BranchPtr branch, const GenPtr& gen) {
+    std::vector<BranchPtr> arr;
+    arr.reserve(cn.array.size() + 1);
+    arr.insert(arr.end(), cn.array.begin(), cn.array.begin() + pos);
+    arr.push_back(std::move(branch));
+    arr.insert(arr.end(), cn.array.begin() + pos, cn.array.end());
+    return std::make_shared<CNode>(cn.bmp | flag, std::move(arr), gen);
+  }
+
+  CNodePtr CNodeUpdated(const CNode& cn, int pos, BranchPtr branch,
+                        const GenPtr& gen) {
+    std::vector<BranchPtr> arr = cn.array;
+    arr[static_cast<size_t>(pos)] = std::move(branch);
+    return std::make_shared<CNode>(cn.bmp, std::move(arr), gen);
+  }
+
+  CNodePtr CNodeRemoved(const CNode& cn, int pos, uint64_t flag,
+                        const GenPtr& gen) {
+    std::vector<BranchPtr> arr;
+    arr.reserve(cn.array.size() - 1);
+    arr.insert(arr.end(), cn.array.begin(), cn.array.begin() + pos);
+    arr.insert(arr.end(), cn.array.begin() + pos + 1, cn.array.end());
+    return std::make_shared<CNode>(cn.bmp & ~flag, std::move(arr), gen);
+  }
+
+  /// A CNode whose INode children are re-stamped to `gen` (lazy snapshot
+  /// propagation — shared subtrees are copied only along written paths).
+  CNodePtr RenewCNode(const CNode& cn, const GenPtr& gen) {
+    std::vector<BranchPtr> arr;
+    arr.reserve(cn.array.size());
+    for (const BranchPtr& b : cn.array) {
+      if (b->kind == Branch::Kind::kINode) {
+        auto in = std::static_pointer_cast<INode>(b);
+        MainPtr m = GcasRead(in);
+        arr.push_back(std::make_shared<INode>(RegenerateMain(m, gen), gen));
+      } else {
+        arr.push_back(b);
+      }
+    }
+    return std::make_shared<CNode>(cn.bmp, std::move(arr), gen);
+  }
+
+  /// Builds the two-entry subtree distinguishing x and y below `level`.
+  MainPtr DualBranch(SNodePtr x, SNodePtr y, int level, const GenPtr& gen) {
+    if (level > kMaxLevel) {
+      auto tail = std::make_shared<LNode>(std::move(y), nullptr);
+      return std::make_shared<LNode>(std::move(x), std::move(tail));
+    }
+    const uint64_t xidx = (x->hash >> level) & kLevelMask;
+    const uint64_t yidx = (y->hash >> level) & kLevelMask;
+    if (xidx == yidx) {
+      MainPtr sub = DualBranch(std::move(x), std::move(y),
+                               level + kBitsPerLevel, gen);
+      auto in = std::make_shared<INode>(std::move(sub), gen);
+      std::vector<BranchPtr> arr{in};
+      return std::make_shared<CNode>(1ULL << xidx, std::move(arr), gen);
+    }
+    std::vector<BranchPtr> arr;
+    if (xidx < yidx) {
+      arr = {std::move(x), std::move(y)};
+    } else {
+      arr = {std::move(y), std::move(x)};
+    }
+    return std::make_shared<CNode>((1ULL << xidx) | (1ULL << yidx),
+                                   std::move(arr), gen);
+  }
+
+  // ---- entombment / compression -------------------------------------------
+
+  BranchPtr Resurrect(const BranchPtr& b) {
+    if (b->kind == Branch::Kind::kINode) {
+      auto in = std::static_pointer_cast<INode>(b);
+      MainPtr m = GcasRead(in);
+      if (m != nullptr && m->kind == MainNode::Kind::kTNode) {
+        return static_cast<const TNode*>(m.get())->sn;
+      }
+    }
+    return b;
+  }
+
+  MainPtr ToContracted(const CNodePtr& cn, int level) {
+    if (level > 0 && cn->array.size() == 1 &&
+        cn->array[0]->kind == Branch::Kind::kSNode) {
+      return std::make_shared<TNode>(
+          std::static_pointer_cast<SNode>(cn->array[0]));
+    }
+    return cn;
+  }
+
+  MainPtr ToCompressed(const CNode& cn, int level, const GenPtr& gen) {
+    std::vector<BranchPtr> arr;
+    arr.reserve(cn.array.size());
+    for (const BranchPtr& b : cn.array) arr.push_back(Resurrect(b));
+    auto compressed =
+        std::make_shared<CNode>(cn.bmp, std::move(arr), gen);
+    return ToContracted(compressed, level);
+  }
+
+  void Clean(const INodePtr& in, int level) {
+    MainPtr m = GcasRead(in);
+    if (m != nullptr && m->kind == MainNode::Kind::kCNode) {
+      const auto* cn = static_cast<const CNode*>(m.get());
+      Gcas(in, m, ToCompressed(*cn, level, in->gen));
+    }
+  }
+
+  void CleanParent(const INodePtr& parent, const INodePtr& in, uint64_t hash,
+                   int parent_level, const GenPtr& start_gen) {
+    while (true) {
+      MainPtr pm = GcasRead(parent);
+      if (pm == nullptr || pm->kind != MainNode::Kind::kCNode) return;
+      const auto* cn = static_cast<const CNode*>(pm.get());
+      uint64_t flag;
+      int pos;
+      FlagPos(hash, parent_level, cn->bmp, &flag, &pos);
+      if ((cn->bmp & flag) == 0) return;
+      BranchPtr sub = cn->array[static_cast<size_t>(pos)];
+      if (sub.get() != in.get()) return;
+      MainPtr m = GcasRead(in);
+      if (m != nullptr && m->kind == MainNode::Kind::kTNode) {
+        auto tn = static_cast<const TNode*>(m.get());
+        CNodePtr updated = CNodeUpdated(*cn, pos, tn->sn, parent->gen);
+        MainPtr contracted = ToContracted(updated, parent_level);
+        if (!Gcas(parent, pm, contracted)) {
+          if (ReadRoot()->gen == start_gen) continue;  // retry
+        }
+      }
+      return;
+    }
+  }
+
+  // ---- LNode helpers --------------------------------------------------
+
+  std::optional<V> LNodeLookup(const LNode* ln, const K& key) const {
+    for (const LNode* p = ln; p != nullptr; p = p->next.get()) {
+      if (eq_(p->sn->key, key)) return p->sn->value;
+    }
+    return std::nullopt;
+  }
+
+  LNodePtr LNodeRemoved(const LNode* ln, const K& key) const {
+    // Rebuild the list without `key` (persistent removal).
+    std::vector<SNodePtr> keep;
+    for (const LNode* p = ln; p != nullptr; p = p->next.get()) {
+      if (!eq_(p->sn->key, key)) keep.push_back(p->sn);
+    }
+    LNodePtr out = nullptr;
+    for (auto it = keep.rbegin(); it != keep.rend(); ++it) {
+      out = std::make_shared<LNode>(*it, out);
+    }
+    return out;
+  }
+
+  // ---- core recursive operations ----------------------------------------
+
+  OpResult Insert(const INodePtr& in, const K& key, const V& value,
+                  uint64_t h, int level, const INodePtr& parent,
+                  const GenPtr& start_gen, bool only_if_absent) {
+    MainPtr m = GcasRead(in);
+    IDF_CHECK(m != nullptr);
+
+    switch (m->kind) {
+      case MainNode::Kind::kCNode: {
+        const auto* cn = static_cast<const CNode*>(m.get());
+        uint64_t flag;
+        int pos;
+        FlagPos(h, level, cn->bmp, &flag, &pos);
+        if ((cn->bmp & flag) == 0) {
+          // Empty slot: insert a fresh SNode here.
+          CNodePtr renewed = (cn->gen == in->gen)
+                                 ? nullptr
+                                 : RenewCNode(*cn, in->gen);
+          const CNode& base = renewed ? *renewed : *cn;
+          CNodePtr updated = CNodeInserted(
+              base, pos, flag, std::make_shared<SNode>(key, value, h),
+              in->gen);
+          return Gcas(in, m, updated) ? OpResult::Done() : OpResult::Restart();
+        }
+        BranchPtr b = cn->array[static_cast<size_t>(pos)];
+        if (b->kind == Branch::Kind::kINode) {
+          auto child = std::static_pointer_cast<INode>(b);
+          if (start_gen == child->gen) {
+            return Insert(child, key, value, h, level + kBitsPerLevel, in,
+                          start_gen, only_if_absent);
+          }
+          // Generation mismatch: renew this CNode's children, then retry.
+          if (Gcas(in, m, RenewCNode(*cn, in->gen))) {
+            return Insert(in, key, value, h, level, parent, start_gen,
+                          only_if_absent);
+          }
+          return OpResult::Restart();
+        }
+        // SNode in the slot.
+        auto sn = std::static_pointer_cast<SNode>(b);
+        if (sn->hash == h && eq_(sn->key, key)) {
+          if (only_if_absent) return OpResult::Done(sn->value);
+          CNodePtr renewed = (cn->gen == in->gen)
+                                 ? nullptr
+                                 : RenewCNode(*cn, in->gen);
+          const CNode& base = renewed ? *renewed : *cn;
+          CNodePtr updated = CNodeUpdated(
+              base, pos, std::make_shared<SNode>(key, value, h), in->gen);
+          return Gcas(in, m, updated) ? OpResult::Done(sn->value)
+                                      : OpResult::Restart();
+        }
+        // Different key: grow a level.
+        CNodePtr renewed =
+            (cn->gen == in->gen) ? nullptr : RenewCNode(*cn, in->gen);
+        const CNode& base = renewed ? *renewed : *cn;
+        MainPtr sub = DualBranch(sn, std::make_shared<SNode>(key, value, h),
+                                 level + kBitsPerLevel, in->gen);
+        auto nin = std::make_shared<INode>(std::move(sub), in->gen);
+        CNodePtr updated = CNodeUpdated(base, pos, nin, in->gen);
+        return Gcas(in, m, updated) ? OpResult::Done() : OpResult::Restart();
+      }
+      case MainNode::Kind::kTNode: {
+        if (parent != nullptr) Clean(parent, level - kBitsPerLevel);
+        return OpResult::Restart();
+      }
+      case MainNode::Kind::kLNode: {
+        const auto* ln = static_cast<const LNode*>(m.get());
+        std::optional<V> existing = LNodeLookup(ln, key);
+        if (existing.has_value() && only_if_absent) {
+          return OpResult::Done(existing);
+        }
+        LNodePtr base = existing.has_value()
+                            ? LNodeRemoved(ln, key)
+                            : std::static_pointer_cast<const LNode>(m);
+        auto updated = std::make_shared<LNode>(
+            std::make_shared<SNode>(key, value, h), base);
+        return Gcas(in, m, updated) ? OpResult::Done(existing)
+                                    : OpResult::Restart();
+      }
+      case MainNode::Kind::kFailed:
+        return OpResult::Restart();
+    }
+    return OpResult::Restart();
+  }
+
+  OpResult DoLookup(const INodePtr& in, const K& key, uint64_t h, int level,
+                    const INodePtr& parent, const GenPtr& start_gen) const {
+    auto* self = const_cast<CTrie*>(this);
+    MainPtr m = self->GcasRead(in);
+    IDF_CHECK(m != nullptr);
+
+    switch (m->kind) {
+      case MainNode::Kind::kCNode: {
+        const auto* cn = static_cast<const CNode*>(m.get());
+        uint64_t flag;
+        int pos;
+        FlagPos(h, level, cn->bmp, &flag, &pos);
+        if ((cn->bmp & flag) == 0) return OpResult::Done();
+        BranchPtr b = cn->array[static_cast<size_t>(pos)];
+        if (b->kind == Branch::Kind::kINode) {
+          auto child = std::static_pointer_cast<INode>(b);
+          if (read_only_ || start_gen == child->gen) {
+            return DoLookup(child, key, h, level + kBitsPerLevel, in,
+                            start_gen);
+          }
+          if (self->Gcas(in, m, self->RenewCNode(*cn, in->gen))) {
+            return DoLookup(in, key, h, level, parent, start_gen);
+          }
+          return OpResult::Restart();
+        }
+        auto sn = std::static_pointer_cast<SNode>(b);
+        if (sn->hash == h && eq_(sn->key, key)) return OpResult::Done(sn->value);
+        return OpResult::Done();
+      }
+      case MainNode::Kind::kTNode: {
+        // Read-only views may simply look through the tomb.
+        const auto* tn = static_cast<const TNode*>(m.get());
+        if (read_only_) {
+          if (tn->sn->hash == h && eq_(tn->sn->key, key)) {
+            return OpResult::Done(tn->sn->value);
+          }
+          return OpResult::Done();
+        }
+        if (parent != nullptr) self->Clean(parent, level - kBitsPerLevel);
+        return OpResult::Restart();
+      }
+      case MainNode::Kind::kLNode: {
+        const auto* ln = static_cast<const LNode*>(m.get());
+        return OpResult::Done(LNodeLookup(ln, key));
+      }
+      case MainNode::Kind::kFailed:
+        return OpResult::Restart();
+    }
+    return OpResult::Restart();
+  }
+
+  OpResult DoRemove(const INodePtr& in, const K& key, uint64_t h, int level,
+                    const INodePtr& parent, const GenPtr& start_gen) {
+    MainPtr m = GcasRead(in);
+    IDF_CHECK(m != nullptr);
+
+    switch (m->kind) {
+      case MainNode::Kind::kCNode: {
+        const auto* cn = static_cast<const CNode*>(m.get());
+        uint64_t flag;
+        int pos;
+        FlagPos(h, level, cn->bmp, &flag, &pos);
+        if ((cn->bmp & flag) == 0) return OpResult::Done();
+
+        BranchPtr b = cn->array[static_cast<size_t>(pos)];
+        OpResult res;
+        if (b->kind == Branch::Kind::kINode) {
+          auto child = std::static_pointer_cast<INode>(b);
+          if (start_gen == child->gen) {
+            res = DoRemove(child, key, h, level + kBitsPerLevel, in,
+                           start_gen);
+          } else {
+            if (Gcas(in, m, RenewCNode(*cn, in->gen))) {
+              res = DoRemove(in, key, h, level, parent, start_gen);
+            } else {
+              return OpResult::Restart();
+            }
+          }
+        } else {
+          auto sn = std::static_pointer_cast<SNode>(b);
+          if (sn->hash != h || !eq_(sn->key, key)) {
+            return OpResult::Done();
+          }
+          CNodePtr renewed =
+              (cn->gen == in->gen) ? nullptr : RenewCNode(*cn, in->gen);
+          const CNode& base = renewed ? *renewed : *cn;
+          CNodePtr removed = CNodeRemoved(base, pos, flag, in->gen);
+          MainPtr contracted = ToContracted(removed, level);
+          if (!Gcas(in, m, contracted)) return OpResult::Restart();
+          res = OpResult::Done(sn->value);
+        }
+
+        if (res.restart || !res.old_value.has_value()) return res;
+        // Contraction may have entombed this INode; fix the parent link.
+        if (parent != nullptr) {
+          MainPtr now = GcasRead(in);
+          if (now != nullptr && now->kind == MainNode::Kind::kTNode) {
+            CleanParent(parent, in, h, level - kBitsPerLevel, start_gen);
+          }
+        }
+        return res;
+      }
+      case MainNode::Kind::kTNode: {
+        if (parent != nullptr) Clean(parent, level - kBitsPerLevel);
+        return OpResult::Restart();
+      }
+      case MainNode::Kind::kLNode: {
+        const auto* ln = static_cast<const LNode*>(m.get());
+        std::optional<V> existing = LNodeLookup(ln, key);
+        if (!existing.has_value()) return OpResult::Done();
+        LNodePtr remaining = LNodeRemoved(ln, key);
+        MainPtr replacement;
+        if (remaining == nullptr) {
+          // Empty list is impossible here (list had >=2 or we entomb).
+          replacement = std::make_shared<TNode>(nullptr);
+        } else if (remaining->next == nullptr) {
+          replacement = std::make_shared<TNode>(remaining->sn);
+        } else {
+          replacement = std::const_pointer_cast<LNode>(remaining);
+        }
+        return Gcas(in, m, replacement) ? OpResult::Done(existing)
+                                        : OpResult::Restart();
+      }
+      case MainNode::Kind::kFailed:
+        return OpResult::Restart();
+    }
+    return OpResult::Restart();
+  }
+
+  // ---- traversal (read-only views) ---------------------------------------
+
+  void Traverse(const INodePtr& in,
+                const std::function<void(const K&, const V&)>& fn) const {
+    MainPtr m = const_cast<CTrie*>(this)->GcasRead(in);
+    if (m == nullptr) return;
+    switch (m->kind) {
+      case MainNode::Kind::kCNode: {
+        const auto* cn = static_cast<const CNode*>(m.get());
+        for (const BranchPtr& b : cn->array) {
+          if (b->kind == Branch::Kind::kINode) {
+            Traverse(std::static_pointer_cast<INode>(b), fn);
+          } else {
+            const auto* sn = static_cast<const SNode*>(b.get());
+            fn(sn->key, sn->value);
+          }
+        }
+        break;
+      }
+      case MainNode::Kind::kTNode: {
+        const auto* tn = static_cast<const TNode*>(m.get());
+        if (tn->sn) fn(tn->sn->key, tn->sn->value);
+        break;
+      }
+      case MainNode::Kind::kLNode: {
+        for (const LNode* p = static_cast<const LNode*>(m.get()); p != nullptr;
+             p = p->next.get()) {
+          fn(p->sn->key, p->sn->value);
+        }
+        break;
+      }
+      case MainNode::Kind::kFailed:
+        break;
+    }
+  }
+
+  void StatsWalkINode(const INodePtr& in, MemoryStats& stats) const {
+    ++stats.inodes;
+    stats.approx_bytes += sizeof(INode);
+    MainPtr m = const_cast<CTrie*>(this)->GcasRead(in);
+    if (m == nullptr) return;
+    switch (m->kind) {
+      case MainNode::Kind::kCNode: {
+        const auto* cn = static_cast<const CNode*>(m.get());
+        ++stats.cnodes;
+        stats.approx_bytes +=
+            sizeof(CNode) + cn->array.size() * sizeof(BranchPtr);
+        for (const BranchPtr& b : cn->array) {
+          if (b->kind == Branch::Kind::kINode) {
+            StatsWalkINode(std::static_pointer_cast<INode>(b), stats);
+          } else {
+            ++stats.snodes;
+            stats.approx_bytes += sizeof(SNode);
+          }
+        }
+        break;
+      }
+      case MainNode::Kind::kTNode:
+        ++stats.snodes;
+        stats.approx_bytes += sizeof(TNode) + sizeof(SNode);
+        break;
+      case MainNode::Kind::kLNode:
+        for (const LNode* p = static_cast<const LNode*>(m.get()); p != nullptr;
+             p = p->next.get()) {
+          ++stats.lnodes;
+          stats.approx_bytes += sizeof(LNode) + sizeof(SNode);
+        }
+        break;
+      case MainNode::Kind::kFailed:
+        break;
+    }
+  }
+
+  // Root slot; accessed with std::atomic_* shared_ptr free functions because
+  // the member itself must be replaceable under RDCSS.
+  RootPtr root_;
+  bool read_only_;
+  HashFn hash_{};
+  EqFn eq_{};
+};
+
+}  // namespace idf

@@ -1,0 +1,135 @@
+#include "engine/cluster.h"
+
+#include "common/logging.h"
+#include "common/timer.h"
+
+namespace idf {
+
+Cluster::Cluster(ClusterConfig config)
+    : config_(config),
+      simulator_(config),
+      alive_(config.total_executors(), true) {
+  IDF_CHECK_OK(config_.Validate());
+}
+
+Result<StageMetrics> Cluster::RunStage(const StageSpec& stage) {
+  StageMetrics metrics;
+  metrics.num_tasks = static_cast<uint32_t>(stage.tasks.size());
+  std::vector<SimTask> sim_tasks;
+  sim_tasks.reserve(stage.tasks.size());
+
+  for (const TaskSpec& spec : stage.tasks) {
+    ExecutorId executor = spec.preferred;
+    if (executor == kAnyExecutor || executor >= alive_.size() ||
+        !alive_[executor]) {
+      // No locality (or home executor dead): any alive executor.
+      const auto candidates = AliveExecutors();
+      IDF_CHECK_MSG(!candidates.empty(), "no alive executors");
+      executor = candidates[0];
+    }
+
+    TaskContext ctx(this, executor);
+    Stopwatch timer;
+    Status status = spec.body(ctx);
+    const double elapsed = timer.ElapsedSeconds();
+    if (!status.ok()) {
+      return Status(status.code(),
+                    "stage '" + stage.name + "' task failed: " +
+                        status.message());
+    }
+
+    ctx.metrics().compute_seconds += elapsed;
+    if (ctx.metrics().recovery_seconds > 0) ++metrics.recovered_tasks;
+    metrics.totals.MergeFrom(ctx.metrics());
+    metrics.real_seconds += elapsed;
+
+    SimTask sim;
+    sim.compute_seconds = elapsed + spec.extra_sim_seconds;
+    sim.preferred = executor;
+    sim.reads = spec.static_reads;
+    sim.reads.insert(sim.reads.end(), ctx.reads().begin(), ctx.reads().end());
+    sim_tasks.push_back(std::move(sim));
+  }
+
+  const SimOutcome outcome = simulator_.RunStage(sim_tasks);
+  metrics.simulated_seconds = outcome.makespan_seconds;
+  metrics.network_seconds = outcome.network_seconds;
+  IDF_LOG_DEBUG("stage '%s': %u tasks, real %.3fs, simulated %.3fs",
+                stage.name.c_str(), metrics.num_tasks, metrics.real_seconds,
+                metrics.simulated_seconds);
+  return metrics;
+}
+
+ExecutorId Cluster::HomeExecutorFor(uint64_t rdd, uint32_t partition) const {
+  const auto candidates = AliveExecutors();
+  IDF_CHECK_MSG(!candidates.empty(), "no alive executors");
+  const uint64_t h = HashCombine(Mix64(rdd), partition);
+  return candidates[h % candidates.size()];
+}
+
+bool Cluster::IsAlive(ExecutorId e) const {
+  return e < alive_.size() && alive_[e];
+}
+
+std::vector<ExecutorId> Cluster::AliveExecutors() const {
+  std::vector<ExecutorId> out;
+  for (ExecutorId e = 0; e < alive_.size(); ++e) {
+    if (alive_[e]) out.push_back(e);
+  }
+  return out;
+}
+
+size_t Cluster::KillExecutor(ExecutorId e) {
+  IDF_CHECK(e < alive_.size());
+  IDF_CHECK_MSG(AliveExecutors().size() > 1, "cannot kill the last executor");
+  alive_[e] = false;
+  const size_t lost = blocks_.DropExecutor(e);
+  IDF_LOG_INFO("killed executor %u (%zu blocks lost)", e, lost);
+  return lost;
+}
+
+void Cluster::ReviveExecutor(ExecutorId e) {
+  IDF_CHECK(e < alive_.size());
+  alive_[e] = true;
+}
+
+void Cluster::RegisterLineage(uint64_t rdd, PartitionComputeFn fn) {
+  std::lock_guard<std::mutex> lock(lineage_mutex_);
+  lineage_[rdd] = std::move(fn);
+}
+
+Result<BlockPtr> Cluster::GetOrCompute(const BlockId& id, TaskContext& ctx) {
+  {
+    Result<BlockPtr> found = blocks_.Get(id);
+    if (found.ok()) {
+      auto home = blocks_.LocationOf(id);
+      if (home.has_value() && *home != ctx.executor()) {
+        // Reading a block homed elsewhere: model the transfer.
+        ctx.AddRead(*home, (*found)->ByteSize());
+      }
+      return found;
+    }
+  }
+
+  PartitionComputeFn fn;
+  {
+    std::lock_guard<std::mutex> lock(lineage_mutex_);
+    auto it = lineage_.find(id.rdd);
+    if (it == lineage_.end()) {
+      return Status::Unavailable(id.ToString() +
+                                 " lost and no lineage registered");
+    }
+    fn = it->second;
+  }
+
+  IDF_LOG_INFO("recomputing %s from lineage on executor %u",
+               id.ToString().c_str(), ctx.executor());
+  Stopwatch timer;
+  Result<BlockPtr> recomputed = fn(id.partition, id.version, ctx);
+  IDF_RETURN_IF_ERROR(recomputed.status());
+  ctx.metrics().recovery_seconds += timer.ElapsedSeconds();
+  blocks_.Put(id, ctx.executor(), *recomputed);
+  return recomputed;
+}
+
+}  // namespace idf

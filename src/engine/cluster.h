@@ -1,0 +1,133 @@
+// Cluster: the engine facade tying together topology, block manager, shuffle
+// service, discrete-event simulation, lineage, and failure injection.
+//
+// Execution model (see DESIGN.md):
+//  - task bodies run for real on the host and are individually timed;
+//  - the StageSimulator replays the stage on the configured (simulated)
+//    topology to produce cluster-scale makespans;
+//  - fault tolerance follows the paper's §III-D: lost blocks are recomputed
+//    from registered lineage (for indexed partitions that means re-building
+//    the index and replaying appends — the Fig. 12 recovery spike).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/block.h"
+#include "engine/des.h"
+#include "engine/metrics.h"
+#include "engine/shuffle.h"
+#include "engine/topology.h"
+
+namespace idf {
+
+class Cluster;
+
+/// Handed to every task body. Accumulates metrics and declared remote reads
+/// for the simulator.
+class TaskContext {
+ public:
+  TaskContext(Cluster* cluster, ExecutorId executor)
+      : cluster_(cluster), executor_(executor) {}
+
+  Cluster& cluster() { return *cluster_; }
+  ExecutorId executor() const { return executor_; }
+  TaskMetrics& metrics() { return metrics_; }
+
+  /// Declares that this task read `bytes` produced at `source` (for network
+  /// modeling). Local reads (source == this executor) are free.
+  void AddRead(ExecutorId source, uint64_t bytes) {
+    reads_.push_back(SimRead{source, bytes});
+    if (source != executor_) metrics_.shuffle_bytes_read += bytes;
+  }
+
+  const std::vector<SimRead>& reads() const { return reads_; }
+
+ private:
+  Cluster* cluster_;
+  ExecutorId executor_;
+  TaskMetrics metrics_;
+  std::vector<SimRead> reads_;
+};
+
+using TaskBody = std::function<Status(TaskContext&)>;
+
+struct TaskSpec {
+  ExecutorId preferred = kAnyExecutor;
+  std::vector<SimRead> static_reads;  // known before the task runs
+  /// Simulated-only compute time added to this task in the DES (used to model
+  /// per-executor work the driver performed once for real, e.g. hash builds
+  /// replicated to every executor after a broadcast).
+  double extra_sim_seconds = 0;
+  TaskBody body;
+};
+
+struct StageSpec {
+  std::string name;
+  std::vector<TaskSpec> tasks;
+};
+
+/// Recomputes one partition of an RDD at a specific version (lineage).
+using PartitionComputeFn =
+    std::function<Result<BlockPtr>(uint32_t partition, uint64_t version,
+                                   TaskContext& ctx)>;
+
+class Cluster {
+ public:
+  explicit Cluster(ClusterConfig config);
+
+  const ClusterConfig& config() const { return config_; }
+  BlockManager& blocks() { return blocks_; }
+  ShuffleService& shuffle() { return shuffle_; }
+  StageSimulator& simulator() { return simulator_; }
+
+  uint64_t NewRddId() { return next_rdd_id_++; }
+
+  /// Runs a stage: executes every task body (serially, in order), times it,
+  /// and feeds the simulator. Returns the stage metrics; any task failure
+  /// aborts the stage with its Status.
+  Result<StageMetrics> RunStage(const StageSpec& stage);
+
+  // ---- placement -----------------------------------------------------
+
+  /// Deterministic home executor for a partition, among alive executors.
+  /// When an executor dies its partitions re-home consistently.
+  ExecutorId HomeExecutorFor(uint64_t rdd, uint32_t partition) const;
+
+  bool IsAlive(ExecutorId e) const;
+  std::vector<ExecutorId> AliveExecutors() const;
+
+  // ---- failure injection (§IV-D Fault-Tolerance) ------------------------
+
+  /// Kills an executor: drops its blocks, excludes it from placement.
+  /// Returns the number of blocks lost.
+  size_t KillExecutor(ExecutorId e);
+  void ReviveExecutor(ExecutorId e);
+
+  // ---- lineage -------------------------------------------------------
+
+  void RegisterLineage(uint64_t rdd, PartitionComputeFn fn);
+
+  /// Fetches a block, recomputing it from lineage when missing (lost
+  /// executor, never materialized). Recompute time lands in
+  /// ctx.metrics().recovery_seconds, reproducing the Fig. 12 spike.
+  Result<BlockPtr> GetOrCompute(const BlockId& id, TaskContext& ctx);
+
+ private:
+  ClusterConfig config_;
+  BlockManager blocks_;
+  ShuffleService shuffle_;
+  StageSimulator simulator_;
+  std::vector<bool> alive_;
+  uint64_t next_rdd_id_ = 1;
+
+  std::mutex lineage_mutex_;
+  std::map<uint64_t, PartitionComputeFn> lineage_;
+};
+
+}  // namespace idf

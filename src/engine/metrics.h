@@ -1,0 +1,60 @@
+// Per-task and per-query metrics. The benches report these as the paper's
+// figures do: wall/simulated runtimes, shuffle volume, hash-build vs probe
+// breakdowns (Fig. 1), and recovery overheads (Fig. 12).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace idf {
+
+struct TaskMetrics {
+  double compute_seconds = 0;      // measured real CPU work of the task body
+  uint64_t shuffle_bytes_read = 0;
+  uint64_t shuffle_bytes_written = 0;
+  uint64_t rows_read = 0;
+  uint64_t rows_written = 0;
+  uint64_t index_probes = 0;
+  double hash_build_seconds = 0;   // time spent (re)building hash tables
+  double recovery_seconds = 0;     // lineage recomputation triggered by a task
+
+  void MergeFrom(const TaskMetrics& other) {
+    compute_seconds += other.compute_seconds;
+    shuffle_bytes_read += other.shuffle_bytes_read;
+    shuffle_bytes_written += other.shuffle_bytes_written;
+    rows_read += other.rows_read;
+    rows_written += other.rows_written;
+    index_probes += other.index_probes;
+    hash_build_seconds += other.hash_build_seconds;
+    recovery_seconds += other.recovery_seconds;
+  }
+};
+
+struct StageMetrics {
+  TaskMetrics totals;          // summed across tasks
+  double real_seconds = 0;     // actual wall time on this host (serialized)
+  double simulated_seconds = 0;  // DES makespan on the configured cluster
+  double network_seconds = 0;  // portion of the makespan spent in transfers
+  uint32_t num_tasks = 0;
+  uint32_t recovered_tasks = 0;  // tasks that triggered lineage recompute
+};
+
+struct QueryMetrics {
+  TaskMetrics totals;
+  double real_seconds = 0;
+  double simulated_seconds = 0;
+  double network_seconds = 0;
+  uint32_t num_stages = 0;
+  uint32_t recovered_tasks = 0;
+
+  void MergeStage(const StageMetrics& stage) {
+    totals.MergeFrom(stage.totals);
+    real_seconds += stage.real_seconds;
+    simulated_seconds += stage.simulated_seconds;
+    network_seconds += stage.network_seconds;
+    recovered_tasks += stage.recovered_tasks;
+    ++num_stages;
+  }
+};
+
+}  // namespace idf

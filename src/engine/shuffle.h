@@ -1,0 +1,157 @@
+// Hash-partitioned shuffle — the data-movement primitive behind index
+// creation, appends, and indexed joins (§III-C "Scheduling Physical
+// Operators": rows are hash-partitioned on the indexed key and shuffled to
+// their indexed partitions), as well as the vanilla shuffled-hash and
+// sort-merge joins.
+//
+// Map tasks serialize rows into per-reducer buffers; reduce tasks fetch every
+// map output for their partition. Byte counts and source executors feed the
+// network model.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/hash.h"
+#include "common/status.h"
+#include "engine/topology.h"
+
+namespace idf {
+
+/// Deterministic hash partitioner (§III-C: "hash partitioning ensures better
+/// load balancing when the key ranges are not known a-priori"). Partitioning
+/// must be stable across runs: it is part of the lineage.
+inline uint32_t HashPartition(uint64_t key_code, uint32_t num_partitions) {
+  IDF_CHECK(num_partitions > 0);
+  return static_cast<uint32_t>(Mix64(key_code) % num_partitions);
+}
+
+/// One map task's output for one reduce partition: concatenated encoded rows.
+struct ShuffleBuffer {
+  std::vector<uint8_t> bytes;
+  uint32_t num_rows = 0;
+  ExecutorId source = kAnyExecutor;
+
+  void AppendRow(const uint8_t* row, uint32_t len) {
+    bytes.insert(bytes.end(), row, row + len);
+    ++num_rows;
+  }
+};
+
+/// Iterates the encoded rows in a shuffle buffer. Rows are self-delimiting
+/// (their first 4 bytes hold the row size).
+class ShuffleBufferReader {
+ public:
+  explicit ShuffleBufferReader(const ShuffleBuffer& buffer)
+      : buffer_(buffer) {}
+
+  bool HasNext() const { return cursor_ < buffer_.bytes.size(); }
+
+  /// Returns a pointer to the next encoded row and advances.
+  const uint8_t* Next() {
+    IDF_CHECK(HasNext());
+    const uint8_t* row = buffer_.bytes.data() + cursor_;
+    uint32_t size;
+    std::memcpy(&size, row, sizeof(size));
+    IDF_CHECK_MSG(size >= 16 && cursor_ + size <= buffer_.bytes.size(),
+                  "corrupt shuffle buffer");
+    cursor_ += size;
+    return row;
+  }
+
+ private:
+  const ShuffleBuffer& buffer_;
+  size_t cursor_ = 0;
+};
+
+/// Cluster-wide shuffle block store. Thread-safe.
+class ShuffleService {
+ public:
+  /// Registers a new shuffle; returns its id.
+  uint64_t NewShuffle(uint32_t num_map_tasks, uint32_t num_reduce_tasks) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const uint64_t id = next_id_++;
+    auto& s = shuffles_[id];
+    s.num_map = num_map_tasks;
+    s.num_reduce = num_reduce_tasks;
+    s.outputs.resize(static_cast<size_t>(num_map_tasks) * num_reduce_tasks);
+    return id;
+  }
+
+  void PutMapOutput(uint64_t shuffle, uint32_t map_task, uint32_t reduce_part,
+                    ShuffleBuffer buffer) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    State& s = GetState(shuffle);
+    IDF_CHECK(map_task < s.num_map && reduce_part < s.num_reduce);
+    s.outputs[static_cast<size_t>(map_task) * s.num_reduce + reduce_part] =
+        std::make_shared<ShuffleBuffer>(std::move(buffer));
+  }
+
+  /// All map outputs destined for one reduce partition (missing/empty map
+  /// outputs are skipped).
+  std::vector<std::shared_ptr<const ShuffleBuffer>> FetchReduceInputs(
+      uint64_t shuffle, uint32_t reduce_part) const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const State& s = GetState(shuffle);
+    IDF_CHECK(reduce_part < s.num_reduce);
+    std::vector<std::shared_ptr<const ShuffleBuffer>> inputs;
+    for (uint32_t m = 0; m < s.num_map; ++m) {
+      const auto& buf =
+          s.outputs[static_cast<size_t>(m) * s.num_reduce + reduce_part];
+      if (buf != nullptr && buf->num_rows > 0) inputs.push_back(buf);
+    }
+    return inputs;
+  }
+
+  uint64_t BytesForReduce(uint64_t shuffle, uint32_t reduce_part) const {
+    uint64_t total = 0;
+    for (const auto& buf : FetchReduceInputs(shuffle, reduce_part)) {
+      total += buf->bytes.size();
+    }
+    return total;
+  }
+
+  uint64_t TotalBytes(uint64_t shuffle) const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const State& s = GetState(shuffle);
+    uint64_t total = 0;
+    for (const auto& buf : s.outputs) {
+      if (buf != nullptr) total += buf->bytes.size();
+    }
+    return total;
+  }
+
+  /// Frees a completed shuffle's buffers.
+  void Release(uint64_t shuffle) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shuffles_.erase(shuffle);
+  }
+
+ private:
+  struct State {
+    uint32_t num_map = 0;
+    uint32_t num_reduce = 0;
+    // [map * num_reduce + reduce]
+    std::vector<std::shared_ptr<ShuffleBuffer>> outputs;
+  };
+
+  const State& GetState(uint64_t id) const {
+    auto it = shuffles_.find(id);
+    IDF_CHECK_MSG(it != shuffles_.end(), "unknown shuffle id");
+    return it->second;
+  }
+  State& GetState(uint64_t id) {
+    auto it = shuffles_.find(id);
+    IDF_CHECK_MSG(it != shuffles_.end(), "unknown shuffle id");
+    return it->second;
+  }
+
+  mutable std::mutex mutex_;
+  std::map<uint64_t, State> shuffles_;
+  uint64_t next_id_ = 1;
+};
+
+}  // namespace idf

@@ -1,0 +1,93 @@
+// Simulated cluster topology.
+//
+// The paper evaluates on a 16-core dual-socket private cluster (Table I) and
+// EC2 i3.xlarge/i3.8xlarge instances, varying workers (2..32), executors per
+// worker, cores per executor, and NUMA pinning (Fig. 4, Fig. 6). This host
+// has one CPU core, so the cluster is *modeled*: tasks execute for real (and
+// are timed), while their placement onto workers/executors/cores and all
+// network transfers are simulated by a discrete-event scheduler
+// (engine/des.h). See DESIGN.md "Key substitutions".
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace idf {
+
+/// Globally unique executor index within a cluster: e = worker * epw + slot.
+using ExecutorId = uint32_t;
+constexpr ExecutorId kAnyExecutor = ~0u;
+
+struct NetworkConfig {
+  double latency_s = 100e-6;  // per-transfer startup cost (one RTT-ish)
+  /// Cross-worker NIC bandwidth. Default ≈ 10 Gbps (Table I, EC2).
+  double bandwidth_bytes_per_s = 1.25e9;
+  /// Same-worker, cross-executor transfer bandwidth (shared memory / loopback).
+  double intra_worker_bandwidth = 12.5e9;
+};
+
+struct ClusterConfig {
+  uint32_t num_workers = 1;
+  uint32_t executors_per_worker = 1;
+  uint32_t cores_per_executor = 4;
+  uint32_t sockets_per_worker = 2;
+  uint32_t cores_per_worker = 16;  // Table I: dual-socket, 8 cores/socket
+
+  /// Whether executors are pinned to a NUMA domain (numactl in §IV-B).
+  bool numa_pinned = false;
+
+  /// Fractional slowdown of memory-bound work on remote-socket accesses.
+  /// Fig. 4 shows executors spanning sockets lose tens of percent.
+  double numa_remote_penalty = 0.35;
+
+  NetworkConfig network;
+
+  uint32_t total_executors() const { return num_workers * executors_per_worker; }
+  uint32_t total_cores() const {
+    return total_executors() * cores_per_executor;
+  }
+  uint32_t WorkerOf(ExecutorId e) const { return e / executors_per_worker; }
+
+  /// Effective compute-time multiplier from NUMA placement. An executor
+  /// whose cores fit inside one socket and is pinned pays nothing; unpinned
+  /// executors pay for the expected fraction of remote accesses; executors
+  /// wider than a socket necessarily span domains.
+  double NumaFactor() const {
+    const uint32_t cores_per_socket =
+        std::max(1u, cores_per_worker / std::max(1u, sockets_per_worker));
+    if (cores_per_executor > cores_per_socket) {
+      // Spans sockets: roughly half of accesses land remote.
+      return 1.0 + numa_remote_penalty;
+    }
+    if (!numa_pinned && sockets_per_worker > 1) {
+      // OS may place memory/threads across domains; expected partial penalty.
+      return 1.0 + numa_remote_penalty * 0.5;
+    }
+    return 1.0;
+  }
+
+  Status Validate() const {
+    if (num_workers == 0 || executors_per_worker == 0 ||
+        cores_per_executor == 0) {
+      return Status::InvalidArgument("cluster dimensions must be positive");
+    }
+    if (executors_per_worker * cores_per_executor > cores_per_worker) {
+      return Status::InvalidArgument(
+          "executors oversubscribe worker cores: " +
+          std::to_string(executors_per_worker * cores_per_executor) + " > " +
+          std::to_string(cores_per_worker));
+    }
+    return Status::OK();
+  }
+
+  std::string ToString() const {
+    return std::to_string(num_workers) + " workers x " +
+           std::to_string(executors_per_worker) + " executors x " +
+           std::to_string(cores_per_executor) + " cores" +
+           (numa_pinned ? " (NUMA-pinned)" : "");
+  }
+};
+
+}  // namespace idf

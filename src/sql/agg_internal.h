@@ -1,0 +1,204 @@
+// Aggregation internals shared between the vanilla HashAggExec and the
+// Indexed DataFrame's row-direct aggregation (core/indexed_agg.h).
+//
+// Both produce identical *partial rows* — group columns followed by five
+// flat state columns per aggregate (count, isum, fsum, min, max) — so the
+// shuffle format and the final-merge phase are interchangeable.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/hash.h"
+#include "sql/plan.h"
+#include "types/schema.h"
+
+namespace idf::agg_internal {
+
+/// Mutable accumulator state for one aggregate function.
+struct Accum {
+  int64_t count = 0;
+  int64_t isum = 0;
+  double fsum = 0;
+  Value min;  // null until first value
+  Value max;
+
+  void AddValue(const AggSpec& spec, const Value& v) {
+    switch (spec.fn) {
+      case AggSpec::Fn::kCount:
+        ++count;
+        return;
+      case AggSpec::Fn::kSum:
+      case AggSpec::Fn::kAvg:
+        if (v.is_null()) return;
+        ++count;
+        if (v.type() == TypeId::kFloat64) {
+          fsum += v.float64_value();
+        } else {
+          isum += v.AsInt64();
+        }
+        return;
+      case AggSpec::Fn::kMin:
+        if (v.is_null()) return;
+        if (min.is_null() || v.Compare(min) < 0) min = v;
+        return;
+      case AggSpec::Fn::kMax:
+        if (v.is_null()) return;
+        if (max.is_null() || v.Compare(max) > 0) max = v;
+        return;
+    }
+  }
+
+  void Merge(const AggSpec& spec, const Accum& other) {
+    switch (spec.fn) {
+      case AggSpec::Fn::kCount:
+        count += other.count;
+        return;
+      case AggSpec::Fn::kSum:
+      case AggSpec::Fn::kAvg:
+        count += other.count;
+        isum += other.isum;
+        fsum += other.fsum;
+        return;
+      case AggSpec::Fn::kMin:
+        if (!other.min.is_null() &&
+            (min.is_null() || other.min.Compare(min) < 0)) {
+          min = other.min;
+        }
+        return;
+      case AggSpec::Fn::kMax:
+        if (!other.max.is_null() &&
+            (max.is_null() || other.max.Compare(max) > 0)) {
+          max = other.max;
+        }
+        return;
+    }
+  }
+
+  Value Finish(const AggSpec& spec, TypeId input_type) const {
+    switch (spec.fn) {
+      case AggSpec::Fn::kCount:
+        return Value::Int64(count);
+      case AggSpec::Fn::kSum:
+        if (input_type == TypeId::kFloat64) return Value::Float64(fsum);
+        return Value::Int64(isum);
+      case AggSpec::Fn::kAvg: {
+        if (count == 0) return Value::Null(TypeId::kFloat64);
+        const double total =
+            input_type == TypeId::kFloat64 ? fsum : static_cast<double>(isum);
+        return Value::Float64(total / static_cast<double>(count));
+      }
+      case AggSpec::Fn::kMin:
+        return min;
+      case AggSpec::Fn::kMax:
+        return max;
+    }
+    return Value();
+  }
+};
+
+struct GroupState {
+  RowVec group_values;
+  std::vector<Accum> accums;
+};
+
+inline uint64_t GroupCode(const RowVec& group_values) {
+  uint64_t code = 0x9e3779b97f4a7c15ULL;
+  for (const Value& v : group_values) code = HashCombine(code, v.Hash());
+  return code;
+}
+
+inline bool SameGroup(const RowVec& a, const RowVec& b) {
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].is_null() != b[i].is_null()) return false;
+    if (!a[i].is_null() && !(a[i] == b[i])) return false;
+  }
+  return true;
+}
+
+using GroupMap = std::unordered_map<uint64_t, std::vector<GroupState>>;
+
+inline GroupState& FindOrCreateGroup(GroupMap& groups, RowVec group_values,
+                                     size_t num_aggs) {
+  auto& bucket = groups[GroupCode(group_values)];
+  for (GroupState& state : bucket) {
+    if (SameGroup(state.group_values, group_values)) return state;
+  }
+  bucket.push_back(
+      GroupState{std::move(group_values), std::vector<Accum>(num_aggs)});
+  return bucket.back();
+}
+
+/// Resolved aggregation plan against an input schema: column indices, input
+/// types, and the partial-row schema used on the shuffle wire.
+struct ResolvedAggs {
+  std::vector<size_t> group_idx;
+  std::vector<int> agg_idx;  // -1 for COUNT(*)
+  std::vector<TypeId> agg_type;
+  SchemaPtr partial_schema;
+
+  static Result<ResolvedAggs> Resolve(const Schema& in_schema,
+                                      const std::vector<std::string>& group_by,
+                                      const std::vector<AggSpec>& aggs) {
+    ResolvedAggs out;
+    std::vector<Field> partial_fields;
+    for (const std::string& g : group_by) {
+      IDF_ASSIGN_OR_RETURN(size_t idx, in_schema.FieldIndex(g));
+      out.group_idx.push_back(idx);
+      partial_fields.push_back(in_schema.field(idx));
+    }
+    for (size_t a = 0; a < aggs.size(); ++a) {
+      const AggSpec& spec = aggs[a];
+      if (spec.fn == AggSpec::Fn::kCount) {
+        out.agg_idx.push_back(-1);
+        out.agg_type.push_back(TypeId::kInt64);
+      } else {
+        IDF_ASSIGN_OR_RETURN(size_t idx, in_schema.FieldIndex(spec.column));
+        out.agg_idx.push_back(static_cast<int>(idx));
+        out.agg_type.push_back(in_schema.field(idx).type);
+      }
+      const std::string base = "agg" + std::to_string(a);
+      partial_fields.push_back({base + "_count", TypeId::kInt64, false});
+      partial_fields.push_back({base + "_isum", TypeId::kInt64, false});
+      partial_fields.push_back({base + "_fsum", TypeId::kFloat64, false});
+      partial_fields.push_back({base + "_min", out.agg_type[a], true});
+      partial_fields.push_back({base + "_max", out.agg_type[a], true});
+    }
+    out.partial_schema = std::make_shared<Schema>(Schema(partial_fields));
+    return out;
+  }
+
+  /// Serializes one group's partial state as a partial row.
+  RowVec EncodePartial(const GroupState& state,
+                       const std::vector<AggSpec>& aggs) const {
+    RowVec row = state.group_values;
+    for (size_t a = 0; a < aggs.size(); ++a) {
+      const Accum& acc = state.accums[a];
+      row.push_back(Value::Int64(acc.count));
+      row.push_back(Value::Int64(acc.isum));
+      row.push_back(Value::Float64(acc.fsum));
+      row.push_back(acc.min);
+      row.push_back(acc.max);
+    }
+    return row;
+  }
+
+  /// Splits a decoded partial row back into (group values, accumulators).
+  void DecodePartial(const RowVec& partial, RowVec* group,
+                     std::vector<Accum>* accums) const {
+    group->assign(partial.begin(),
+                  partial.begin() + static_cast<long>(group_idx.size()));
+    accums->resize(agg_idx.size());
+    for (size_t a = 0; a < agg_idx.size(); ++a) {
+      const size_t base = group_idx.size() + a * 5;
+      Accum& acc = (*accums)[a];
+      acc.count = partial[base].int64_value();
+      acc.isum = partial[base + 1].int64_value();
+      acc.fsum = partial[base + 2].float64_value();
+      acc.min = partial[base + 3];
+      acc.max = partial[base + 4];
+    }
+  }
+};
+
+}  // namespace idf::agg_internal

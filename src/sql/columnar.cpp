@@ -1,0 +1,225 @@
+#include "sql/columnar.h"
+
+namespace idf {
+
+ColumnVector::ColumnVector(TypeId type) : type_(type) {
+  switch (type) {
+    case TypeId::kBool: data_ = BoolData{}; break;
+    case TypeId::kInt32: data_ = Int32Data{}; break;
+    case TypeId::kInt64: data_ = Int64Data{}; break;
+    case TypeId::kFloat64: data_ = Float64Data{}; break;
+    case TypeId::kString: data_ = StringData{}; break;
+  }
+}
+
+void ColumnVector::MarkNull(size_t i) {
+  if (nulls_.size() * 8 <= i) nulls_.resize(i / 8 + 1, 0);
+  nulls_[i / 8] |= static_cast<uint8_t>(1u << (i % 8));
+}
+
+void ColumnVector::AppendNull() {
+  MarkNull(size_);
+  switch (type_) {
+    case TypeId::kBool: AppendBoolSlot(); break;
+    case TypeId::kInt32: Data<Int32Data>().values.push_back(0); break;
+    case TypeId::kInt64: Data<Int64Data>().values.push_back(0); break;
+    case TypeId::kFloat64: Data<Float64Data>().values.push_back(0); break;
+    case TypeId::kString: Data<StringData>().offsets.push_back(
+        Data<StringData>().offsets.back());
+      break;
+  }
+  ++size_;
+}
+
+// Helper kept out-of-line to keep AppendNull readable.
+void ColumnVector::AppendBoolSlot() { Data<BoolData>().values.push_back(0); }
+
+void ColumnVector::AppendValue(const Value& v) {
+  if (v.is_null()) {
+    AppendNull();
+    return;
+  }
+  IDF_CHECK_MSG(v.type() == type_, "column type mismatch");
+  switch (type_) {
+    case TypeId::kBool: AppendBool(v.bool_value()); break;
+    case TypeId::kInt32: AppendInt32(v.int32_value()); break;
+    case TypeId::kInt64: AppendInt64(v.int64_value()); break;
+    case TypeId::kFloat64: AppendFloat64(v.float64_value()); break;
+    case TypeId::kString: AppendString(v.string_value()); break;
+  }
+}
+
+void ColumnVector::AppendBool(bool v) {
+  IDF_CHECK(type_ == TypeId::kBool);
+  Data<BoolData>().values.push_back(v ? 1 : 0);
+  ++size_;
+}
+void ColumnVector::AppendInt32(int32_t v) {
+  IDF_CHECK(type_ == TypeId::kInt32);
+  Data<Int32Data>().values.push_back(v);
+  ++size_;
+}
+void ColumnVector::AppendInt64(int64_t v) {
+  IDF_CHECK(type_ == TypeId::kInt64);
+  Data<Int64Data>().values.push_back(v);
+  ++size_;
+}
+void ColumnVector::AppendFloat64(double v) {
+  IDF_CHECK(type_ == TypeId::kFloat64);
+  Data<Float64Data>().values.push_back(v);
+  ++size_;
+}
+void ColumnVector::AppendString(std::string_view v) {
+  IDF_CHECK(type_ == TypeId::kString);
+  auto& d = Data<StringData>();
+  d.arena.insert(d.arena.end(), v.begin(), v.end());
+  d.offsets.push_back(static_cast<uint32_t>(d.arena.size()));
+  ++size_;
+}
+
+void ColumnVector::Reserve(size_t n) {
+  switch (type_) {
+    case TypeId::kBool: Data<BoolData>().values.reserve(n); break;
+    case TypeId::kInt32: Data<Int32Data>().values.reserve(n); break;
+    case TypeId::kInt64: Data<Int64Data>().values.reserve(n); break;
+    case TypeId::kFloat64: Data<Float64Data>().values.reserve(n); break;
+    case TypeId::kString: Data<StringData>().offsets.reserve(n + 1); break;
+  }
+}
+
+Value ColumnVector::ValueAt(size_t i) const {
+  IDF_CHECK(i < size_);
+  if (IsNull(i)) return Value::Null(type_);
+  switch (type_) {
+    case TypeId::kBool: return Value::Bool(BoolAt(i));
+    case TypeId::kInt32: return Value::Int32(Int32At(i));
+    case TypeId::kInt64: return Value::Int64(Int64At(i));
+    case TypeId::kFloat64: return Value::Float64(Float64At(i));
+    case TypeId::kString: return Value::String(std::string(StringAt(i)));
+  }
+  return Value();
+}
+
+double ColumnVector::NumericAt(size_t i) const {
+  switch (type_) {
+    case TypeId::kBool: return BoolAt(i) ? 1.0 : 0.0;
+    case TypeId::kInt32: return Int32At(i);
+    case TypeId::kInt64: return static_cast<double>(Int64At(i));
+    case TypeId::kFloat64: return Float64At(i);
+    case TypeId::kString: break;
+  }
+  IDF_CHECK_MSG(false, "NumericAt on string column");
+  return 0;
+}
+
+uint64_t ColumnVector::KeyCodeAt(size_t i) const {
+  IDF_CHECK_MSG(!IsNull(i), "null values are not indexable");
+  switch (type_) {
+    case TypeId::kBool: return BoolAt(i) ? 1 : 0;
+    case TypeId::kInt32: return static_cast<uint64_t>(
+        static_cast<int64_t>(Int32At(i)));
+    case TypeId::kInt64: return static_cast<uint64_t>(Int64At(i));
+    case TypeId::kFloat64: return HashDouble(Float64At(i));
+    case TypeId::kString: return HashString(StringAt(i));
+  }
+  return 0;
+}
+
+uint64_t ColumnVector::ByteSize() const {
+  uint64_t bytes = nulls_.size();
+  switch (type_) {
+    case TypeId::kBool: bytes += Data<BoolData>().values.size(); break;
+    case TypeId::kInt32: bytes += Data<Int32Data>().values.size() * 4; break;
+    case TypeId::kInt64: bytes += Data<Int64Data>().values.size() * 8; break;
+    case TypeId::kFloat64:
+      bytes += Data<Float64Data>().values.size() * 8;
+      break;
+    case TypeId::kString: {
+      const auto& d = Data<StringData>();
+      bytes += d.arena.size() + d.offsets.size() * 4;
+      break;
+    }
+  }
+  return bytes;
+}
+
+// ---- ColumnarChunk ---------------------------------------------------------
+
+ColumnarChunk::ColumnarChunk(SchemaPtr schema) : schema_(std::move(schema)) {
+  IDF_CHECK(schema_ != nullptr);
+  columns_.reserve(schema_->num_fields());
+  for (const Field& f : schema_->fields()) columns_.emplace_back(f.type);
+}
+
+Status ColumnarChunk::AppendRow(const RowVec& row) {
+  IDF_RETURN_IF_ERROR(ValidateRow(*schema_, row));
+  for (size_t i = 0; i < row.size(); ++i) columns_[i].AppendValue(row[i]);
+  ++num_rows_;
+  return Status::OK();
+}
+
+void ColumnarChunk::SetRowCount(size_t n) {
+  for (const ColumnVector& c : columns_) {
+    IDF_CHECK_MSG(c.size() == n, "ragged columns in chunk");
+  }
+  num_rows_ = n;
+}
+
+RowVec ColumnarChunk::RowAt(size_t i) const {
+  IDF_CHECK(i < num_rows_);
+  RowVec row;
+  row.reserve(columns_.size());
+  for (const ColumnVector& c : columns_) row.push_back(c.ValueAt(i));
+  return row;
+}
+
+void ColumnarChunk::EncodeRowTo(const RowLayout& layout, size_t i,
+                                std::vector<uint8_t>& scratch) const {
+  // Cheap path: assemble the RowVec then encode. Row materialization cost is
+  // intentional — it is the real price of shuffling cached columnar data.
+  RowVec row = RowAt(i);
+  Result<uint32_t> size = layout.ComputeRowSize(row);
+  IDF_CHECK_OK(size.status());
+  scratch.resize(*size);
+  layout.EncodeRow(row, scratch.data(), PackedRowPtr::Null());
+}
+
+uint64_t ColumnarChunk::ByteSize() const {
+  uint64_t bytes = 0;
+  for (const ColumnVector& c : columns_) bytes += c.ByteSize();
+  return bytes;
+}
+
+// ---- ChunkBuilder ---------------------------------------------------------
+
+ChunkBuilder::ChunkBuilder(SchemaPtr schema)
+    : chunk_(std::make_shared<ColumnarChunk>(std::move(schema))) {}
+
+void ChunkBuilder::AddEncodedRow(const RowLayout& layout, const uint8_t* row) {
+  const Schema& schema = chunk_->schema();
+  for (size_t c = 0; c < schema.num_fields(); ++c) {
+    ColumnVector& col = chunk_->mutable_column(c);
+    if (layout.IsNull(row, c)) {
+      col.AppendNull();
+      continue;
+    }
+    switch (schema.field(c).type) {
+      case TypeId::kBool: col.AppendBool(layout.GetBool(row, c)); break;
+      case TypeId::kInt32: col.AppendInt32(layout.GetInt32(row, c)); break;
+      case TypeId::kInt64: col.AppendInt64(layout.GetInt64(row, c)); break;
+      case TypeId::kFloat64:
+        col.AppendFloat64(layout.GetFloat64(row, c));
+        break;
+      case TypeId::kString: col.AppendString(layout.GetString(row, c)); break;
+    }
+  }
+  chunk_->SetRowCount(chunk_->column(0).size());
+}
+
+void ChunkBuilder::AddRow(const RowVec& row) {
+  IDF_CHECK_OK(chunk_->AppendRow(row));
+}
+
+ChunkPtr ChunkBuilder::Finish() { return std::move(chunk_); }
+
+}  // namespace idf

@@ -1,0 +1,215 @@
+#include "sql/csv.h"
+
+#include <cstdlib>
+#include <fstream>
+
+namespace idf {
+
+Result<std::vector<std::string>> SplitCsvLine(const std::string& line,
+                                              char delimiter) {
+  std::vector<std::string> cells;
+  std::string cell;
+  bool quoted = false;
+  size_t i = 0;
+  while (i < line.size()) {
+    const char c = line[i];
+    if (quoted) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          cell += '"';  // escaped quote
+          i += 2;
+          continue;
+        }
+        quoted = false;
+        ++i;
+        continue;
+      }
+      cell += c;
+      ++i;
+      continue;
+    }
+    if (c == '"') {
+      if (!cell.empty()) {
+        return Status::InvalidArgument("stray quote mid-cell: " + line);
+      }
+      quoted = true;
+      ++i;
+      continue;
+    }
+    if (c == delimiter) {
+      cells.push_back(std::move(cell));
+      cell.clear();
+      ++i;
+      continue;
+    }
+    cell += c;
+    ++i;
+  }
+  if (quoted) {
+    return Status::InvalidArgument("unterminated quote: " + line);
+  }
+  cells.push_back(std::move(cell));
+  return cells;
+}
+
+Result<Value> ParseCsvCell(const std::string& cell, const Field& field) {
+  if (cell.empty() || cell == "NULL") {
+    if (field.type == TypeId::kString && !cell.empty()) {
+      return Value::String(cell);  // literal "NULL" string is ambiguous;
+                                   // treat as null only for non-strings
+    }
+    if (!field.nullable && field.type != TypeId::kString) {
+      return Status::InvalidArgument("null in NOT NULL field '" + field.name +
+                                     "'");
+    }
+    if (field.type == TypeId::kString) {
+      // Empty cell in a string field: empty string if NOT NULL, else null.
+      return field.nullable ? Value::Null(TypeId::kString)
+                            : Value::String("");
+    }
+    return Value::Null(field.type);
+  }
+  char* end = nullptr;
+  switch (field.type) {
+    case TypeId::kBool: {
+      if (cell == "true" || cell == "TRUE" || cell == "1") {
+        return Value::Bool(true);
+      }
+      if (cell == "false" || cell == "FALSE" || cell == "0") {
+        return Value::Bool(false);
+      }
+      return Status::InvalidArgument("bad bool '" + cell + "'");
+    }
+    case TypeId::kInt32: {
+      const long v = std::strtol(cell.c_str(), &end, 10);
+      if (end == nullptr || *end != '\0') {
+        return Status::InvalidArgument("bad int32 '" + cell + "'");
+      }
+      return Value::Int32(static_cast<int32_t>(v));
+    }
+    case TypeId::kInt64: {
+      const long long v = std::strtoll(cell.c_str(), &end, 10);
+      if (end == nullptr || *end != '\0') {
+        return Status::InvalidArgument("bad int64 '" + cell + "'");
+      }
+      return Value::Int64(v);
+    }
+    case TypeId::kFloat64: {
+      const double v = std::strtod(cell.c_str(), &end);
+      if (end == nullptr || *end != '\0') {
+        return Status::InvalidArgument("bad float '" + cell + "'");
+      }
+      return Value::Float64(v);
+    }
+    case TypeId::kString:
+      return Value::String(cell);
+  }
+  return Status::Internal("unknown type");
+}
+
+Result<DataFrame> ReadCsv(Session& session, const std::string& name,
+                          const std::string& path, SchemaPtr schema,
+                          uint32_t partitions, const CsvOptions& options) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open '" + path + "'");
+
+  std::vector<RowVec> rows;
+  std::string line;
+  bool first = true;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (first && options.has_header) {
+      first = false;
+      continue;
+    }
+    first = false;
+    if (line.empty()) continue;
+
+    Result<std::vector<std::string>> cells =
+        SplitCsvLine(line, options.delimiter);
+    if (!cells.ok()) {
+      if (options.skip_bad_rows) continue;
+      return Status(cells.status().code(),
+                    "line " + std::to_string(line_no) + ": " +
+                        cells.status().message());
+    }
+    if (cells->size() != schema->num_fields()) {
+      if (options.skip_bad_rows) continue;
+      return Status::InvalidArgument(
+          "line " + std::to_string(line_no) + ": " +
+          std::to_string(cells->size()) + " cells, schema has " +
+          std::to_string(schema->num_fields()));
+    }
+    RowVec row;
+    row.reserve(cells->size());
+    bool bad = false;
+    for (size_t i = 0; i < cells->size(); ++i) {
+      Result<Value> value = ParseCsvCell((*cells)[i], schema->field(i));
+      if (!value.ok()) {
+        if (options.skip_bad_rows) {
+          bad = true;
+          break;
+        }
+        return Status(value.status().code(),
+                      "line " + std::to_string(line_no) + ": " +
+                          value.status().message());
+      }
+      row.push_back(std::move(*value));
+    }
+    if (!bad) rows.push_back(std::move(row));
+  }
+  return session.CreateTable(name, std::move(schema), rows, partitions);
+}
+
+namespace {
+
+bool NeedsQuoting(const std::string& s, char delimiter) {
+  return s.find(delimiter) != std::string::npos ||
+         s.find('"') != std::string::npos ||
+         s.find('\n') != std::string::npos;
+}
+
+std::string CsvEscape(const std::string& s, char delimiter) {
+  if (!NeedsQuoting(s, delimiter)) return s;
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+
+std::string CellText(const Value& v) {
+  if (v.is_null()) return "";
+  if (v.type() == TypeId::kString) return v.string_value();
+  return v.ToString();
+}
+
+}  // namespace
+
+Status WriteCsv(const CollectedTable& table, const std::string& path,
+                const CsvOptions& options) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return Status::Unavailable("cannot open '" + path + "'");
+  if (options.has_header) {
+    for (size_t i = 0; i < table.schema->num_fields(); ++i) {
+      if (i) out << options.delimiter;
+      out << CsvEscape(table.schema->field(i).name, options.delimiter);
+    }
+    out << "\n";
+  }
+  for (const RowVec& row : table.rows) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i) out << options.delimiter;
+      out << CsvEscape(CellText(row[i]), options.delimiter);
+    }
+    out << "\n";
+  }
+  out.flush();
+  return out ? Status::OK() : Status::Unavailable("short write");
+}
+
+}  // namespace idf

@@ -1,0 +1,42 @@
+// CSV import/export — the practical on-ramp for real datasets (the paper's
+// US Flights data ships as CSV from the US DoT).
+//
+// Dialect: comma separator, double-quote quoting with "" escapes, optional
+// header row, \n or \r\n line endings. Import parses against an explicit
+// schema (empty cells and the literal NULL become nulls for nullable
+// fields); export quotes only when necessary.
+#pragma once
+
+#include <string>
+
+#include "common/status.h"
+#include "sql/session.h"
+
+namespace idf {
+
+struct CsvOptions {
+  bool has_header = true;
+  char delimiter = ',';
+  /// Rows that fail to parse abort the import when false; skipped when true.
+  bool skip_bad_rows = false;
+};
+
+/// Parses one CSV record from `line` (no trailing newline). Exposed for
+/// tests; handles quoting and "" escapes.
+Result<std::vector<std::string>> SplitCsvLine(const std::string& line,
+                                              char delimiter);
+
+/// Converts one raw cell to a typed Value per the field definition.
+Result<Value> ParseCsvCell(const std::string& cell, const Field& field);
+
+/// Reads a CSV file into a new cached table registered as `name`.
+Result<DataFrame> ReadCsv(Session& session, const std::string& name,
+                          const std::string& path, SchemaPtr schema,
+                          uint32_t partitions = 0,
+                          const CsvOptions& options = {});
+
+/// Writes a collected result to a CSV file (with header).
+Status WriteCsv(const CollectedTable& table, const std::string& path,
+                const CsvOptions& options = {});
+
+}  // namespace idf

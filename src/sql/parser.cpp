@@ -1,0 +1,481 @@
+#include "sql/parser.h"
+
+#include <cctype>
+
+#include "sql/session.h"
+
+namespace idf {
+namespace sql_detail {
+
+namespace {
+
+bool IsIdentStart(char c) { return std::isalpha(static_cast<unsigned char>(c)) || c == '_'; }
+bool IsIdentBody(char c) { return std::isalnum(static_cast<unsigned char>(c)) || c == '_'; }
+
+std::string Upper(std::string s) {
+  for (char& c : s) c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  return s;
+}
+
+}  // namespace
+
+Result<std::vector<Token>> Lex(const std::string& sql) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  while (i < sql.size()) {
+    const char c = sql[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    Token token;
+    token.position = i;
+    if (IsIdentStart(c)) {
+      size_t j = i;
+      while (j < sql.size() && IsIdentBody(sql[j])) ++j;
+      token.kind = TokenKind::kIdentifier;
+      token.raw = sql.substr(i, j - i);
+      token.text = Upper(token.raw);
+      i = j;
+    } else if (std::isdigit(static_cast<unsigned char>(c)) ||
+               (c == '.' && i + 1 < sql.size() &&
+                std::isdigit(static_cast<unsigned char>(sql[i + 1])))) {
+      size_t j = i;
+      bool is_float = false;
+      while (j < sql.size() &&
+             (std::isdigit(static_cast<unsigned char>(sql[j])) ||
+              sql[j] == '.')) {
+        if (sql[j] == '.') {
+          if (is_float) {
+            return Status::InvalidArgument("malformed number at position " +
+                                           std::to_string(i));
+          }
+          is_float = true;
+        }
+        ++j;
+      }
+      token.kind = is_float ? TokenKind::kFloat : TokenKind::kInteger;
+      token.raw = token.text = sql.substr(i, j - i);
+      i = j;
+    } else if (c == '\'') {
+      size_t j = i + 1;
+      std::string value;
+      while (j < sql.size() && sql[j] != '\'') {
+        value += sql[j];
+        ++j;
+      }
+      if (j >= sql.size()) {
+        return Status::InvalidArgument("unterminated string literal at " +
+                                       std::to_string(i));
+      }
+      token.kind = TokenKind::kString;
+      token.raw = token.text = value;
+      i = j + 1;
+    } else {
+      // Multi-character operators first.
+      static const char* kTwoChar[] = {"<=", ">=", "!=", "<>"};
+      std::string sym(1, c);
+      for (const char* two : kTwoChar) {
+        if (sql.compare(i, 2, two) == 0) {
+          sym = two;
+          break;
+        }
+      }
+      static const std::string kSingles = "(),*=<>+-/.";
+      if (sym.size() == 1 && kSingles.find(c) == std::string::npos) {
+        return Status::InvalidArgument(std::string("unexpected character '") +
+                                       c + "' at position " +
+                                       std::to_string(i));
+      }
+      token.kind = TokenKind::kSymbol;
+      token.raw = token.text = sym;
+      i += sym.size();
+    }
+    tokens.push_back(std::move(token));
+  }
+  Token end;
+  end.kind = TokenKind::kEnd;
+  end.position = sql.size();
+  tokens.push_back(end);
+  return tokens;
+}
+
+namespace {
+
+/// Recursive-descent parser over the token stream.
+class Parser {
+ public:
+  Parser(std::vector<Token> tokens, Session& session)
+      : tokens_(std::move(tokens)), session_(session) {}
+
+  Result<PlanPtr> ParseQuery() {
+    IDF_RETURN_IF_ERROR(ExpectKeyword("SELECT"));
+    IDF_RETURN_IF_ERROR(ParseSelectList());
+    IDF_RETURN_IF_ERROR(ExpectKeyword("FROM"));
+    IDF_ASSIGN_OR_RETURN(PlanPtr plan, ParseTable());
+
+    while (true) {
+      JoinType join_type = JoinType::kInner;
+      if (AcceptKeyword("LEFT")) {
+        AcceptKeyword("OUTER");  // optional noise word
+        IDF_RETURN_IF_ERROR(ExpectKeyword("JOIN"));
+        join_type = JoinType::kLeftOuter;
+      } else if (AcceptKeyword("INNER")) {
+        IDF_RETURN_IF_ERROR(ExpectKeyword("JOIN"));
+      } else if (!AcceptKeyword("JOIN")) {
+        break;
+      }
+      IDF_ASSIGN_OR_RETURN(PlanPtr right, ParseTable());
+      IDF_RETURN_IF_ERROR(ExpectKeyword("ON"));
+      IDF_ASSIGN_OR_RETURN(std::string left_key, ExpectIdentifier());
+      IDF_RETURN_IF_ERROR(ExpectSymbol("="));
+      IDF_ASSIGN_OR_RETURN(std::string right_key, ExpectIdentifier());
+      plan = std::make_shared<JoinNode>(plan, right, left_key, right_key,
+                                        join_type);
+    }
+
+    if (AcceptKeyword("WHERE")) {
+      IDF_ASSIGN_OR_RETURN(ExprPtr predicate, ParseExpr());
+      plan = std::make_shared<FilterNode>(plan, std::move(predicate));
+    }
+
+    std::vector<std::string> group_by;
+    if (AcceptKeyword("GROUP")) {
+      IDF_RETURN_IF_ERROR(ExpectKeyword("BY"));
+      do {
+        IDF_ASSIGN_OR_RETURN(std::string column, ExpectIdentifier());
+        group_by.push_back(std::move(column));
+      } while (AcceptSymbol(","));
+    }
+
+    // Assemble projection / aggregation from the select list.
+    if (!aggs_.empty()) {
+      // Bare columns in the select list must be grouping keys.
+      for (const std::string& column : select_columns_) {
+        bool grouped = false;
+        for (const std::string& g : group_by) grouped |= (g == column);
+        if (!grouped) {
+          return Status::InvalidArgument(
+              "column '" + column +
+              "' in SELECT must appear in GROUP BY when aggregating");
+        }
+      }
+      plan = std::make_shared<AggregateNode>(plan, group_by, aggs_);
+      // Aggregate output order is group keys then aggs — already the
+      // conventional order; honor explicit select order via projection.
+      std::vector<std::string> out_cols = select_columns_;
+      for (const AggSpec& a : aggs_) out_cols.push_back(a.output_name);
+      plan = std::make_shared<ProjectNode>(plan, out_cols);
+    } else if (!group_by.empty()) {
+      return Status::InvalidArgument("GROUP BY without aggregate functions");
+    } else if (!select_star_) {
+      plan = std::make_shared<ProjectNode>(plan, select_columns_);
+    }
+
+    if (AcceptKeyword("ORDER")) {
+      IDF_RETURN_IF_ERROR(ExpectKeyword("BY"));
+      std::vector<SortKey> keys;
+      do {
+        SortKey key;
+        IDF_ASSIGN_OR_RETURN(key.column, ExpectIdentifier());
+        if (AcceptKeyword("DESC")) {
+          key.descending = true;
+        } else {
+          AcceptKeyword("ASC");
+        }
+        keys.push_back(std::move(key));
+      } while (AcceptSymbol(","));
+      plan = std::make_shared<SortNode>(plan, std::move(keys));
+    }
+
+    if (AcceptKeyword("LIMIT")) {
+      if (Peek().kind != TokenKind::kInteger) {
+        return Status::InvalidArgument("LIMIT expects an integer");
+      }
+      const uint64_t n = std::stoull(Next().text);
+      plan = std::make_shared<LimitNode>(plan, n);
+    }
+
+    if (AcceptKeyword("UNION")) {
+      IDF_RETURN_IF_ERROR(ExpectKeyword("ALL"));
+      // Parse the right-hand SELECT with a fresh sub-parser state.
+      Parser rest(std::vector<Token>(tokens_.begin() +
+                                         static_cast<long>(pos_),
+                                     tokens_.end()),
+                  session_);
+      IDF_ASSIGN_OR_RETURN(PlanPtr right, rest.ParseQuery());
+      pos_ = tokens_.size() - 1;  // consumed by the sub-parser
+      return PlanPtr(std::make_shared<UnionNode>(plan, std::move(right)));
+    }
+
+    if (Peek().kind != TokenKind::kEnd) {
+      return Status::InvalidArgument("trailing input after query: '" +
+                                     Peek().raw + "'");
+    }
+    return plan;
+  }
+
+ private:
+  // ---- token helpers ----------------------------------------------------
+
+  const Token& Peek(size_t ahead = 0) const {
+    const size_t i = std::min(pos_ + ahead, tokens_.size() - 1);
+    return tokens_[i];
+  }
+  const Token& Next() { return tokens_[std::min(pos_++, tokens_.size() - 1)]; }
+
+  bool AcceptKeyword(const std::string& kw) {
+    if (Peek().kind == TokenKind::kIdentifier && Peek().text == kw) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  Status ExpectKeyword(const std::string& kw) {
+    if (!AcceptKeyword(kw)) {
+      return Status::InvalidArgument("expected " + kw + " near '" +
+                                     Peek().raw + "'");
+    }
+    return Status::OK();
+  }
+  bool AcceptSymbol(const std::string& sym) {
+    if (Peek().kind == TokenKind::kSymbol && Peek().text == sym) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  Status ExpectSymbol(const std::string& sym) {
+    if (!AcceptSymbol(sym)) {
+      return Status::InvalidArgument("expected '" + sym + "' near '" +
+                                     Peek().raw + "'");
+    }
+    return Status::OK();
+  }
+  Result<std::string> ExpectIdentifier() {
+    if (Peek().kind != TokenKind::kIdentifier) {
+      return Status::InvalidArgument("expected identifier near '" +
+                                     Peek().raw + "'");
+    }
+    return Next().raw;
+  }
+
+  static bool IsAggName(const std::string& upper) {
+    return upper == "COUNT" || upper == "SUM" || upper == "MIN" ||
+           upper == "MAX" || upper == "AVG";
+  }
+
+  // ---- select list -------------------------------------------------------
+
+  Status ParseSelectList() {
+    if (AcceptSymbol("*")) {
+      select_star_ = true;
+      return Status::OK();
+    }
+    do {
+      if (Peek().kind != TokenKind::kIdentifier) {
+        return Status::InvalidArgument("expected column or aggregate near '" +
+                                       Peek().raw + "'");
+      }
+      if (IsAggName(Peek().text) && Peek(1).kind == TokenKind::kSymbol &&
+          Peek(1).text == "(") {
+        IDF_RETURN_IF_ERROR(ParseAggregate());
+      } else {
+        select_columns_.push_back(Next().raw);
+      }
+    } while (AcceptSymbol(","));
+    return Status::OK();
+  }
+
+  Status ParseAggregate() {
+    const std::string fn = Next().text;  // COUNT / SUM / ...
+    IDF_RETURN_IF_ERROR(ExpectSymbol("("));
+    std::string column;
+    if (AcceptSymbol("*")) {
+      if (fn != "COUNT") {
+        return Status::InvalidArgument(fn + "(*) is not supported");
+      }
+    } else {
+      IDF_ASSIGN_OR_RETURN(column, ExpectIdentifier());
+    }
+    IDF_RETURN_IF_ERROR(ExpectSymbol(")"));
+    std::string output;
+    if (AcceptKeyword("AS")) {
+      IDF_ASSIGN_OR_RETURN(output, ExpectIdentifier());
+    }
+    AggSpec spec;
+    if (fn == "COUNT") {
+      spec = AggSpec::Count(output.empty() ? "count" : output);
+    } else if (fn == "SUM") {
+      spec = AggSpec::Sum(column, output);
+    } else if (fn == "MIN") {
+      spec = AggSpec::Min(column, output);
+    } else if (fn == "MAX") {
+      spec = AggSpec::Max(column, output);
+    } else {
+      spec = AggSpec::Avg(column, output);
+    }
+    aggs_.push_back(std::move(spec));
+    return Status::OK();
+  }
+
+  // ---- FROM --------------------------------------------------------------
+
+  Result<PlanPtr> ParseTable() {
+    IDF_ASSIGN_OR_RETURN(std::string name, ExpectIdentifier());
+    IDF_ASSIGN_OR_RETURN(DatasetPtr dataset, session_.LookupTable(name));
+    return PlanPtr(std::make_shared<ScanNode>(std::move(dataset)));
+  }
+
+  // ---- expressions ----------------------------------------------------------
+
+  Result<ExprPtr> ParseExpr() { return ParseOr(); }
+
+  Result<ExprPtr> ParseOr() {
+    IDF_ASSIGN_OR_RETURN(ExprPtr left, ParseAnd());
+    while (AcceptKeyword("OR")) {
+      IDF_ASSIGN_OR_RETURN(ExprPtr right, ParseAnd());
+      left = Or(std::move(left), std::move(right));
+    }
+    return left;
+  }
+
+  Result<ExprPtr> ParseAnd() {
+    IDF_ASSIGN_OR_RETURN(ExprPtr left, ParseNot());
+    while (AcceptKeyword("AND")) {
+      IDF_ASSIGN_OR_RETURN(ExprPtr right, ParseNot());
+      left = And(std::move(left), std::move(right));
+    }
+    return left;
+  }
+
+  Result<ExprPtr> ParseNot() {
+    if (AcceptKeyword("NOT")) {
+      IDF_ASSIGN_OR_RETURN(ExprPtr child, ParseNot());
+      return Not(std::move(child));
+    }
+    return ParseComparison();
+  }
+
+  Result<ExprPtr> ParseComparison() {
+    IDF_ASSIGN_OR_RETURN(ExprPtr left, ParseAdditive());
+    if (AcceptKeyword("IS")) {
+      const bool negated = AcceptKeyword("NOT");
+      IDF_RETURN_IF_ERROR(ExpectKeyword("NULL"));
+      return negated ? IsNotNull(std::move(left)) : IsNull(std::move(left));
+    }
+    static const struct {
+      const char* sym;
+      CompareOp op;
+    } kOps[] = {{"=", CompareOp::kEq},  {"!=", CompareOp::kNe},
+                {"<>", CompareOp::kNe}, {"<=", CompareOp::kLe},
+                {">=", CompareOp::kGe}, {"<", CompareOp::kLt},
+                {">", CompareOp::kGt}};
+    for (const auto& candidate : kOps) {
+      if (AcceptSymbol(candidate.sym)) {
+        IDF_ASSIGN_OR_RETURN(ExprPtr right, ParseAdditive());
+        return ExprPtr(std::make_shared<CompareExpr>(
+            candidate.op, std::move(left), std::move(right)));
+      }
+    }
+    return left;
+  }
+
+  Result<ExprPtr> ParseAdditive() {
+    IDF_ASSIGN_OR_RETURN(ExprPtr left, ParseMultiplicative());
+    while (true) {
+      if (AcceptSymbol("+")) {
+        IDF_ASSIGN_OR_RETURN(ExprPtr right, ParseMultiplicative());
+        left = Add(std::move(left), std::move(right));
+      } else if (AcceptSymbol("-")) {
+        IDF_ASSIGN_OR_RETURN(ExprPtr right, ParseMultiplicative());
+        left = Sub(std::move(left), std::move(right));
+      } else {
+        return left;
+      }
+    }
+  }
+
+  Result<ExprPtr> ParseMultiplicative() {
+    IDF_ASSIGN_OR_RETURN(ExprPtr left, ParsePrimary());
+    while (true) {
+      if (AcceptSymbol("*")) {
+        IDF_ASSIGN_OR_RETURN(ExprPtr right, ParsePrimary());
+        left = Mul(std::move(left), std::move(right));
+      } else if (AcceptSymbol("/")) {
+        IDF_ASSIGN_OR_RETURN(ExprPtr right, ParsePrimary());
+        left = Div(std::move(left), std::move(right));
+      } else {
+        return left;
+      }
+    }
+  }
+
+  Result<ExprPtr> ParsePrimary() {
+    const Token& token = Peek();
+    switch (token.kind) {
+      case TokenKind::kInteger: {
+        const int64_t v = std::stoll(Next().text);
+        return Lit(v);
+      }
+      case TokenKind::kFloat: {
+        const double v = std::stod(Next().text);
+        return Lit(v);
+      }
+      case TokenKind::kString:
+        return Lit(Value::String(Next().raw));
+      case TokenKind::kIdentifier: {
+        if (token.text == "TRUE") {
+          Next();
+          return Lit(true);
+        }
+        if (token.text == "FALSE") {
+          Next();
+          return Lit(false);
+        }
+        if (token.text == "NULL") {
+          Next();
+          return Lit(Value());
+        }
+        return Col(Next().raw);
+      }
+      case TokenKind::kSymbol:
+        if (token.text == "(") {
+          Next();
+          IDF_ASSIGN_OR_RETURN(ExprPtr inner, ParseExpr());
+          IDF_RETURN_IF_ERROR(ExpectSymbol(")"));
+          return inner;
+        }
+        if (token.text == "-") {
+          Next();
+          IDF_ASSIGN_OR_RETURN(ExprPtr inner, ParsePrimary());
+          return Sub(Lit(int64_t{0}), std::move(inner));
+        }
+        break;
+      case TokenKind::kEnd:
+        break;
+    }
+    return Status::InvalidArgument("unexpected token '" + token.raw +
+                                   "' in expression");
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+  Session& session_;
+
+  bool select_star_ = false;
+  std::vector<std::string> select_columns_;
+  std::vector<AggSpec> aggs_;
+};
+
+}  // namespace
+}  // namespace sql_detail
+
+Result<PlanPtr> ParseSql(const std::string& sql, Session& session) {
+  IDF_ASSIGN_OR_RETURN(std::vector<sql_detail::Token> tokens,
+                       sql_detail::Lex(sql));
+  sql_detail::Parser parser(std::move(tokens), session);
+  return parser.ParseQuery();
+}
+
+}  // namespace idf

@@ -1,0 +1,64 @@
+// SQL front-end (Fig. 2: "Users write SQL queries or use the Dataframe
+// API") — a lexer and recursive-descent parser producing logical plans over
+// the session catalog.
+//
+// Supported grammar (enough for every query in the paper's evaluation):
+//
+//   query      := SELECT select_list
+//                 FROM identifier
+//                 ( JOIN identifier ON column '=' column )*
+//                 [ WHERE expr ]
+//                 [ GROUP BY column (',' column)* ]
+//                 [ LIMIT integer ]
+//   select_list:= '*' | item (',' item)*
+//   item       := column
+//               | (COUNT|SUM|MIN|MAX|AVG) '(' (column|'*') ')' [AS name]
+//   expr       := or-tree of comparisons over columns, literals and
+//                 arithmetic; IS [NOT] NULL; parentheses.
+//   literal    := integer | float | 'string' | TRUE | FALSE | NULL
+//
+// Semantics notes:
+//  - JOIN ... ON a = b takes `a` from the left (accumulated) relation and
+//    `b` from the joined one; joins are inner equi-joins (the paper's only
+//    join shape).
+//  - A select list with aggregate functions becomes an Aggregate node whose
+//    GROUP BY keys must cover the bare columns in the list.
+//  - Integer literals are typed int64; comparisons widen numerics, so they
+//    match int32 columns too.
+#pragma once
+
+#include <string>
+
+#include "common/status.h"
+#include "sql/plan.h"
+
+namespace idf {
+
+class Session;
+
+/// Parses `sql` against the session's table catalog into a logical plan.
+Result<PlanPtr> ParseSql(const std::string& sql, Session& session);
+
+namespace sql_detail {
+
+enum class TokenKind {
+  kIdentifier,
+  kInteger,
+  kFloat,
+  kString,
+  kSymbol,  // punctuation / operators
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;   // uppercased for identifiers/keywords
+  std::string raw;    // original spelling
+  size_t position = 0;
+};
+
+/// Tokenizes a SQL string. Exposed for tests.
+Result<std::vector<Token>> Lex(const std::string& sql);
+
+}  // namespace sql_detail
+}  // namespace idf

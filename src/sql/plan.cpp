@@ -1,0 +1,62 @@
+#include "sql/plan.h"
+
+namespace idf {
+
+std::string LogicalPlan::Explain(int indent) const {
+  std::string out(static_cast<size_t>(indent) * 2, ' ');
+  out += Describe();
+  out += "\n";
+  for (const PlanPtr& child : children_) out += child->Explain(indent + 1);
+  return out;
+}
+
+Result<Schema> AggregateNode::OutputSchema() const {
+  IDF_ASSIGN_OR_RETURN(Schema in, child()->OutputSchema());
+  std::vector<Field> fields;
+  for (const std::string& g : group_by_) {
+    IDF_ASSIGN_OR_RETURN(size_t idx, in.FieldIndex(g));
+    fields.push_back(in.field(idx));
+  }
+  for (const AggSpec& agg : aggs_) {
+    TypeId out_type = TypeId::kInt64;
+    switch (agg.fn) {
+      case AggSpec::Fn::kCount:
+        out_type = TypeId::kInt64;
+        break;
+      case AggSpec::Fn::kAvg:
+        out_type = TypeId::kFloat64;
+        IDF_RETURN_IF_ERROR(in.FieldIndex(agg.column).status());
+        break;
+      case AggSpec::Fn::kSum: {
+        IDF_ASSIGN_OR_RETURN(size_t idx, in.FieldIndex(agg.column));
+        out_type = in.field(idx).type == TypeId::kFloat64 ? TypeId::kFloat64
+                                                          : TypeId::kInt64;
+        break;
+      }
+      case AggSpec::Fn::kMin:
+      case AggSpec::Fn::kMax: {
+        IDF_ASSIGN_OR_RETURN(size_t idx, in.FieldIndex(agg.column));
+        out_type = in.field(idx).type;
+        break;
+      }
+    }
+    fields.push_back(Field{agg.output_name, out_type, true});
+  }
+  return Schema(std::move(fields));
+}
+
+std::string AggregateNode::Describe() const {
+  std::string s = "Aggregate group_by=[";
+  for (size_t i = 0; i < group_by_.size(); ++i) {
+    if (i) s += ", ";
+    s += group_by_[i];
+  }
+  s += "] aggs=[";
+  for (size_t i = 0; i < aggs_.size(); ++i) {
+    if (i) s += ", ";
+    s += aggs_[i].output_name;
+  }
+  return s + "]";
+}
+
+}  // namespace idf

@@ -1,0 +1,249 @@
+#include "sql/planner.h"
+
+namespace idf {
+
+Result<PlanPtr> WithNewChildren(const PlanPtr& node,
+                                std::vector<PlanPtr> children) {
+  IDF_CHECK(children.size() == node->children().size());
+  switch (node->kind()) {
+    case LogicalPlan::Kind::kScan:
+      return node;
+    case LogicalPlan::Kind::kFilter: {
+      const auto& f = static_cast<const FilterNode&>(*node);
+      return PlanPtr(
+          std::make_shared<FilterNode>(std::move(children[0]), f.predicate()));
+    }
+    case LogicalPlan::Kind::kProject: {
+      const auto& p = static_cast<const ProjectNode&>(*node);
+      return PlanPtr(
+          std::make_shared<ProjectNode>(std::move(children[0]), p.columns()));
+    }
+    case LogicalPlan::Kind::kJoin: {
+      const auto& j = static_cast<const JoinNode&>(*node);
+      return PlanPtr(std::make_shared<JoinNode>(
+          std::move(children[0]), std::move(children[1]), j.left_key(),
+          j.right_key(), j.join_type()));
+    }
+    case LogicalPlan::Kind::kSort: {
+      const auto& s = static_cast<const SortNode&>(*node);
+      return PlanPtr(
+          std::make_shared<SortNode>(std::move(children[0]), s.keys()));
+    }
+    case LogicalPlan::Kind::kUnion:
+      return PlanPtr(std::make_shared<UnionNode>(std::move(children[0]),
+                                                 std::move(children[1])));
+    case LogicalPlan::Kind::kAggregate: {
+      const auto& a = static_cast<const AggregateNode&>(*node);
+      return PlanPtr(std::make_shared<AggregateNode>(std::move(children[0]),
+                                                     a.group_by(), a.aggs()));
+    }
+    case LogicalPlan::Kind::kLimit: {
+      const auto& l = static_cast<const LimitNode&>(*node);
+      return PlanPtr(
+          std::make_shared<LimitNode>(std::move(children[0]), l.limit()));
+    }
+  }
+  return Status::Internal("unknown logical node kind");
+}
+
+// ---- default logical rules ---------------------------------------------------
+
+namespace {
+
+/// Filter(Filter(x, p2), p1) => Filter(x, p1 AND p2).
+Result<PlanPtr> CombineFilters(const PlanPtr& plan) {
+  if (plan->kind() != LogicalPlan::Kind::kFilter) return plan;
+  const auto& outer = static_cast<const FilterNode&>(*plan);
+  if (outer.child()->kind() != LogicalPlan::Kind::kFilter) return plan;
+  const auto& inner = static_cast<const FilterNode&>(*outer.child());
+  return PlanPtr(std::make_shared<FilterNode>(
+      inner.child(), And(outer.predicate(), inner.predicate())));
+}
+
+/// Filter(Project(x, cols), p) => Project(Filter(x, p), cols).
+/// Valid because projections only drop/reorder columns (never rename), so a
+/// predicate valid above the projection is valid below it. Pushing the
+/// filter down lets an index-lookup strategy see Filter(Scan(indexed)).
+Result<PlanPtr> PushFilterBelowProject(const PlanPtr& plan) {
+  if (plan->kind() != LogicalPlan::Kind::kFilter) return plan;
+  const auto& filter = static_cast<const FilterNode&>(*plan);
+  if (filter.child()->kind() != LogicalPlan::Kind::kProject) return plan;
+  const auto& project = static_cast<const ProjectNode&>(*filter.child());
+  return PlanPtr(std::make_shared<ProjectNode>(
+      PlanPtr(std::make_shared<FilterNode>(project.child(),
+                                           filter.predicate())),
+      project.columns()));
+}
+
+Result<PlanPtr> ApplyRulesBottomUp(const PlanPtr& plan,
+                                   const std::vector<LogicalRule>& rules,
+                                   bool* changed) {
+  // Recurse into children first.
+  std::vector<PlanPtr> new_children;
+  new_children.reserve(plan->children().size());
+  bool child_changed = false;
+  for (const PlanPtr& child : plan->children()) {
+    IDF_ASSIGN_OR_RETURN(PlanPtr nc, ApplyRulesBottomUp(child, rules, changed));
+    child_changed |= (nc.get() != child.get());
+    new_children.push_back(std::move(nc));
+  }
+  PlanPtr current = plan;
+  if (child_changed) {
+    IDF_ASSIGN_OR_RETURN(current, WithNewChildren(plan, std::move(new_children)));
+  }
+  for (const LogicalRule& rule : rules) {
+    IDF_ASSIGN_OR_RETURN(PlanPtr next, rule.apply(current));
+    if (next.get() != current.get()) {
+      *changed = true;
+      current = std::move(next);
+    }
+  }
+  return current;
+}
+
+// ---- default strategies ---------------------------------------------------
+
+class ScanStrategy final : public Strategy {
+ public:
+  std::string name() const override { return "Scan"; }
+  Result<PhysOpPtr> TryPlan(const PlanPtr& plan, Planner&) const override {
+    if (plan->kind() != LogicalPlan::Kind::kScan) return PhysOpPtr(nullptr);
+    const auto& scan = static_cast<const ScanNode&>(*plan);
+    return PhysOpPtr(std::make_shared<ScanExec>(scan.dataset()));
+  }
+};
+
+class FilterStrategy final : public Strategy {
+ public:
+  std::string name() const override { return "Filter"; }
+  Result<PhysOpPtr> TryPlan(const PlanPtr& plan,
+                            Planner& planner) const override {
+    if (plan->kind() != LogicalPlan::Kind::kFilter) return PhysOpPtr(nullptr);
+    const auto& f = static_cast<const FilterNode&>(*plan);
+    IDF_ASSIGN_OR_RETURN(PhysOpPtr child, planner.PlanNode(f.child()));
+    return PhysOpPtr(
+        std::make_shared<FilterExec>(std::move(child), f.predicate()));
+  }
+};
+
+class ProjectStrategy final : public Strategy {
+ public:
+  std::string name() const override { return "Project"; }
+  Result<PhysOpPtr> TryPlan(const PlanPtr& plan,
+                            Planner& planner) const override {
+    if (plan->kind() != LogicalPlan::Kind::kProject) return PhysOpPtr(nullptr);
+    const auto& p = static_cast<const ProjectNode&>(*plan);
+    IDF_ASSIGN_OR_RETURN(PhysOpPtr child, planner.PlanNode(p.child()));
+    return PhysOpPtr(
+        std::make_shared<ProjectExec>(std::move(child), p.columns()));
+  }
+};
+
+class JoinStrategy final : public Strategy {
+ public:
+  std::string name() const override { return "Join"; }
+  Result<PhysOpPtr> TryPlan(const PlanPtr& plan,
+                            Planner& planner) const override {
+    if (plan->kind() != LogicalPlan::Kind::kJoin) return PhysOpPtr(nullptr);
+    const auto& j = static_cast<const JoinNode&>(*plan);
+    IDF_ASSIGN_OR_RETURN(PhysOpPtr left, planner.PlanNode(j.left()));
+    IDF_ASSIGN_OR_RETURN(PhysOpPtr right, planner.PlanNode(j.right()));
+    return PhysOpPtr(std::make_shared<JoinExec>(
+        std::move(left), std::move(right), j.left_key(), j.right_key(),
+        planner.default_join_mode(), j.join_type()));
+  }
+};
+
+class UnionStrategy final : public Strategy {
+ public:
+  std::string name() const override { return "Union"; }
+  Result<PhysOpPtr> TryPlan(const PlanPtr& plan,
+                            Planner& planner) const override {
+    if (plan->kind() != LogicalPlan::Kind::kUnion) return PhysOpPtr(nullptr);
+    const auto& u = static_cast<const UnionNode&>(*plan);
+    IDF_RETURN_IF_ERROR(u.OutputSchema().status());  // schema compatibility
+    IDF_ASSIGN_OR_RETURN(PhysOpPtr left, planner.PlanNode(u.left()));
+    IDF_ASSIGN_OR_RETURN(PhysOpPtr right, planner.PlanNode(u.right()));
+    return PhysOpPtr(
+        std::make_shared<UnionExec>(std::move(left), std::move(right)));
+  }
+};
+
+class SortStrategy final : public Strategy {
+ public:
+  std::string name() const override { return "Sort"; }
+  Result<PhysOpPtr> TryPlan(const PlanPtr& plan,
+                            Planner& planner) const override {
+    if (plan->kind() != LogicalPlan::Kind::kSort) return PhysOpPtr(nullptr);
+    const auto& s = static_cast<const SortNode&>(*plan);
+    IDF_ASSIGN_OR_RETURN(PhysOpPtr child, planner.PlanNode(s.child()));
+    return PhysOpPtr(std::make_shared<SortExec>(std::move(child), s.keys()));
+  }
+};
+
+class AggStrategy final : public Strategy {
+ public:
+  std::string name() const override { return "Aggregate"; }
+  Result<PhysOpPtr> TryPlan(const PlanPtr& plan,
+                            Planner& planner) const override {
+    if (plan->kind() != LogicalPlan::Kind::kAggregate) {
+      return PhysOpPtr(nullptr);
+    }
+    const auto& a = static_cast<const AggregateNode&>(*plan);
+    IDF_ASSIGN_OR_RETURN(PhysOpPtr child, planner.PlanNode(a.child()));
+    return PhysOpPtr(std::make_shared<HashAggExec>(std::move(child),
+                                                   a.group_by(), a.aggs()));
+  }
+};
+
+class LimitStrategy final : public Strategy {
+ public:
+  std::string name() const override { return "Limit"; }
+  Result<PhysOpPtr> TryPlan(const PlanPtr& plan,
+                            Planner& planner) const override {
+    if (plan->kind() != LogicalPlan::Kind::kLimit) return PhysOpPtr(nullptr);
+    const auto& l = static_cast<const LimitNode&>(*plan);
+    IDF_ASSIGN_OR_RETURN(PhysOpPtr child, planner.PlanNode(l.child()));
+    return PhysOpPtr(std::make_shared<LimitExec>(std::move(child), l.limit()));
+  }
+};
+
+}  // namespace
+
+Planner::Planner(JoinExec::Mode default_join_mode)
+    : default_join_mode_(default_join_mode) {
+  rules_.push_back({"CombineFilters", CombineFilters});
+  rules_.push_back({"PushFilterBelowProject", PushFilterBelowProject});
+  strategies_ = {
+      std::make_shared<FilterStrategy>(),  std::make_shared<ProjectStrategy>(),
+      std::make_shared<JoinStrategy>(),    std::make_shared<AggStrategy>(),
+      std::make_shared<SortStrategy>(),    std::make_shared<LimitStrategy>(),
+      std::make_shared<UnionStrategy>(),   std::make_shared<ScanStrategy>(),
+  };
+}
+
+Result<PlanPtr> Planner::Optimize(const PlanPtr& plan) const {
+  PlanPtr current = plan;
+  for (int iteration = 0; iteration < 16; ++iteration) {
+    bool changed = false;
+    IDF_ASSIGN_OR_RETURN(current,
+                         ApplyRulesBottomUp(current, rules_, &changed));
+    if (!changed) return current;
+  }
+  return current;  // fixpoint not reached; plan is still valid
+}
+
+Result<PhysOpPtr> Planner::Plan(const PlanPtr& plan) {
+  IDF_ASSIGN_OR_RETURN(PlanPtr optimized, Optimize(plan));
+  return PlanNode(optimized);
+}
+
+Result<PhysOpPtr> Planner::PlanNode(const PlanPtr& plan) {
+  for (const StrategyPtr& strategy : strategies_) {
+    IDF_ASSIGN_OR_RETURN(PhysOpPtr op, strategy->TryPlan(plan, *this));
+    if (op != nullptr) return op;
+  }
+  return Status::Internal("no strategy for: " + plan->Describe());
+}
+
+}  // namespace idf

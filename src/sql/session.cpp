@@ -1,0 +1,202 @@
+#include "sql/session.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "sql/parser.h"
+
+namespace idf {
+
+std::vector<std::string> CollectedTable::SortedRowStrings() const {
+  std::vector<std::string> out;
+  out.reserve(rows.size());
+  for (const RowVec& row : rows) {
+    std::string s;
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i) s += "|";
+      s += row[i].ToString();
+    }
+    out.push_back(std::move(s));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+Session::Session(SessionOptions options)
+    : options_(std::move(options)),
+      cluster_(std::make_unique<Cluster>(options_.cluster)),
+      planner_(options_.join_mode) {}
+
+Result<DataFrame> Session::CreateTable(const std::string& name,
+                                       SchemaPtr schema,
+                                       const std::vector<RowVec>& rows,
+                                       uint32_t partitions) {
+  if (partitions == 0) partitions = options_.default_partitions;
+  for (const RowVec& row : rows) {
+    IDF_RETURN_IF_ERROR(ValidateRow(*schema, row));
+  }
+  // Round-robin assignment; capture by value so lineage can replay.
+  auto generator = [rows, partitions](uint32_t partition) {
+    std::vector<RowVec> mine;
+    for (size_t i = partition; i < rows.size(); i += partitions) {
+      mine.push_back(rows[i]);
+    }
+    return mine;
+  };
+  return CreateTableFromGenerator(name, std::move(schema), partitions,
+                                  std::move(generator));
+}
+
+Result<DataFrame> Session::CreateTableFromGenerator(
+    const std::string& name, SchemaPtr schema, uint32_t partitions,
+    PartitionGenerator generator) {
+  IDF_CHECK(partitions > 0);
+  IDF_CHECK(generator != nullptr);
+  const uint64_t rdd_id = cluster_->NewRddId();
+
+  auto build_chunk = [schema, generator](uint32_t partition) -> ChunkPtr {
+    auto chunk = std::make_shared<ColumnarChunk>(schema);
+    for (const RowVec& row : generator(partition)) {
+      IDF_CHECK_OK(chunk->AppendRow(row));
+    }
+    return chunk;
+  };
+
+  // Lineage: regenerating a lost partition re-runs the generator (§III-D:
+  // a replayable data source).
+  cluster_->RegisterLineage(
+      rdd_id, [build_chunk](uint32_t partition, uint64_t version,
+                            TaskContext&) -> Result<BlockPtr> {
+        if (version != 0) {
+          return Status::Internal("cached tables only have version 0");
+        }
+        return BlockPtr(build_chunk(partition));
+      });
+
+  StageSpec stage;
+  stage.name = "materialize " + name;
+  uint64_t total_rows = 0;
+  uint64_t total_bytes = 0;
+  for (uint32_t p = 0; p < partitions; ++p) {
+    const ExecutorId home = cluster_->HomeExecutorFor(rdd_id, p);
+    stage.tasks.push_back(TaskSpec{
+        home,
+        {},
+        0,
+        [&, p, rdd_id](TaskContext& ctx) {
+          ChunkPtr chunk = build_chunk(p);
+          total_rows += chunk->num_rows();
+          total_bytes += chunk->ByteSize();
+          ctx.metrics().rows_written += chunk->num_rows();
+          ctx.cluster().blocks().Put(BlockId{rdd_id, p, 0}, ctx.executor(),
+                                     chunk);
+          return Status::OK();
+        }});
+  }
+  IDF_RETURN_IF_ERROR(cluster_->RunStage(stage).status());
+
+  TableHandle handle;
+  handle.schema = schema;
+  handle.rdd_id = rdd_id;
+  handle.num_partitions = partitions;
+  handle.version = 0;
+  handle.num_rows = total_rows;
+  handle.total_bytes = total_bytes;
+
+  auto dataset = std::make_shared<CachedTable>(handle, name);
+  RegisterTable(name, dataset);
+  return Read(std::move(dataset));
+}
+
+namespace {
+std::string CatalogKey(const std::string& name) {
+  std::string key = name;
+  for (char& c : key) {
+    c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  }
+  return key;
+}
+}  // namespace
+
+void Session::RegisterTable(const std::string& name, DatasetPtr dataset) {
+  IDF_CHECK(dataset != nullptr);
+  catalog_[CatalogKey(name)] = std::move(dataset);
+}
+
+Result<DatasetPtr> Session::LookupTable(const std::string& name) const {
+  auto it = catalog_.find(CatalogKey(name));
+  if (it == catalog_.end()) {
+    return Status::NotFound("no table named '" + name + "' in the catalog");
+  }
+  return it->second;
+}
+
+Result<DataFrame> Session::Sql(const std::string& query) {
+  IDF_ASSIGN_OR_RETURN(PlanPtr plan, ParseSql(query, *this));
+  // Surface binding errors (unknown columns, arity problems) at Sql() time
+  // rather than at execution.
+  IDF_RETURN_IF_ERROR(plan->OutputSchema().status());
+  return DataFrame(this, std::move(plan));
+}
+
+DataFrame Session::Read(DatasetPtr dataset) {
+  return DataFrame(this, std::make_shared<ScanNode>(std::move(dataset)));
+}
+
+Result<CollectedTable> Session::Collect(const TableHandle& handle) {
+  CollectedTable out;
+  out.schema = handle.schema;
+  TaskContext ctx(cluster_.get(), cluster_->AliveExecutors().front());
+  for (uint32_t p = 0; p < handle.num_partitions; ++p) {
+    IDF_ASSIGN_OR_RETURN(
+        BlockPtr block,
+        cluster_->GetOrCompute(BlockId{handle.rdd_id, p, handle.version}, ctx));
+    const auto& chunk = static_cast<const ColumnarChunk&>(*block);
+    for (size_t i = 0; i < chunk.num_rows(); ++i) {
+      out.rows.push_back(chunk.RowAt(i));
+    }
+  }
+  return out;
+}
+
+Result<TableHandle> DataFrame::Execute(QueryMetrics* metrics) const {
+  IDF_CHECK_MSG(valid(), "Execute on an empty DataFrame");
+  QueryMetrics local;
+  QueryMetrics& m = metrics != nullptr ? *metrics : local;
+  IDF_ASSIGN_OR_RETURN(PhysOpPtr op, session_->planner().Plan(plan_));
+  return op->Execute(*session_, m);
+}
+
+Result<CollectedTable> DataFrame::Collect(QueryMetrics* metrics) const {
+  IDF_ASSIGN_OR_RETURN(TableHandle handle, Execute(metrics));
+  return session_->Collect(handle);
+}
+
+Result<uint64_t> DataFrame::Count(QueryMetrics* metrics) const {
+  IDF_ASSIGN_OR_RETURN(TableHandle handle, Execute(metrics));
+  return handle.num_rows;
+}
+
+Result<DataFrame> DataFrame::Distinct() const {
+  IDF_CHECK_MSG(valid(), "Distinct on an empty DataFrame");
+  IDF_ASSIGN_OR_RETURN(Schema schema, plan_->OutputSchema());
+  std::vector<std::string> all_columns;
+  for (const Field& field : schema.fields()) all_columns.push_back(field.name);
+  // Group by every column, then project the group keys back out.
+  PlanPtr agg = std::make_shared<AggregateNode>(
+      plan_, all_columns, std::vector<AggSpec>{AggSpec::Count("__distinct")});
+  return DataFrame(session_,
+                   std::make_shared<ProjectNode>(std::move(agg), all_columns));
+}
+
+Result<std::string> DataFrame::ExplainOptimized() const {
+  IDF_ASSIGN_OR_RETURN(PlanPtr optimized, session_->planner().Optimize(plan_));
+  return optimized->Explain();
+}
+
+Result<std::string> DataFrame::ExplainPhysical() const {
+  IDF_ASSIGN_OR_RETURN(PhysOpPtr op, session_->planner().Plan(plan_));
+  return op->Explain();
+}
+
+}  // namespace idf

@@ -1,0 +1,79 @@
+// Distributed table handles and scannable datasets.
+//
+// A TableHandle names a materialized distributed table: `num_partitions`
+// ColumnarChunk blocks registered in the cluster's BlockManager under
+// (rdd_id, partition, version). A Dataset is anything a Scan node can read —
+// a cached vanilla table, or (from src/core) an Indexed Batch RDD, which
+// index-aware strategies recognize and everything else treats through the
+// row-to-columnar fallback (§III-B: "An Indexed Batch RDD can always fall
+// back to a regular Spark Row RDD").
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "engine/metrics.h"
+#include "types/schema.h"
+
+namespace idf {
+
+class Session;
+
+struct TableHandle {
+  SchemaPtr schema;
+  uint64_t rdd_id = 0;
+  uint32_t num_partitions = 0;
+  uint64_t version = 0;
+  uint64_t num_rows = 0;     // filled at materialization
+  uint64_t total_bytes = 0;  // sum of block byte sizes
+
+  bool valid() const { return schema != nullptr && num_partitions > 0; }
+};
+
+class Dataset {
+ public:
+  virtual ~Dataset() = default;
+
+  virtual const SchemaPtr& schema() const = 0;
+  virtual uint32_t num_partitions() const = 0;
+
+  /// Materializes this dataset as vanilla columnar blocks (the regular
+  /// execution path). For cached tables this is free; for indexed datasets
+  /// it performs the row-to-columnar conversion, whose cost is part of the
+  /// query (this is what slows projections on indexed data, Fig. 8).
+  virtual Result<TableHandle> ScanAsColumnar(Session& session,
+                                             QueryMetrics& metrics) const = 0;
+
+  /// Index-aware strategies ask: which column is indexed? -1 for none.
+  virtual int indexed_column() const { return -1; }
+
+  /// Display name for plan explanations.
+  virtual std::string name() const { return "dataset"; }
+};
+
+using DatasetPtr = std::shared_ptr<const Dataset>;
+
+/// A vanilla cached table: blocks are already columnar in the block manager.
+class CachedTable final : public Dataset {
+ public:
+  CachedTable(TableHandle handle, std::string name)
+      : handle_(std::move(handle)), name_(std::move(name)) {
+    IDF_CHECK(handle_.valid());
+  }
+
+  const SchemaPtr& schema() const override { return handle_.schema; }
+  uint32_t num_partitions() const override { return handle_.num_partitions; }
+  Result<TableHandle> ScanAsColumnar(Session&, QueryMetrics&) const override {
+    return handle_;
+  }
+  std::string name() const override { return name_; }
+
+  const TableHandle& handle() const { return handle_; }
+
+ private:
+  TableHandle handle_;
+  std::string name_;
+};
+
+}  // namespace idf

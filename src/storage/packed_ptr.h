@@ -1,0 +1,92 @@
+// Packed 64-bit row pointers (§III-C): "The pointers stored both in the cTrie
+// and in the backward pointer data structure are packed in dense 64-bit
+// integers, each containing the row batch number, an offset within a row
+// batch, and the size of the previous row indexed on the same key."
+//
+// Layout (most- to least-significant):
+//   [ batch : 28 bits ][ offset : 26 bits ][ prev_size : 10 bits ]
+//
+// - 2^28 batches per partition; at the default 4 MB batch size that is
+//   1 PB per partition — same order as the paper's 2^31 x 4 MB bound.
+// - 26-bit offsets address batches up to 64 MB, the largest size the batch
+//   sweep (Fig. 5) explores.
+// - 10-bit prev_size covers the paper's 1 KB maximum row size.
+//
+// The all-ones value is reserved as the null pointer (end of a backward
+// chain / empty cTrie slot).
+#pragma once
+
+#include <cstdint>
+
+#include "common/status.h"
+
+namespace idf {
+
+class PackedRowPtr {
+ public:
+  static constexpr int kBatchBits = 28;
+  static constexpr int kOffsetBits = 26;
+  static constexpr int kPrevSizeBits = 10;
+  static_assert(kBatchBits + kOffsetBits + kPrevSizeBits == 64);
+
+  static constexpr uint64_t kMaxBatch = (1ULL << kBatchBits) - 1;
+  static constexpr uint64_t kMaxOffset = (1ULL << kOffsetBits) - 1;
+  static constexpr uint64_t kMaxPrevSize = (1ULL << kPrevSizeBits) - 1;
+  static constexpr uint64_t kNullBits = ~0ULL;
+
+  /// Maximum encodable row size; rows are rejected above this (§III-C:
+  /// "rows that may have up to 1 KB").
+  static constexpr uint32_t kMaxRowSize = static_cast<uint32_t>(kMaxPrevSize);
+
+  constexpr PackedRowPtr() : bits_(kNullBits) {}
+
+  static PackedRowPtr Make(uint32_t batch, uint32_t offset,
+                           uint32_t prev_size) {
+    IDF_CHECK_MSG(batch <= kMaxBatch, "batch index overflow");
+    IDF_CHECK_MSG(offset <= kMaxOffset, "batch offset overflow");
+    IDF_CHECK_MSG(prev_size <= kMaxPrevSize, "prev row size overflow");
+    PackedRowPtr p;
+    p.bits_ = (static_cast<uint64_t>(batch) << (kOffsetBits + kPrevSizeBits)) |
+              (static_cast<uint64_t>(offset) << kPrevSizeBits) |
+              static_cast<uint64_t>(prev_size);
+    // Make() must never produce the reserved null pattern; it cannot, since
+    // batch==kMaxBatch && offset==kMaxOffset && prev==kMaxPrevSize would
+    // require a 64 MB-1 offset in the last possible batch, which the
+    // partition store never allocates (it caps batch count below kMaxBatch).
+    IDF_CHECK(p.bits_ != kNullBits);
+    return p;
+  }
+
+  static constexpr PackedRowPtr Null() { return PackedRowPtr(); }
+
+  static constexpr PackedRowPtr FromBits(uint64_t bits) {
+    PackedRowPtr p;
+    p.bits_ = bits;
+    return p;
+  }
+
+  constexpr bool is_null() const { return bits_ == kNullBits; }
+  constexpr uint64_t bits() const { return bits_; }
+
+  constexpr uint32_t batch() const {
+    return static_cast<uint32_t>(bits_ >> (kOffsetBits + kPrevSizeBits));
+  }
+  constexpr uint32_t offset() const {
+    return static_cast<uint32_t>((bits_ >> kPrevSizeBits) & kMaxOffset);
+  }
+  constexpr uint32_t prev_size() const {
+    return static_cast<uint32_t>(bits_ & kMaxPrevSize);
+  }
+
+  constexpr bool operator==(const PackedRowPtr& o) const {
+    return bits_ == o.bits_;
+  }
+  constexpr bool operator!=(const PackedRowPtr& o) const {
+    return bits_ != o.bits_;
+  }
+
+ private:
+  uint64_t bits_;
+};
+
+}  // namespace idf

@@ -1,0 +1,110 @@
+#include "storage/partition_store.h"
+
+#include <algorithm>
+
+namespace idf {
+
+PartitionStore::PartitionStore(uint32_t batch_capacity)
+    : batch_capacity_(batch_capacity) {
+  IDF_CHECK_MSG(batch_capacity_ > PackedRowPtr::kMaxRowSize,
+                "batch capacity must exceed the maximum row size");
+  IDF_CHECK_MSG(batch_capacity_ - 1 <= PackedRowPtr::kMaxOffset,
+                "batch capacity not addressable by packed pointers");
+}
+
+PartitionStore PartitionStore::Snapshot() {
+  PartitionStore snap(batch_capacity_);
+  snap.directory_ = directory_.Snapshot();
+  snap.flat_ = flat_;
+  snap.num_batches_ = num_batches_;
+  snap.num_rows_ = num_rows_;
+  snap.data_bytes_ = data_bytes_;
+  snap.allocated_bytes_ = allocated_bytes_;
+  snap.tail_ = tail_;
+  // The tail is now shared and therefore sealed for both versions: each
+  // side's next append opens a fresh (hint-sized) batch of its own.
+  snap.tail_exclusive_ = false;
+  tail_exclusive_ = false;
+  return snap;
+}
+
+Result<std::shared_ptr<RowBatch>> PartitionStore::WritableTail(uint32_t len) {
+  IDF_CHECK_MSG(len <= PackedRowPtr::kMaxRowSize, "row exceeds 1 KB bound");
+  if (tail_ != nullptr && tail_exclusive_ && tail_->remaining() >= len) {
+    return tail_;
+  }
+  // Tail missing, sealed by a snapshot, or full: open a fresh batch, sized
+  // to the pending-append hint when one is set (min len, max the default).
+  if (num_batches_ >= PackedRowPtr::kMaxBatch) {
+    return Status::ResourceExhausted("partition reached max batch count");
+  }
+  uint32_t capacity = batch_capacity_;
+  if (next_batch_hint_ > 0) {
+    capacity = static_cast<uint32_t>(std::clamp<uint64_t>(
+        next_batch_hint_, len, batch_capacity_));
+    next_batch_hint_ -= std::min<uint64_t>(next_batch_hint_, capacity);
+  }
+  tail_ = RowBatch::Create(capacity);
+  allocated_bytes_ += capacity;
+  tail_exclusive_ = true;
+  directory_.Put(num_batches_, tail_);
+  flat_.push_back(tail_);
+  ++num_batches_;
+  return tail_;
+}
+
+Result<PackedRowPtr> PartitionStore::FinishAppend(RowBatch& tail,
+                                                  uint32_t offset,
+                                                  PackedRowPtr back_ptr,
+                                                  uint32_t len) {
+  const uint32_t prev_size =
+      back_ptr.is_null() ? 0 : RowSizeAt(back_ptr);
+  ++num_rows_;
+  data_bytes_ += len;
+  (void)tail;
+  return PackedRowPtr::Make(num_batches_ - 1, offset, prev_size);
+}
+
+Result<PackedRowPtr> PartitionStore::AppendRow(const RowLayout& layout,
+                                               const RowVec& row,
+                                               PackedRowPtr back_ptr) {
+  uint32_t len;
+  {
+    Result<uint32_t> size = layout.ComputeRowSize(row);
+    IDF_RETURN_IF_ERROR(size.status());
+    len = *size;
+  }
+  IDF_ASSIGN_OR_RETURN(std::shared_ptr<RowBatch> tail, WritableTail(len));
+  IDF_ASSIGN_OR_RETURN(uint32_t offset, tail->Allocate(len));
+  layout.EncodeRow(row, tail->MutableData() + offset, back_ptr);
+  return FinishAppend(*tail, offset, back_ptr, len);
+}
+
+Result<PackedRowPtr> PartitionStore::AppendEncoded(const uint8_t* bytes,
+                                                   uint32_t len,
+                                                   PackedRowPtr back_ptr) {
+  IDF_CHECK(RowLayout::RowSize(bytes) == len);
+  IDF_ASSIGN_OR_RETURN(std::shared_ptr<RowBatch> tail, WritableTail(len));
+  IDF_ASSIGN_OR_RETURN(uint32_t offset, tail->Allocate(len));
+  uint8_t* dst = tail->MutableData() + offset;
+  std::memcpy(dst, bytes, len);
+  RowLayout::SetBackPtr(dst, back_ptr);
+  return FinishAppend(*tail, offset, back_ptr, len);
+}
+
+const uint8_t* PartitionStore::RowAt(PackedRowPtr ptr) const {
+  IDF_CHECK_MSG(!ptr.is_null(), "RowAt(null)");
+  IDF_CHECK_MSG(ptr.batch() < flat_.size(),
+                "dangling batch index in packed pointer");
+  const RowBatch& batch = *flat_[ptr.batch()];
+  IDF_CHECK(batch.used() > ptr.offset());
+  return batch.data() + ptr.offset();
+}
+
+std::shared_ptr<RowBatch> PartitionStore::batch(uint32_t index) const {
+  auto found = directory_.Lookup(index);
+  IDF_CHECK_MSG(found.has_value(), "batch index out of range");
+  return *found;
+}
+
+}  // namespace idf

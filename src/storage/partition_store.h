@@ -1,0 +1,105 @@
+// PartitionStore: the row-batch collection of one Indexed Batch RDD partition,
+// with snapshot-based multi-versioning (§III-C, §III-E).
+//
+// The batch *directory* is a cTrie mapping batch index -> RowBatch pointer —
+// the paper's "secondary cTrie that stores pointers to the row batches".
+// Taking a version snapshot is O(1): the directory is snapshotted, sealed
+// batches are shared by pointer, and the open tail batch is copied lazily
+// the first time a divergent version appends into it (COW at 4 MB
+// granularity, not full-data copies).
+//
+// Threading model, as in the paper: one writer per partition ("transformations
+// within a partition are sequentially executed on a single core", §III-C);
+// any number of concurrent readers against snapshots.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "ctrie/ctrie.h"
+#include "storage/packed_ptr.h"
+#include "storage/row_batch.h"
+#include "storage/row_layout.h"
+#include "types/schema.h"
+
+namespace idf {
+
+class PartitionStore {
+ public:
+  explicit PartitionStore(uint32_t batch_capacity = RowBatch::kDefaultCapacity);
+
+  PartitionStore(const PartitionStore&) = delete;
+  PartitionStore& operator=(const PartitionStore&) = delete;
+  PartitionStore(PartitionStore&&) = default;
+  PartitionStore& operator=(PartitionStore&&) = default;
+
+  /// O(1) version snapshot: shares all batches. The open tail batch is
+  /// *sealed* by the snapshot — each version's next append opens a fresh
+  /// batch of its own, so no data is ever copied (§III-E: divergent versions
+  /// "share the parent data and only store the deltas").
+  PartitionStore Snapshot();
+
+  /// Hints that ~`bytes` of row data are about to be appended: freshly
+  /// opened batches are sized to the hint (capped at batch_capacity) instead
+  /// of the full default, so small appends after a snapshot do not allocate
+  /// a whole 4 MB batch for a handful of rows.
+  void ReserveHint(uint64_t bytes) { next_batch_hint_ += bytes; }
+
+  /// Encodes and appends a row. `back_ptr` points at the previous row with
+  /// the same key (null for first occurrence); its size is folded into the
+  /// new row's PackedRowPtr per the paper's pointer layout.
+  Result<PackedRowPtr> AppendRow(const RowLayout& layout, const RowVec& row,
+                                 PackedRowPtr back_ptr);
+
+  /// Appends an already-encoded row (shuffle-received bytes), rewriting its
+  /// back-pointer header to `back_ptr`.
+  Result<PackedRowPtr> AppendEncoded(const uint8_t* bytes, uint32_t len,
+                                     PackedRowPtr back_ptr);
+
+  /// Start of the encoded row this pointer addresses. The returned pointer
+  /// stays valid as long as this PartitionStore (or any snapshot sharing the
+  /// batch) is alive.
+  const uint8_t* RowAt(PackedRowPtr ptr) const;
+
+  /// Size in bytes of the row a pointer addresses.
+  uint32_t RowSizeAt(PackedRowPtr ptr) const {
+    return RowLayout::RowSize(RowAt(ptr));
+  }
+
+  uint32_t num_batches() const { return num_batches_; }
+  std::shared_ptr<RowBatch> batch(uint32_t index) const;
+
+  uint64_t num_rows() const { return num_rows_; }
+  uint32_t batch_capacity() const { return batch_capacity_; }
+
+  /// Bytes of row data written (excludes unused batch tails).
+  uint64_t data_bytes() const { return data_bytes_; }
+  /// Bytes of buffer capacity allocated across all batches (variable-size:
+  /// hinted appends open right-sized batches).
+  uint64_t allocated_bytes() const { return allocated_bytes_; }
+
+ private:
+  /// Ensures the tail batch is exclusively owned and has room for `len`
+  /// bytes; allocates/COWs as needed. Returns the writable tail.
+  Result<std::shared_ptr<RowBatch>> WritableTail(uint32_t len);
+
+  Result<PackedRowPtr> FinishAppend(RowBatch& tail, uint32_t offset,
+                                    PackedRowPtr back_ptr, uint32_t len);
+
+  CTrie<uint32_t, std::shared_ptr<RowBatch>> directory_;
+  // Read cache mirroring the directory: RowAt() is on the join/lookup hot
+  // path (one call per backward-chain step), so it must not pay a cTrie
+  // lookup per row. The directory remains the versioning/sharing mechanism;
+  // this vector is rebuilt O(#batches) on snapshot (pointer copies only).
+  std::vector<std::shared_ptr<RowBatch>> flat_;
+  uint32_t batch_capacity_;
+  uint32_t num_batches_ = 0;
+  uint64_t num_rows_ = 0;
+  uint64_t data_bytes_ = 0;
+  uint64_t allocated_bytes_ = 0;
+  uint64_t next_batch_hint_ = 0;
+  std::shared_ptr<RowBatch> tail_;  // == directory_[num_batches_-1]
+  bool tail_exclusive_ = false;     // false after a snapshot (tail sealed)
+};
+
+}  // namespace idf

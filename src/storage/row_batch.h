@@ -1,0 +1,56 @@
+// RowBatch: one fixed-capacity raw buffer of row-wise binary data.
+//
+// "The row batches are collections of binary, unsafe arrays (e.g., of 4 MB in
+// size), each storing a number of rows determined by the row and batch sizes"
+// (§III-C). The buffer is allocated outside any GC'd heap by construction
+// (std::aligned_alloc) and is append-only: rows are bump-allocated and never
+// moved, so PackedRowPtr offsets stay valid for the batch's lifetime.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "common/status.h"
+
+namespace idf {
+
+class RowBatch {
+ public:
+  /// Default batch size — the paper's measured sweet spot (Fig. 5).
+  static constexpr uint32_t kDefaultCapacity = 4u << 20;  // 4 MB
+
+  static std::shared_ptr<RowBatch> Create(uint32_t capacity = kDefaultCapacity);
+
+  ~RowBatch();
+  RowBatch(const RowBatch&) = delete;
+  RowBatch& operator=(const RowBatch&) = delete;
+
+  /// Bump-allocates `len` bytes; returns the offset of the allocation, or
+  /// ResourceExhausted when the batch is full. The caller writes the row
+  /// into MutableData() + offset.
+  Result<uint32_t> Allocate(uint32_t len);
+
+  /// Copy-on-write clone: a new batch with the same capacity whose used
+  /// prefix is copied. Used when a divergent version appends into a tail
+  /// batch that a snapshot still shares (§III-E).
+  std::shared_ptr<RowBatch> Clone() const;
+
+  const uint8_t* data() const { return data_; }
+  uint8_t* MutableData() { return data_; }
+
+  uint32_t capacity() const { return capacity_; }
+  uint32_t used() const { return used_; }
+  uint32_t remaining() const { return capacity_ - used_; }
+  uint32_t num_rows() const { return num_rows_; }
+
+ private:
+  RowBatch(uint8_t* data, uint32_t capacity)
+      : data_(data), capacity_(capacity) {}
+
+  uint8_t* data_;
+  uint32_t capacity_;
+  uint32_t used_ = 0;
+  uint32_t num_rows_ = 0;
+};
+
+}  // namespace idf

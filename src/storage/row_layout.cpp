@@ -1,0 +1,153 @@
+#include "storage/row_layout.h"
+
+#include <cstring>
+
+namespace idf {
+namespace {
+
+constexpr uint32_t kHeaderBytes = 16;  // row_size + pad + back_ptr
+
+uint32_t AlignUp(uint32_t x, uint32_t a) { return (x + a - 1) / a * a; }
+
+}  // namespace
+
+RowLayout::RowLayout(SchemaPtr schema) : schema_(std::move(schema)) {
+  IDF_CHECK(schema_ != nullptr);
+  const size_t n = schema_->num_fields();
+  bitmap_bytes_ = AlignUp(static_cast<uint32_t>((n + 7) / 8), 8);
+  uint32_t cursor = kHeaderBytes + bitmap_bytes_;
+  slot_offsets_.resize(n);
+
+  // Lay out 8-byte slots first, then 4-byte, then 1-byte, so every slot is
+  // naturally aligned without per-field padding.
+  for (uint32_t width : {8u, 4u, 1u}) {
+    for (size_t i = 0; i < n; ++i) {
+      if (FixedSlotWidth(schema_->field(i).type) != width) continue;
+      slot_offsets_[i] = cursor;
+      cursor += width;
+    }
+  }
+  fixed_size_ = AlignUp(cursor, 4);  // var-length offsets stay 4-aligned
+}
+
+Result<uint32_t> RowLayout::ComputeRowSize(const RowVec& row) const {
+  IDF_RETURN_IF_ERROR(ValidateRow(*schema_, row));
+  uint64_t size = fixed_size_;
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (schema_->field(i).type == TypeId::kString && !row[i].is_null()) {
+      size += row[i].string_value().size();
+    }
+  }
+  if (size > PackedRowPtr::kMaxRowSize) {
+    return Status::InvalidArgument(
+        "row of " + std::to_string(size) + " bytes exceeds the " +
+        std::to_string(PackedRowPtr::kMaxRowSize) + "-byte row bound");
+  }
+  return static_cast<uint32_t>(size);
+}
+
+void RowLayout::EncodeRow(const RowVec& row, uint8_t* dst,
+                          PackedRowPtr back_ptr) const {
+  Result<uint32_t> size = ComputeRowSize(row);
+  IDF_CHECK_OK(size.status());
+  const uint32_t row_size = *size;
+
+  std::memset(dst, 0, fixed_size_);
+  std::memcpy(dst, &row_size, sizeof(row_size));
+  SetBackPtr(dst, back_ptr);
+
+  uint32_t var_cursor = fixed_size_;
+  for (size_t i = 0; i < row.size(); ++i) {
+    const Value& v = row[i];
+    if (v.is_null()) {
+      dst[16 + i / 8] |= static_cast<uint8_t>(1u << (i % 8));
+      continue;  // slot stays zeroed
+    }
+    uint8_t* slot = dst + slot_offsets_[i];
+    switch (schema_->field(i).type) {
+      case TypeId::kBool: {
+        *slot = v.bool_value() ? 1 : 0;
+        break;
+      }
+      case TypeId::kInt32: {
+        const int32_t x = v.int32_value();
+        std::memcpy(slot, &x, sizeof(x));
+        break;
+      }
+      case TypeId::kInt64: {
+        const int64_t x = v.int64_value();
+        std::memcpy(slot, &x, sizeof(x));
+        break;
+      }
+      case TypeId::kFloat64: {
+        const double x = v.float64_value();
+        std::memcpy(slot, &x, sizeof(x));
+        break;
+      }
+      case TypeId::kString: {
+        const std::string& s = v.string_value();
+        const uint32_t off = var_cursor;
+        const uint32_t len = static_cast<uint32_t>(s.size());
+        std::memcpy(slot, &off, sizeof(off));
+        std::memcpy(slot + 4, &len, sizeof(len));
+        std::memcpy(dst + var_cursor, s.data(), s.size());
+        var_cursor += len;
+        break;
+      }
+    }
+  }
+  IDF_CHECK(var_cursor == row_size);
+}
+
+RowVec RowLayout::DecodeRow(const uint8_t* src) const {
+  const size_t n = schema_->num_fields();
+  RowVec row;
+  row.reserve(n);
+  for (size_t i = 0; i < n; ++i) row.push_back(GetValue(src, i));
+  return row;
+}
+
+Value RowLayout::GetValue(const uint8_t* src, size_t col) const {
+  const Field& f = schema_->field(col);
+  if (IsNull(src, col)) return Value::Null(f.type);
+  switch (f.type) {
+    case TypeId::kBool: return Value::Bool(GetBool(src, col));
+    case TypeId::kInt32: return Value::Int32(GetInt32(src, col));
+    case TypeId::kInt64: return Value::Int64(GetInt64(src, col));
+    case TypeId::kFloat64: return Value::Float64(GetFloat64(src, col));
+    case TypeId::kString: {
+      std::string_view s = GetString(src, col);
+      return Value::String(std::string(s));
+    }
+  }
+  return Value();
+}
+
+uint64_t RowLayout::KeyCode(const uint8_t* src, size_t col) const {
+  const Field& f = schema_->field(col);
+  IDF_CHECK_MSG(!IsNull(src, col), "null values are not indexable");
+  switch (f.type) {
+    case TypeId::kBool: return GetBool(src, col) ? 1 : 0;
+    case TypeId::kInt32: return static_cast<uint64_t>(
+        static_cast<int64_t>(GetInt32(src, col)));
+    case TypeId::kInt64: return static_cast<uint64_t>(GetInt64(src, col));
+    case TypeId::kFloat64: return HashDouble(GetFloat64(src, col));
+    case TypeId::kString: return HashString(GetString(src, col));
+  }
+  return 0;
+}
+
+uint64_t IndexKeyCode(const Value& key) {
+  IDF_CHECK_MSG(!key.is_null(), "null values are not indexable");
+  switch (key.type()) {
+    case TypeId::kBool: return key.bool_value() ? 1 : 0;
+    case TypeId::kInt32: return static_cast<uint64_t>(
+        static_cast<int64_t>(key.int32_value()));
+    case TypeId::kInt64: return static_cast<uint64_t>(key.int64_value());
+    case TypeId::kFloat64: return HashDouble(key.float64_value());
+    case TypeId::kString: return HashString(key.string_value());
+  }
+  return 0;
+}
+
+}  // namespace idf

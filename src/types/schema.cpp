@@ -1,0 +1,75 @@
+#include "types/schema.h"
+
+namespace idf {
+
+Result<size_t> Schema::FieldIndex(std::string_view name) const {
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (fields_[i].name == name) return i;
+  }
+  return Status::NotFound("no field named '" + std::string(name) +
+                          "' in schema " + ToString());
+}
+
+bool Schema::HasField(std::string_view name) const {
+  return FieldIndex(name).ok();
+}
+
+Result<Schema> Schema::Project(const std::vector<std::string>& names) const {
+  std::vector<Field> projected;
+  projected.reserve(names.size());
+  for (const auto& name : names) {
+    IDF_ASSIGN_OR_RETURN(size_t idx, FieldIndex(name));
+    projected.push_back(fields_[idx]);
+  }
+  return Schema(std::move(projected));
+}
+
+Schema Schema::ConcatForJoin(const Schema& right) const {
+  std::vector<Field> fields = fields_;
+  fields.reserve(fields_.size() + right.num_fields());
+  for (const auto& f : right.fields()) {
+    Field copy = f;
+    if (HasField(copy.name)) copy.name += "_r";
+    fields.push_back(std::move(copy));
+  }
+  return Schema(std::move(fields));
+}
+
+std::string Schema::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += fields_[i].name;
+    out += ": ";
+    out += TypeName(fields_[i].type);
+    if (!fields_[i].nullable) out += " NOT NULL";
+  }
+  out += ")";
+  return out;
+}
+
+Status ValidateRow(const Schema& schema, const RowVec& row) {
+  if (row.size() != schema.num_fields()) {
+    return Status::InvalidArgument(
+        "row arity " + std::to_string(row.size()) + " != schema arity " +
+        std::to_string(schema.num_fields()));
+  }
+  for (size_t i = 0; i < row.size(); ++i) {
+    const Field& f = schema.field(i);
+    if (row[i].is_null()) {
+      if (!f.nullable) {
+        return Status::InvalidArgument("null in NOT NULL field '" + f.name +
+                                       "'");
+      }
+      continue;
+    }
+    if (row[i].type() != f.type) {
+      return Status::InvalidArgument(
+          "field '" + f.name + "' expects " + std::string(TypeName(f.type)) +
+          " but row has " + std::string(TypeName(row[i].type())));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace idf

@@ -1,0 +1,68 @@
+// Schema: an ordered list of named, typed, nullability-annotated fields.
+// Shared by the columnar cache (vanilla baseline), the binary row layout
+// (Indexed Batch RDD storage), and the SQL planner (name resolution).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "types/value.h"
+
+namespace idf {
+
+struct Field {
+  std::string name;
+  TypeId type;
+  bool nullable = true;
+
+  bool operator==(const Field& other) const {
+    return name == other.name && type == other.type &&
+           nullable == other.nullable;
+  }
+};
+
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Field> fields) : fields_(std::move(fields)) {}
+
+  size_t num_fields() const { return fields_.size(); }
+  const Field& field(size_t i) const {
+    IDF_CHECK(i < fields_.size());
+    return fields_[i];
+  }
+  const std::vector<Field>& fields() const { return fields_; }
+
+  /// Index of the field with this name, or kNotFound.
+  Result<size_t> FieldIndex(std::string_view name) const;
+  bool HasField(std::string_view name) const;
+
+  /// Schema of a projection: the named columns in the given order.
+  Result<Schema> Project(const std::vector<std::string>& names) const;
+
+  /// Concatenation for join outputs; colliding names on the right side get
+  /// a "_r" suffix (matching what our DataFrame::join produces).
+  Schema ConcatForJoin(const Schema& right) const;
+
+  bool operator==(const Schema& other) const { return fields_ == other.fields_; }
+  bool operator!=(const Schema& other) const { return !(*this == other); }
+
+  std::string ToString() const;
+
+ private:
+  std::vector<Field> fields_;
+};
+
+using SchemaPtr = std::shared_ptr<const Schema>;
+
+/// A materialized row of Values, aligned with some Schema. Used at API
+/// boundaries and in tests; bulk processing uses RowBatch / ColumnarChunk.
+using RowVec = std::vector<Value>;
+
+/// Validates that a row's arity and value types match the schema
+/// (null values must carry the field's declared type).
+Status ValidateRow(const Schema& schema, const RowVec& row);
+
+}  // namespace idf

@@ -1,0 +1,107 @@
+#include "workload/broconn.h"
+
+namespace idf {
+namespace {
+const char* kProtos[] = {"tcp", "udp", "icmp"};
+}
+
+SchemaPtr BroconnGenerator::ConnSchema() {
+  static const SchemaPtr kSchema = std::make_shared<Schema>(Schema({
+      {"ts", TypeId::kInt64, false},
+      {"src_ip", TypeId::kInt64, false},
+      {"dst_ip", TypeId::kInt64, false},
+      {"src_port", TypeId::kInt32, false},
+      {"dst_port", TypeId::kInt32, false},
+      {"proto", TypeId::kString, false},
+      {"orig_bytes", TypeId::kInt64, false},
+      {"resp_bytes", TypeId::kInt64, false},
+  }));
+  return kSchema;
+}
+
+SchemaPtr BroconnGenerator::WatchlistSchema() {
+  static const SchemaPtr kSchema = std::make_shared<Schema>(Schema({
+      {"ip", TypeId::kInt64, false},
+      {"threat_level", TypeId::kInt32, false},
+      {"label", TypeId::kString, false},
+  }));
+  return kSchema;
+}
+
+RowVec BroconnGenerator::ConnRow(uint64_t index) const {
+  Rng rng(HashCombine(config_.seed, index));
+  ZipfSampler zipf(config_.num_hosts, config_.zipf_exponent);
+  const int64_t src = HostIp(zipf.Sample(rng));
+  const int64_t dst = HostIp(rng.Below(config_.num_hosts));
+  static const int32_t kWellKnown[] = {22, 53, 80, 123, 443, 8080};
+  return {Value::Int64(1700000000 + static_cast<int64_t>(index / 100)),
+          Value::Int64(src),
+          Value::Int64(dst),
+          Value::Int32(static_cast<int32_t>(1024 + rng.Below(64511))),
+          Value::Int32(kWellKnown[rng.Below(6)]),
+          Value::String(kProtos[rng.Below(3)]),
+          Value::Int64(static_cast<int64_t>(rng.Below(1 << 20))),
+          Value::Int64(static_cast<int64_t>(rng.Below(1 << 22)))};
+}
+
+Result<DataFrame> BroconnGenerator::Connections(Session& session) const {
+  const BroconnConfig config = config_;
+  BroconnGenerator generator(config);
+  return session.CreateTableFromGenerator(
+      "broconn", ConnSchema(), config.partitions,
+      [generator, config](uint32_t partition) {
+        std::vector<RowVec> out;
+        for (uint64_t i = partition; i < config.num_connections;
+             i += config.partitions) {
+          out.push_back(generator.ConnRow(i));
+        }
+        return out;
+      });
+}
+
+Result<DataFrame> BroconnGenerator::ConnectionSample(Session& session,
+                                                     uint64_t rows,
+                                                     uint64_t sample_seed) const {
+  const BroconnConfig config = config_;
+  BroconnGenerator generator(config);
+  const uint32_t partitions =
+      std::max<uint32_t>(1, std::min<uint32_t>(config.partitions,
+                                               static_cast<uint32_t>(rows)));
+  // Sample source IPs uniformly over the host domain rather than over
+  // connection rows: row sampling would be dominated by the Zipf-head hosts
+  // and make the self-join output quadratic in the heavy hitters' traffic.
+  return session.CreateTableFromGenerator(
+      "broconn_sample", ConnSchema(), partitions,
+      [generator, config, rows, sample_seed, partitions](uint32_t partition) {
+        std::vector<RowVec> out;
+        for (uint64_t i = partition; i < rows; i += partitions) {
+          Rng rng(HashCombine(sample_seed, i));
+          RowVec row = generator.ConnRow(rng.Below(config.num_connections));
+          row[1] = Value::Int64(
+              generator.HostIp(rng.Below(config.num_hosts)));
+          out.push_back(std::move(row));
+        }
+        return out;
+      });
+}
+
+Result<DataFrame> BroconnGenerator::Watchlist(Session& session, uint64_t size,
+                                              uint64_t watch_seed) const {
+  const BroconnConfig config = config_;
+  BroconnGenerator generator(config);
+  return session.CreateTableFromGenerator(
+      "watchlist", WatchlistSchema(), 1,
+      [generator, config, size, watch_seed](uint32_t) {
+        std::vector<RowVec> out;
+        for (uint64_t i = 0; i < size; ++i) {
+          Rng rng(HashCombine(watch_seed, i));
+          out.push_back(
+              {Value::Int64(generator.HostIp(rng.Below(config.num_hosts))),
+               Value::Int32(static_cast<int32_t>(1 + rng.Below(5))),
+               Value::String("apt_" + std::to_string(rng.Below(100)))});
+        }
+        return out;
+      });
+}
+
+}  // namespace idf

@@ -1,0 +1,58 @@
+// Broconn-like network-connection log (§II, Fig. 1).
+//
+// The paper's motivating workload is cyber-security threat detection on Zeek
+// (Bro) "conn" logs: high-volume network connections arriving continuously,
+// analyzed by joining against watchlists and by point lookups on source
+// hosts. This generator produces a conn table with Zipf-skewed source IPs
+// (a few hosts dominate traffic, as in real networks), plus small probe
+// tables: a sampled subset of the log ("joining it with a small random
+// sampled subset of itself", Fig. 1) and a watchlist of suspicious hosts.
+#pragma once
+
+#include "common/rng.h"
+#include "sql/session.h"
+
+namespace idf {
+
+struct BroconnConfig {
+  uint64_t num_connections = 1000000;
+  uint64_t num_hosts = 50000;  // distinct source IPs
+  double zipf_exponent = 1.2;
+  uint64_t seed = 1337;
+  uint32_t partitions = 8;
+};
+
+class BroconnGenerator {
+ public:
+  explicit BroconnGenerator(BroconnConfig config) : config_(config) {}
+
+  const BroconnConfig& config() const { return config_; }
+
+  /// (ts i64, src_ip i64, dst_ip i64, src_port i32, dst_port i32,
+  ///  proto string, orig_bytes i64, resp_bytes i64)
+  static SchemaPtr ConnSchema();
+  /// (ip i64, threat_level i32, label string)
+  static SchemaPtr WatchlistSchema();
+
+  RowVec ConnRow(uint64_t index) const;
+
+  Result<DataFrame> Connections(Session& session) const;
+
+  /// Uniform sample of `rows` connections (the Fig. 1 probe side).
+  Result<DataFrame> ConnectionSample(Session& session, uint64_t rows,
+                                     uint64_t sample_seed) const;
+
+  /// `size` suspicious source IPs drawn from the host domain.
+  Result<DataFrame> Watchlist(Session& session, uint64_t size,
+                              uint64_t watch_seed) const;
+
+ private:
+  /// IPv4-style packed address for host h (10.0.0.0/8 space).
+  int64_t HostIp(uint64_t host) const {
+    return (10ll << 24) + static_cast<int64_t>(host % (1 << 24));
+  }
+
+  BroconnConfig config_;
+};
+
+}  // namespace idf

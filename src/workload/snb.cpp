@@ -1,0 +1,155 @@
+#include "workload/snb.h"
+
+namespace idf {
+
+SchemaPtr SnbGenerator::EdgeSchema() {
+  static const SchemaPtr kSchema = std::make_shared<Schema>(Schema({
+      {"edge_source", TypeId::kInt64, false},
+      {"edge_dest", TypeId::kInt64, false},
+      {"creation_date", TypeId::kInt64, false},
+      {"weight", TypeId::kFloat64, true},
+  }));
+  return kSchema;
+}
+
+SchemaPtr SnbGenerator::VertexSchema() {
+  static const SchemaPtr kSchema = std::make_shared<Schema>(Schema({
+      {"id", TypeId::kInt64, false},
+      {"name", TypeId::kString, false},
+      {"city", TypeId::kInt64, false},
+      {"creation_date", TypeId::kInt64, false},
+  }));
+  return kSchema;
+}
+
+RowVec SnbGenerator::EdgeRow(uint64_t index) const {
+  // Per-row determinism: the row's randomness depends only on (seed, index).
+  Rng rng(HashCombine(config_.seed, index));
+  ZipfSampler zipf(config_.num_vertices, config_.zipf_exponent);
+  uint64_t rank = zipf.Sample(rng);
+  // Bounded-degree spreading (see SnbConfig::max_degree): if this rank's
+  // expected hit count exceeds the cap, deterministically fan its hits out
+  // over `groups` pseudo-random vertices so each stays near the cap.
+  const double expected =
+      zipf.RankProbability(rank) * static_cast<double>(config_.num_edges);
+  if (expected > static_cast<double>(config_.max_degree)) {
+    const uint64_t groups = static_cast<uint64_t>(
+        expected / static_cast<double>(config_.max_degree)) + 1;
+    rank = (rank + rng.Below(groups) * 0x9E3779B9ULL) % config_.num_vertices;
+  }
+  const int64_t source = static_cast<int64_t>(rank);
+  const int64_t dest =
+      static_cast<int64_t>(rng.Below(config_.num_vertices));
+  const int64_t creation = 1577836800 + static_cast<int64_t>(rng.Below(86400 * 365));
+  return {Value::Int64(source), Value::Int64(dest), Value::Int64(creation),
+          Value::Float64(rng.NextDouble())};
+}
+
+RowVec SnbGenerator::VertexRow(uint64_t index) const {
+  Rng rng(HashCombine(config_.seed ^ 0x5eedf00dULL, index));
+  return {Value::Int64(static_cast<int64_t>(index)),
+          Value::String("person_" + std::to_string(index)),
+          Value::Int64(static_cast<int64_t>(rng.Below(1000))),
+          Value::Int64(1262304000 + static_cast<int64_t>(rng.Below(86400 * 3650)))};
+}
+
+Result<DataFrame> SnbGenerator::Edges(Session& session) const {
+  const SnbConfig config = config_;
+  SnbGenerator generator(config);
+  return session.CreateTableFromGenerator(
+      "snb_edges", EdgeSchema(), config.partitions,
+      [generator, config](uint32_t partition) {
+        std::vector<RowVec> rows;
+        for (uint64_t i = partition; i < config.num_edges;
+             i += config.partitions) {
+          rows.push_back(generator.EdgeRow(i));
+        }
+        return rows;
+      });
+}
+
+Result<DataFrame> SnbGenerator::Vertices(Session& session) const {
+  const SnbConfig config = config_;
+  SnbGenerator generator(config);
+  return session.CreateTableFromGenerator(
+      "snb_vertices", VertexSchema(), config.partitions,
+      [generator, config](uint32_t partition) {
+        std::vector<RowVec> rows;
+        for (uint64_t i = partition; i < config.num_vertices;
+             i += config.partitions) {
+          rows.push_back(generator.VertexRow(i));
+        }
+        return rows;
+      });
+}
+
+Result<DataFrame> SnbGenerator::EdgeSample(Session& session, uint64_t rows,
+                                           uint64_t sample_seed) const {
+  const SnbConfig config = config_;
+  SnbGenerator generator(config);
+  const uint32_t partitions =
+      std::max<uint32_t>(1, std::min<uint32_t>(config.partitions,
+                                               static_cast<uint32_t>(rows)));
+  // Probe keys are drawn uniformly from the vertex domain. Sampling edge
+  // *rows* would size-bias the probe toward the Zipf head (the top vertex
+  // owns >10% of all edges) and blow the join output up quadratically;
+  // uniform keys keep the paper's Table III result:probe ratio of ~100-150x
+  // (the average out-degree).
+  return session.CreateTableFromGenerator(
+      "snb_edge_sample", EdgeSchema(), partitions,
+      [generator, config, rows, sample_seed, partitions](uint32_t partition) {
+        std::vector<RowVec> out;
+        for (uint64_t i = partition; i < rows; i += partitions) {
+          Rng rng(HashCombine(sample_seed, i));
+          const int64_t source =
+              static_cast<int64_t>(rng.Below(config.num_vertices));
+          out.push_back({Value::Int64(source),
+                         Value::Int64(static_cast<int64_t>(
+                             rng.Below(config.num_vertices))),
+                         Value::Int64(1577836800),
+                         Value::Float64(rng.NextDouble())});
+        }
+        return out;
+      });
+}
+
+DataFrame SnbShortQuery(int number, const DataFrame& edges,
+                        const DataFrame& vertices, int64_t person_id) {
+  switch (number) {
+    case 1:
+      // Person profile: vertex point lookup.
+      return vertices.Filter(Eq(Col("id"), Lit(person_id)));
+    case 2:
+      // Recent activity: the person's edges joined with target vertices.
+      return edges.Filter(Eq(Col("edge_source"), Lit(person_id)))
+          .Join(vertices, "edge_dest", "id");
+    case 3:
+      // Friends: same shape, projected to friend attributes.
+      return edges.Filter(Eq(Col("edge_source"), Lit(person_id)))
+          .Join(vertices, "edge_dest", "id")
+          .Select({"edge_dest", "name", "city"});
+    case 4:
+      // Message content: lookup + narrow projection.
+      return edges.Filter(Eq(Col("edge_source"), Lit(person_id)))
+          .Select({"creation_date"});
+    case 5:
+      // Creator scan: non-equality filter + projection — cannot use the
+      // index; on the row layout this is the slow path (Fig. 13: SQ5 < 1x).
+      return edges.Filter(Gt(Col("creation_date"), Lit(int64_t{1590000000})))
+          .Select({"creation_date", "weight"});
+    case 6:
+      // Forum scan: full-table aggregate — no index use either.
+      return edges.Select({"edge_dest", "weight"})
+          .Agg({}, {AggSpec::Count("messages"), AggSpec::Avg("weight")});
+    case 7:
+      // Replies: lookup + join + per-friend aggregate.
+      return edges.Filter(Eq(Col("edge_source"), Lit(person_id)))
+          .Join(vertices, "edge_dest", "id")
+          .Agg({"city"}, {AggSpec::Count("replies")});
+    default:
+      IDF_CHECK_MSG(false, "SNB short query number must be 1..7");
+  }
+  return DataFrame();
+}
+
+}  // namespace idf

@@ -1,0 +1,92 @@
+#include "workload/tpcds.h"
+
+namespace idf {
+
+SchemaPtr TpcdsGenerator::StoreSalesSchema() {
+  static const SchemaPtr kSchema = std::make_shared<Schema>(Schema({
+      {"ss_sold_date_sk", TypeId::kInt32, false},
+      {"ss_item_sk", TypeId::kInt64, false},
+      {"ss_customer_sk", TypeId::kInt64, false},
+      {"ss_quantity", TypeId::kInt32, false},
+      {"ss_sales_price", TypeId::kFloat64, false},
+  }));
+  return kSchema;
+}
+
+SchemaPtr TpcdsGenerator::DateDimSchema() {
+  static const SchemaPtr kSchema = std::make_shared<Schema>(Schema({
+      {"d_date_sk", TypeId::kInt32, false},
+      {"d_year", TypeId::kInt32, false},
+      {"d_moy", TypeId::kInt32, false},
+      {"d_dom", TypeId::kInt32, false},
+  }));
+  return kSchema;
+}
+
+RowVec TpcdsGenerator::StoreSalesRow(uint64_t index) const {
+  Rng rng(HashCombine(config_.seed, index));
+  const int32_t date_sk =
+      static_cast<int32_t>(rng.Below(config_.date_rows));
+  return {Value::Int32(date_sk),
+          Value::Int64(static_cast<int64_t>(rng.Below(18000))),
+          Value::Int64(static_cast<int64_t>(rng.Below(100000))),
+          Value::Int32(static_cast<int32_t>(1 + rng.Below(100))),
+          Value::Float64(rng.NextDouble() * 200.0)};
+}
+
+RowVec TpcdsGenerator::DateDimRow(uint64_t index) const {
+  // Dates advance one day per surrogate key starting 1998-01-01; years span
+  // ~13.7 years over 5000 keys, so d_year == 2001 selects ~365 rows.
+  const int32_t days = static_cast<int32_t>(index);
+  const int32_t year = 1998 + days / 365;
+  const int32_t day_of_year = days % 365;
+  return {Value::Int32(days), Value::Int32(year),
+          Value::Int32(1 + day_of_year / 31),
+          Value::Int32(1 + day_of_year % 31)};
+}
+
+Result<DataFrame> TpcdsGenerator::StoreSales(Session& session) const {
+  const TpcdsConfig config = config_;
+  TpcdsGenerator generator(config);
+  const uint64_t rows = config.sales_rows();
+  return session.CreateTableFromGenerator(
+      "store_sales", StoreSalesSchema(), config.partitions,
+      [generator, config, rows](uint32_t partition) {
+        std::vector<RowVec> out;
+        for (uint64_t i = partition; i < rows; i += config.partitions) {
+          out.push_back(generator.StoreSalesRow(i));
+        }
+        return out;
+      });
+}
+
+Result<DataFrame> TpcdsGenerator::DateDim(Session& session) const {
+  const TpcdsConfig config = config_;
+  TpcdsGenerator generator(config);
+  const uint32_t partitions = std::min<uint32_t>(config.partitions, 4);
+  return session.CreateTableFromGenerator(
+      "date_dim", DateDimSchema(), partitions,
+      [generator, config, partitions](uint32_t partition) {
+        std::vector<RowVec> out;
+        for (uint64_t i = partition; i < config.date_rows; i += partitions) {
+          out.push_back(generator.DateDimRow(i));
+        }
+        return out;
+      });
+}
+
+Result<DataFrame> TpcdsGenerator::DateDimForYear(Session& session,
+                                                 int32_t year) const {
+  IDF_ASSIGN_OR_RETURN(DataFrame dates, DateDim(session));
+  return dates.Filter(Eq(Col("d_year"), Lit(year)));
+}
+
+Result<DataFrame> TpcdsGenerator::DateDimForMonth(Session& session,
+                                                  int32_t year,
+                                                  int32_t month) const {
+  IDF_ASSIGN_OR_RETURN(DataFrame dates, DateDim(session));
+  return dates.Filter(
+      And(Eq(Col("d_year"), Lit(year)), Eq(Col("d_moy"), Lit(month))));
+}
+
+}  // namespace idf

@@ -1,0 +1,65 @@
+// TPC-DS-lite workload (§IV-E, Fig. 14).
+//
+// The paper runs `store_sales JOIN date_dim ON ss_sold_date_sk` across scale
+// factors 1..1000. We reproduce the two tables' join shape: store_sales
+// grows linearly with the scale factor while date_dim stays constant (as in
+// real TPC-DS, where date_dim always has 73,049 rows) — so the larger the
+// scale factor, the more the index filters out, which is exactly the Fig. 14
+// trend ("the larger the dataset, the more data is filtered out").
+#pragma once
+
+#include "common/rng.h"
+#include "sql/session.h"
+
+namespace idf {
+
+struct TpcdsConfig {
+  double scale_factor = 1.0;
+  /// store_sales rows per unit scale factor (real TPC-DS: ~2.88M; scaled
+  /// down for in-memory reproduction).
+  uint64_t sales_rows_per_sf = 120000;
+  /// date_dim is constant-size in TPC-DS.
+  uint64_t date_rows = 5000;
+  /// The join query restricts to one year of dates: d_year == kTargetYear.
+  static constexpr int32_t kTargetYear = 2001;
+  uint64_t seed = 7;
+  uint32_t partitions = 8;
+
+  uint64_t sales_rows() const {
+    return static_cast<uint64_t>(scale_factor *
+                                 static_cast<double>(sales_rows_per_sf));
+  }
+};
+
+class TpcdsGenerator {
+ public:
+  explicit TpcdsGenerator(TpcdsConfig config) : config_(config) {}
+
+  const TpcdsConfig& config() const { return config_; }
+
+  /// (ss_sold_date_sk i32, ss_item_sk i64, ss_customer_sk i64,
+  ///  ss_quantity i32, ss_sales_price f64)
+  static SchemaPtr StoreSalesSchema();
+  /// (d_date_sk i32, d_year i32, d_moy i32, d_dom i32)
+  static SchemaPtr DateDimSchema();
+
+  RowVec StoreSalesRow(uint64_t index) const;
+  RowVec DateDimRow(uint64_t index) const;
+
+  Result<DataFrame> StoreSales(Session& session) const;
+  Result<DataFrame> DateDim(Session& session) const;
+
+  /// The evaluation's probe side: date_dim restricted to one year — a small
+  /// relation joined against the big (indexed) store_sales.
+  Result<DataFrame> DateDimForYear(Session& session, int32_t year) const;
+
+  /// One month of dates (~30 keys). Relative to our 5000-row date_dim this
+  /// matches the paper's selectivity regime (365 of 73,049 days ~ 0.5%).
+  Result<DataFrame> DateDimForMonth(Session& session, int32_t year,
+                                    int32_t month) const;
+
+ private:
+  TpcdsConfig config_;
+};
+
+}  // namespace idf

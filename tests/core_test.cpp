@@ -1,0 +1,628 @@
+// Tests for the Indexed DataFrame core: IndexedPartition internals, index
+// creation, point lookups, appends with MVCC (divergence), the index-aware
+// planner strategies, indexed joins cross-checked against vanilla joins,
+// fallback scans, and fault tolerance with append replay.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "common/rng.h"
+#include "core/indexed_dataframe.h"
+#include "core/indexed_ops.h"
+#include "core/indexed_partition.h"
+#include "core/indexed_rules.h"
+
+namespace idf {
+namespace {
+
+SchemaPtr EdgeSchema() {
+  return std::make_shared<Schema>(Schema({
+      {"src", TypeId::kInt64, false},
+      {"dst", TypeId::kInt64, false},
+      {"weight", TypeId::kFloat64, true},
+  }));
+}
+
+RowVec Edge(int64_t src, int64_t dst, double w = 1.0) {
+  return {Value::Int64(src), Value::Int64(dst), Value::Float64(w)};
+}
+
+SessionOptions SmallOptions() {
+  SessionOptions opts;
+  opts.cluster.num_workers = 2;
+  opts.cluster.executors_per_worker = 2;
+  opts.cluster.cores_per_executor = 2;
+  opts.default_partitions = 4;
+  return opts;
+}
+
+// ---- IndexedPartition -----------------------------------------------------
+
+TEST(IndexedPartitionTest, InsertAndLookup) {
+  IndexedPartition part(EdgeSchema(), 0, 64 << 10);
+  IDF_CHECK_OK(part.InsertRow(Edge(1, 10)));
+  IDF_CHECK_OK(part.InsertRow(Edge(2, 20)));
+  auto rows = part.LookupRows(Value::Int64(1));
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][1], Value::Int64(10));
+  EXPECT_TRUE(part.LookupRows(Value::Int64(3)).empty());
+}
+
+TEST(IndexedPartitionTest, NonUniqueKeysChainNewestFirst) {
+  // §III-C "Non-unique Keys": the cTrie points at the latest row; backward
+  // pointers chain earlier rows with the same key.
+  IndexedPartition part(EdgeSchema(), 0, 64 << 10);
+  for (int64_t k = 0; k < 5; ++k) IDF_CHECK_OK(part.InsertRow(Edge(7, k)));
+  IDF_CHECK_OK(part.InsertRow(Edge(8, 100)));
+
+  auto rows = part.LookupRows(Value::Int64(7));
+  ASSERT_EQ(rows.size(), 5u);
+  for (int64_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(rows[static_cast<size_t>(i)][1], Value::Int64(4 - i));
+  }
+  EXPECT_EQ(part.LookupRows(Value::Int64(8)).size(), 1u);
+}
+
+TEST(IndexedPartitionTest, NullKeysStoredButNotIndexed) {
+  IndexedPartition part(EdgeSchema(), 2, 64 << 10);  // weight is nullable
+  IDF_CHECK_OK(part.InsertRow({Value::Int64(1), Value::Int64(2),
+                               Value::Null(TypeId::kFloat64)}));
+  IDF_CHECK_OK(part.InsertRow(Edge(3, 4, 0.5)));
+  EXPECT_EQ(part.num_rows(), 2u);
+  size_t scanned = 0;
+  part.ForEachRow([&](const uint8_t*) { ++scanned; });
+  EXPECT_EQ(scanned, 2u);
+  EXPECT_EQ(part.LookupRows(Value::Float64(0.5)).size(), 1u);
+}
+
+TEST(IndexedPartitionTest, StringKeysVerifyAgainstHashCollisions) {
+  auto schema = std::make_shared<Schema>(Schema({
+      {"tail", TypeId::kString, false},
+      {"n", TypeId::kInt64, false},
+  }));
+  IndexedPartition part(schema, 0, 64 << 10);
+  IDF_CHECK_OK(part.InsertRow({Value::String("N100"), Value::Int64(1)}));
+  IDF_CHECK_OK(part.InsertRow({Value::String("N200"), Value::Int64(2)}));
+  IDF_CHECK_OK(part.InsertRow({Value::String("N100"), Value::Int64(3)}));
+  auto rows = part.LookupRows(Value::String("N100"));
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_TRUE(part.LookupRows(Value::String("N300")).empty());
+}
+
+TEST(IndexedPartitionTest, SnapshotIsolation) {
+  IndexedPartition part(EdgeSchema(), 0, 64 << 10);
+  IDF_CHECK_OK(part.InsertRow(Edge(1, 1)));
+  auto snap = part.Snapshot();
+  IDF_CHECK_OK(snap->InsertRow(Edge(1, 2)));
+  IDF_CHECK_OK(snap->InsertRow(Edge(9, 9)));
+
+  EXPECT_EQ(part.LookupRows(Value::Int64(1)).size(), 1u);
+  EXPECT_EQ(snap->LookupRows(Value::Int64(1)).size(), 2u);
+  EXPECT_TRUE(part.LookupRows(Value::Int64(9)).empty());
+  EXPECT_EQ(snap->LookupRows(Value::Int64(9)).size(), 1u);
+  EXPECT_EQ(part.num_rows(), 1u);
+  EXPECT_EQ(snap->num_rows(), 3u);
+}
+
+TEST(IndexedPartitionTest, ChainSpansSnapshotBoundary) {
+  // Rows appended post-snapshot chain onto pre-snapshot rows of the same key.
+  IndexedPartition part(EdgeSchema(), 0, 64 << 10);
+  IDF_CHECK_OK(part.InsertRow(Edge(5, 1)));
+  IDF_CHECK_OK(part.InsertRow(Edge(5, 2)));
+  auto snap = part.Snapshot();
+  IDF_CHECK_OK(snap->InsertRow(Edge(5, 3)));
+  auto rows = snap->LookupRows(Value::Int64(5));
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0][1], Value::Int64(3));
+  EXPECT_EQ(rows[1][1], Value::Int64(2));
+  EXPECT_EQ(rows[2][1], Value::Int64(1));
+}
+
+TEST(IndexedPartitionTest, IndexBytesSmallRelativeToData) {
+  IndexedPartition part(EdgeSchema(), 0);
+  Rng rng(5);
+  for (int i = 0; i < 20000; ++i) {
+    IDF_CHECK_OK(part.InsertRow(
+        Edge(static_cast<int64_t>(rng.Below(5000)), i, rng.NextDouble())));
+  }
+  EXPECT_GT(part.IndexBytes(), 0u);
+  // The trie indexes ~5000 distinct keys over 20k rows of ~48 bytes; the
+  // absolute overhead must stay a modest fraction of the data (Fig. 11).
+  EXPECT_LT(part.IndexBytes(), part.data_bytes());
+}
+
+TEST(IndexedPartitionTest, ScanSeesAllRowsInInsertionOrder) {
+  IndexedPartition part(EdgeSchema(), 0, 2048);  // small batches: many rolls
+  for (int64_t i = 0; i < 500; ++i) IDF_CHECK_OK(part.InsertRow(Edge(i, i)));
+  std::vector<int64_t> seen;
+  const RowLayout& layout = part.layout();
+  part.ForEachRow(
+      [&](const uint8_t* row) { seen.push_back(layout.GetInt64(row, 0)); });
+  ASSERT_EQ(seen.size(), 500u);
+  for (int64_t i = 0; i < 500; ++i) EXPECT_EQ(seen[static_cast<size_t>(i)], i);
+}
+
+// ---- IndexedDataFrame: create/lookup ------------------------------------------
+
+std::vector<RowVec> PowerLawEdges(int n, uint64_t seed, int64_t key_domain) {
+  Rng rng(seed);
+  ZipfSampler zipf(static_cast<uint64_t>(key_domain), 1.1);
+  std::vector<RowVec> rows;
+  rows.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    rows.push_back(Edge(static_cast<int64_t>(zipf.Sample(rng)), i,
+                        rng.NextDouble()));
+  }
+  return rows;
+}
+
+TEST(IndexedDataFrameTest, CreateAndGetRows) {
+  Session session(SmallOptions());
+  auto rows = PowerLawEdges(5000, 42, 500);
+  auto df = *session.CreateTable("edges", EdgeSchema(), rows);
+  auto indexed = IndexedDataFrame::Create(df, "src");
+  ASSERT_TRUE(indexed.ok());
+  EXPECT_EQ(indexed->num_rows(), 5000u);
+  EXPECT_EQ(indexed->version(), 0u);
+
+  // Cross-check every key in a sample against a brute-force scan.
+  std::map<int64_t, int> expected;
+  for (const RowVec& row : rows) ++expected[row[0].int64_value()];
+  for (int64_t key : {0L, 1L, 7L, 100L, 499L}) {
+    auto result = indexed->GetRows(Value::Int64(key));
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result->rows.size(),
+              static_cast<size_t>(expected.count(key) ? expected[key] : 0))
+        << "key " << key;
+    for (const RowVec& row : result->rows) {
+      EXPECT_EQ(row[0], Value::Int64(key));
+    }
+  }
+  // A key outside the domain misses.
+  EXPECT_TRUE(indexed->GetRows(Value::Int64(10'000'000)).value().rows.empty());
+}
+
+TEST(IndexedDataFrameTest, GetRowsOnStringColumn) {
+  Session session(SmallOptions());
+  auto schema = std::make_shared<Schema>(Schema({
+      {"tail", TypeId::kString, false},
+      {"delay", TypeId::kInt32, false},
+  }));
+  std::vector<RowVec> rows;
+  for (int i = 0; i < 300; ++i) {
+    rows.push_back({Value::String("N" + std::to_string(i % 30)),
+                    Value::Int32(i)});
+  }
+  auto df = *session.CreateTable("flights", schema, rows);
+  auto indexed = IndexedDataFrame::Create(df, "tail");
+  ASSERT_TRUE(indexed.ok());
+  auto result = indexed->GetRows(Value::String("N7"));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->rows.size(), 10u);
+  for (const RowVec& row : result->rows) {
+    EXPECT_EQ(row[0], Value::String("N7"));
+  }
+}
+
+TEST(IndexedDataFrameTest, CreateOnMissingColumnFails) {
+  Session session(SmallOptions());
+  auto df = *session.CreateTable("edges", EdgeSchema(), PowerLawEdges(10, 1, 5));
+  EXPECT_FALSE(IndexedDataFrame::Create(df, "nope").ok());
+}
+
+TEST(IndexedDataFrameTest, CacheIsIdempotentNoOp) {
+  Session session(SmallOptions());
+  auto df = *session.CreateTable("edges", EdgeSchema(), PowerLawEdges(100, 1, 5));
+  auto indexed = *IndexedDataFrame::Create(df, "src");
+  EXPECT_EQ(&indexed.Cache(), &indexed);
+  EXPECT_EQ(indexed.Cache().num_rows(), 100u);
+}
+
+// ---- appends & MVCC --------------------------------------------------------------
+
+TEST(IndexedAppendTest, AppendCreatesNewVersion) {
+  Session session(SmallOptions());
+  auto df = *session.CreateTable("edges", EdgeSchema(),
+                                 PowerLawEdges(1000, 7, 100));
+  auto v0 = *IndexedDataFrame::Create(df, "src");
+
+  auto extra = *session.CreateTable(
+      "extra", EdgeSchema(), {Edge(42, 9001), Edge(42, 9002), Edge(777, 1)});
+  auto v1_result = v0.AppendRows(extra);
+  ASSERT_TRUE(v1_result.ok());
+  const IndexedDataFrame& v1 = *v1_result;
+
+  EXPECT_EQ(v1.version(), 1u);
+  EXPECT_EQ(v1.num_rows(), 1003u);
+  EXPECT_EQ(v0.num_rows(), 1000u);
+
+  const size_t base42 = v0.GetRows(Value::Int64(42)).value().rows.size();
+  EXPECT_EQ(v1.GetRows(Value::Int64(42)).value().rows.size(), base42 + 2);
+  EXPECT_EQ(v1.GetRows(Value::Int64(777)).value().rows.size(),
+            v0.GetRows(Value::Int64(777)).value().rows.size() + 1);
+}
+
+TEST(IndexedAppendTest, ParentUnchangedAfterAppend) {
+  Session session(SmallOptions());
+  auto df = *session.CreateTable("edges", EdgeSchema(), PowerLawEdges(100, 9, 10));
+  auto v0 = *IndexedDataFrame::Create(df, "src");
+  const size_t before = v0.GetRows(Value::Int64(0)).value().rows.size();
+  auto extra = *session.CreateTable("extra", EdgeSchema(), {Edge(0, 1234)});
+  auto v1 = *v0.AppendRows(extra);
+  EXPECT_EQ(v0.GetRows(Value::Int64(0)).value().rows.size(), before);
+  EXPECT_EQ(v1.GetRows(Value::Int64(0)).value().rows.size(), before + 1);
+}
+
+TEST(IndexedAppendTest, DivergentAppendsCoexist) {
+  // Paper Listing 2: two children of the same parent, both queryable,
+  // materialization order irrelevant.
+  Session session(SmallOptions());
+  auto df = *session.CreateTable("edges", EdgeSchema(), PowerLawEdges(500, 3, 50));
+  auto parent = *IndexedDataFrame::Create(df, "src");
+
+  auto append_a = *session.CreateTable("a", EdgeSchema(), {Edge(1000, 1)});
+  auto append_b = *session.CreateTable("b", EdgeSchema(), {Edge(2000, 2)});
+
+  auto child_a = *parent.AppendRows(append_a);
+  auto child_b = *parent.AppendRows(append_b);
+  EXPECT_NE(child_a.version(), child_b.version());
+
+  // Query B first, then A (the "reverse order" materialization).
+  EXPECT_EQ(child_b.GetRows(Value::Int64(2000)).value().rows.size(), 1u);
+  EXPECT_EQ(child_a.GetRows(Value::Int64(1000)).value().rows.size(), 1u);
+  EXPECT_TRUE(child_a.GetRows(Value::Int64(2000)).value().rows.empty());
+  EXPECT_TRUE(child_b.GetRows(Value::Int64(1000)).value().rows.empty());
+  EXPECT_TRUE(parent.GetRows(Value::Int64(1000)).value().rows.empty());
+  EXPECT_TRUE(parent.GetRows(Value::Int64(2000)).value().rows.empty());
+}
+
+TEST(IndexedAppendTest, ChainOfAppends) {
+  Session session(SmallOptions());
+  auto df = *session.CreateTable("edges", EdgeSchema(), {Edge(5, 0)});
+  auto current = *IndexedDataFrame::Create(df, "src");
+  for (int64_t i = 1; i <= 5; ++i) {
+    auto extra = *session.CreateTable("x" + std::to_string(i), EdgeSchema(),
+                                      {Edge(5, i)});
+    current = *current.AppendRows(extra);
+    EXPECT_EQ(current.GetRows(Value::Int64(5)).value().rows.size(),
+              static_cast<size_t>(i + 1));
+  }
+  EXPECT_EQ(current.num_rows(), 6u);
+}
+
+TEST(IndexedAppendTest, AppendSchemaMismatchRejected) {
+  Session session(SmallOptions());
+  auto df = *session.CreateTable("edges", EdgeSchema(), {Edge(1, 1)});
+  auto indexed = *IndexedDataFrame::Create(df, "src");
+  auto wrong_schema = std::make_shared<Schema>(Schema({
+      {"only", TypeId::kInt64, false},
+  }));
+  auto wrong = *session.CreateTable("wrong", wrong_schema, {{Value::Int64(1)}});
+  EXPECT_FALSE(indexed.AppendRows(wrong).ok());
+}
+
+// ---- planner integration --------------------------------------------------------
+
+TEST(IndexedPlanTest, JoinOnIndexedColumnUsesIndexedJoinExec) {
+  Session session(SmallOptions());
+  auto edges = *session.CreateTable("edges", EdgeSchema(),
+                                    PowerLawEdges(1000, 11, 100));
+  auto indexed = *IndexedDataFrame::Create(edges, "src");
+  auto probe = *session.CreateTable("probe", EdgeSchema(),
+                                    PowerLawEdges(50, 12, 100));
+
+  auto plan = indexed.AsDataFrame().Join(probe, "src", "src");
+  auto physical = plan.ExplainPhysical();
+  ASSERT_TRUE(physical.ok());
+  EXPECT_NE(physical->find("IndexedJoinExec"), std::string::npos) << *physical;
+
+  // Indexed side on the right works too.
+  auto plan2 = probe.Join(indexed.AsDataFrame(), "src", "src");
+  auto physical2 = plan2.ExplainPhysical();
+  ASSERT_TRUE(physical2.ok());
+  EXPECT_NE(physical2->find("IndexedJoinExec"), std::string::npos);
+}
+
+TEST(IndexedPlanTest, JoinOnNonIndexedColumnFallsBack) {
+  Session session(SmallOptions());
+  auto edges = *session.CreateTable("edges", EdgeSchema(),
+                                    PowerLawEdges(100, 13, 10));
+  auto indexed = *IndexedDataFrame::Create(edges, "src");
+  auto probe = *session.CreateTable("probe", EdgeSchema(),
+                                    PowerLawEdges(50, 14, 10));
+  // Join keyed on dst, which is NOT indexed: vanilla JoinExec must run.
+  auto plan = indexed.AsDataFrame().Join(probe, "dst", "dst");
+  auto physical = plan.ExplainPhysical();
+  ASSERT_TRUE(physical.ok());
+  EXPECT_EQ(physical->find("IndexedJoinExec"), std::string::npos);
+  EXPECT_NE(physical->find("JoinExec"), std::string::npos);
+}
+
+TEST(IndexedPlanTest, EqualityFilterUsesIndexLookupExec) {
+  Session session(SmallOptions());
+  auto edges = *session.CreateTable("edges", EdgeSchema(),
+                                    PowerLawEdges(100, 15, 10));
+  auto indexed = *IndexedDataFrame::Create(edges, "src");
+  auto q = indexed.AsDataFrame().Filter(Eq(Col("src"), Lit(int64_t{3})));
+  auto physical = q.ExplainPhysical();
+  ASSERT_TRUE(physical.ok());
+  EXPECT_NE(physical->find("IndexLookupExec"), std::string::npos);
+}
+
+TEST(IndexedPlanTest, CompoundFilterSplitsResidual) {
+  Session session(SmallOptions());
+  auto edges = *session.CreateTable("edges", EdgeSchema(),
+                                    PowerLawEdges(100, 16, 10));
+  auto indexed = *IndexedDataFrame::Create(edges, "src");
+  auto q = indexed.AsDataFrame().Filter(
+      And(Gt(Col("dst"), Lit(int64_t{10})), Eq(Col("src"), Lit(int64_t{3}))));
+  auto physical = q.ExplainPhysical();
+  ASSERT_TRUE(physical.ok());
+  EXPECT_NE(physical->find("IndexLookupExec"), std::string::npos);
+  EXPECT_NE(physical->find("residual"), std::string::npos);
+}
+
+TEST(IndexedPlanTest, NonEqualityFilterFallsBack) {
+  Session session(SmallOptions());
+  auto edges = *session.CreateTable("edges", EdgeSchema(),
+                                    PowerLawEdges(100, 17, 10));
+  auto indexed = *IndexedDataFrame::Create(edges, "src");
+  auto q = indexed.AsDataFrame().Filter(Gt(Col("src"), Lit(int64_t{3})));
+  auto physical = q.ExplainPhysical();
+  ASSERT_TRUE(physical.ok());
+  EXPECT_EQ(physical->find("IndexLookupExec"), std::string::npos);
+  EXPECT_NE(physical->find("FilterExec"), std::string::npos);
+}
+
+// ---- indexed execution correctness ------------------------------------------------
+
+TEST(IndexedExecTest, IndexedJoinMatchesVanillaJoin) {
+  Session session(SmallOptions());
+  auto edges_rows = PowerLawEdges(3000, 21, 200);
+  auto probe_rows = PowerLawEdges(150, 22, 200);
+  auto edges = *session.CreateTable("edges", EdgeSchema(), edges_rows);
+  auto probe = *session.CreateTable("probe", EdgeSchema(), probe_rows);
+
+  auto vanilla = edges.Join(probe, "src", "src").Collect();
+  ASSERT_TRUE(vanilla.ok());
+
+  auto indexed = *IndexedDataFrame::Create(edges, "src");
+  auto fast = indexed.Join(probe, "src").Collect();
+  ASSERT_TRUE(fast.ok());
+
+  EXPECT_EQ(fast->rows.size(), vanilla->rows.size());
+  EXPECT_EQ(fast->SortedRowStrings(), vanilla->SortedRowStrings());
+}
+
+TEST(IndexedExecTest, IndexedJoinRightSideMatchesVanilla) {
+  Session session(SmallOptions());
+  auto edges = *session.CreateTable("edges", EdgeSchema(),
+                                    PowerLawEdges(1000, 31, 80));
+  auto probe = *session.CreateTable("probe", EdgeSchema(),
+                                    PowerLawEdges(100, 32, 80));
+  auto vanilla = probe.Join(edges, "src", "src").Collect();
+  auto indexed = *IndexedDataFrame::Create(edges, "src");
+  auto fast = probe.Join(indexed.AsDataFrame(), "src", "src").Collect();
+  ASSERT_TRUE(vanilla.ok());
+  ASSERT_TRUE(fast.ok());
+  EXPECT_EQ(fast->SortedRowStrings(), vanilla->SortedRowStrings());
+}
+
+TEST(IndexedExecTest, LargeProbeUsesShufflePathAndMatches) {
+  SessionOptions opts = SmallOptions();
+  opts.broadcast_threshold_bytes = 64;  // force the shuffle path
+  Session session(opts);
+  auto edges = *session.CreateTable("edges", EdgeSchema(),
+                                    PowerLawEdges(2000, 41, 100));
+  auto probe = *session.CreateTable("probe", EdgeSchema(),
+                                    PowerLawEdges(500, 42, 100));
+  auto vanilla = edges.Join(probe, "src", "src").Collect();
+  auto indexed = *IndexedDataFrame::Create(edges, "src");
+  QueryMetrics metrics;
+  auto handle = indexed.Join(probe, "src").Execute(&metrics);
+  ASSERT_TRUE(handle.ok());
+  EXPECT_GT(metrics.totals.shuffle_bytes_written, 0u);  // probe was shuffled
+  auto fast = session.Collect(*handle);
+  ASSERT_TRUE(fast.ok());
+  EXPECT_EQ(fast->SortedRowStrings(), vanilla->SortedRowStrings());
+}
+
+TEST(IndexedExecTest, IndexedJoinAfterAppendSeesNewRows) {
+  Session session(SmallOptions());
+  auto edges = *session.CreateTable("edges", EdgeSchema(), {Edge(1, 1)});
+  auto probe = *session.CreateTable("probe", EdgeSchema(),
+                                    {Edge(1, 0), Edge(2, 0)});
+  auto v0 = *IndexedDataFrame::Create(edges, "src");
+  EXPECT_EQ(v0.Join(probe, "src").Collect()->rows.size(), 1u);
+
+  auto extra = *session.CreateTable("extra", EdgeSchema(),
+                                    {Edge(2, 5), Edge(1, 6)});
+  auto v1 = *v0.AppendRows(extra);
+  EXPECT_EQ(v1.Join(probe, "src").Collect()->rows.size(), 3u);
+  // The old version still joins against the old contents.
+  EXPECT_EQ(v0.Join(probe, "src").Collect()->rows.size(), 1u);
+}
+
+TEST(IndexedExecTest, LookupViaSqlFilterMatchesGetRows) {
+  Session session(SmallOptions());
+  auto edges_rows = PowerLawEdges(2000, 51, 100);
+  auto edges = *session.CreateTable("edges", EdgeSchema(), edges_rows);
+  auto indexed = *IndexedDataFrame::Create(edges, "src");
+
+  auto via_filter = indexed.AsDataFrame()
+                        .Filter(Eq(Col("src"), Lit(int64_t{7})))
+                        .Collect();
+  auto via_getrows = indexed.GetRows(Value::Int64(7));
+  ASSERT_TRUE(via_filter.ok());
+  ASSERT_TRUE(via_getrows.ok());
+  EXPECT_EQ(via_filter->SortedRowStrings(), via_getrows->SortedRowStrings());
+}
+
+TEST(IndexedExecTest, FallbackScanMatchesSource) {
+  Session session(SmallOptions());
+  auto edges_rows = PowerLawEdges(1000, 61, 50);
+  auto edges = *session.CreateTable("edges", EdgeSchema(), edges_rows);
+  auto indexed = *IndexedDataFrame::Create(edges, "src");
+
+  // Aggregate over the indexed dataframe: no index help, full fallback scan.
+  auto agg = indexed.AsDataFrame()
+                 .Agg({}, {AggSpec::Count("n"), AggSpec::Sum("dst", "s")})
+                 .Collect();
+  ASSERT_TRUE(agg.ok());
+  EXPECT_EQ(agg->rows[0][0], Value::Int64(1000));
+  int64_t expected = 0;
+  for (const RowVec& row : edges_rows) expected += row[1].int64_value();
+  EXPECT_EQ(agg->rows[0][1], Value::Int64(expected));
+}
+
+TEST(IndexedExecTest, ProjectionOnIndexedDataWorks) {
+  Session session(SmallOptions());
+  auto edges = *session.CreateTable("edges", EdgeSchema(),
+                                    PowerLawEdges(200, 71, 20));
+  auto indexed = *IndexedDataFrame::Create(edges, "src");
+  auto result = indexed.AsDataFrame().Select({"dst"}).Collect();
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->rows.size(), 200u);
+  EXPECT_EQ(result->schema->num_fields(), 1u);
+}
+
+// ---- memory report ---------------------------------------------------------------
+
+TEST(IndexedMemoryTest, ReportCoversAllPartitionsWithModestOverhead) {
+  Session session(SmallOptions());
+  auto edges = *session.CreateTable("edges", EdgeSchema(),
+                                    PowerLawEdges(20000, 81, 2000));
+  auto indexed = *IndexedDataFrame::Create(edges, "src");
+  auto report = indexed.MemoryReport();
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->size(), indexed.num_partitions());
+  uint64_t rows = 0;
+  for (const PartitionMemory& pm : *report) {
+    rows += pm.num_rows;
+    if (pm.num_rows > 0) {
+      EXPECT_GT(pm.index_bytes, 0u);
+      EXPECT_GT(pm.data_bytes, 0u);
+    }
+  }
+  EXPECT_EQ(rows, 20000u);
+}
+
+// ---- fault tolerance ---------------------------------------------------------------
+
+TEST(IndexedFaultTest, LookupSurvivesExecutorFailure) {
+  Session session(SmallOptions());
+  auto edges_rows = PowerLawEdges(2000, 91, 100);
+  auto edges = *session.CreateTable("edges", EdgeSchema(), edges_rows);
+  auto indexed = *IndexedDataFrame::Create(edges, "src");
+
+  const size_t expected = indexed.GetRows(Value::Int64(3)).value().rows.size();
+
+  // Kill an executor: its indexed partitions (and possibly base blocks) are
+  // lost; the next lookup must transparently re-index from lineage.
+  session.cluster().KillExecutor(2);
+  QueryMetrics metrics;
+  auto after = indexed.GetRows(Value::Int64(3), &metrics);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after->rows.size(), expected);
+}
+
+TEST(IndexedFaultTest, RecoveryReplaysAppends) {
+  Session session(SmallOptions());
+  auto edges = *session.CreateTable("edges", EdgeSchema(),
+                                    PowerLawEdges(500, 92, 50));
+  auto v0 = *IndexedDataFrame::Create(edges, "src");
+  auto extra = *session.CreateTable(
+      "extra", EdgeSchema(), {Edge(7, 9001), Edge(7, 9002)});
+  auto v1 = *v0.AppendRows(extra);
+  const size_t expected = v1.GetRows(Value::Int64(7)).value().rows.size();
+
+  session.cluster().KillExecutor(1);
+  session.cluster().KillExecutor(2);
+  auto after = v1.GetRows(Value::Int64(7));
+  ASSERT_TRUE(after.ok());
+  // The re-built partition must include the replayed appends (§III-D).
+  EXPECT_EQ(after->rows.size(), expected);
+  bool found9001 = false;
+  for (const RowVec& row : after->rows) {
+    if (row[1] == Value::Int64(9001)) found9001 = true;
+  }
+  EXPECT_TRUE(found9001);
+}
+
+TEST(IndexedFaultTest, JoinSurvivesFailureWithConsistentResult) {
+  Session session(SmallOptions());
+  auto edges = *session.CreateTable("edges", EdgeSchema(),
+                                    PowerLawEdges(1500, 93, 120));
+  auto probe = *session.CreateTable("probe", EdgeSchema(),
+                                    PowerLawEdges(80, 94, 120));
+  auto indexed = *IndexedDataFrame::Create(edges, "src");
+  auto before = indexed.Join(probe, "src").Collect();
+  ASSERT_TRUE(before.ok());
+
+  session.cluster().KillExecutor(3);
+  auto after = indexed.Join(probe, "src").Collect();
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after->SortedRowStrings(), before->SortedRowStrings());
+}
+
+// ---- staleness (§III-D) --------------------------------------------------------
+
+TEST(IndexedConsistencyTest, OldVersionBlocksNeverServeNewVersionQueries) {
+  Session session(SmallOptions());
+  auto edges = *session.CreateTable("edges", EdgeSchema(), {Edge(1, 1)});
+  auto v0 = *IndexedDataFrame::Create(edges, "src");
+  auto extra = *session.CreateTable("extra", EdgeSchema(), {Edge(1, 2)});
+  auto v1 = *v0.AppendRows(extra);
+
+  // Both versions' blocks exist simultaneously in the block manager.
+  const uint64_t rdd = v0.rdd()->rdd_id();
+  bool saw_v0 = false, saw_v1 = false;
+  for (uint32_t p = 0; p < v0.num_partitions(); ++p) {
+    for (uint64_t v : session.cluster().blocks().VersionsOf(rdd, p)) {
+      saw_v0 |= (v == 0);
+      saw_v1 |= (v == 1);
+    }
+  }
+  EXPECT_TRUE(saw_v0);
+  EXPECT_TRUE(saw_v1);
+
+  // Queries against each version see exactly their own data.
+  EXPECT_EQ(v0.GetRows(Value::Int64(1)).value().rows.size(), 1u);
+  EXPECT_EQ(v1.GetRows(Value::Int64(1)).value().rows.size(), 2u);
+}
+
+// ---- property sweep: indexed join == vanilla join over random data -------------
+
+class IndexedJoinProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(IndexedJoinProperty, MatchesVanillaOnRandomData) {
+  Session session(SmallOptions());
+  Rng rng(GetParam());
+  std::vector<RowVec> build_rows, probe_rows;
+  const int64_t domain = 1 + static_cast<int64_t>(rng.Below(60));
+  for (int i = 0; i < 800; ++i) {
+    build_rows.push_back(Edge(static_cast<int64_t>(rng.Below(
+                                  static_cast<uint64_t>(domain))),
+                              i, rng.NextDouble()));
+  }
+  for (int i = 0; i < 120; ++i) {
+    probe_rows.push_back(Edge(static_cast<int64_t>(rng.Below(
+                                  static_cast<uint64_t>(domain * 2))),
+                              -i, rng.NextDouble()));
+  }
+  auto build = *session.CreateTable("b", EdgeSchema(), build_rows);
+  auto probe = *session.CreateTable("p", EdgeSchema(), probe_rows);
+  auto vanilla = build.Join(probe, "src", "src").Collect();
+  auto indexed = *IndexedDataFrame::Create(build, "src");
+  auto fast = indexed.Join(probe, "src").Collect();
+  ASSERT_TRUE(vanilla.ok());
+  ASSERT_TRUE(fast.ok());
+  EXPECT_EQ(fast->SortedRowStrings(), vanilla->SortedRowStrings());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IndexedJoinProperty,
+                         ::testing::Values(101, 202, 303, 404, 505));
+
+}  // namespace
+}  // namespace idf

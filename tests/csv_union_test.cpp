@@ -1,0 +1,252 @@
+// Tests for CSV import/export, UNION ALL, and Distinct.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "sql/csv.h"
+#include "sql/session.h"
+
+namespace idf {
+namespace {
+
+SessionOptions SmallOptions() {
+  SessionOptions opts;
+  opts.cluster.num_workers = 2;
+  opts.cluster.executors_per_worker = 2;
+  opts.cluster.cores_per_executor = 2;
+  opts.default_partitions = 4;
+  return opts;
+}
+
+SchemaPtr FlightSchema() {
+  return std::make_shared<Schema>(Schema({
+      {"flight_num", TypeId::kInt32, false},
+      {"tail", TypeId::kString, true},
+      {"delay", TypeId::kInt64, true},
+      {"distance", TypeId::kFloat64, true},
+      {"cancelled", TypeId::kBool, true},
+  }));
+}
+
+class CsvTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = (std::filesystem::temp_directory_path() /
+             ("idf_csv_" + std::to_string(::getpid()) + "_" +
+              ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+              ".csv"))
+                .string();
+  }
+  void TearDown() override {
+    std::error_code ec;
+    std::filesystem::remove(path_, ec);
+  }
+
+  void WriteFile(const std::string& contents) {
+    std::ofstream out(path_, std::ios::trunc);
+    out << contents;
+  }
+
+  std::string path_;
+};
+
+// ---- line splitting ---------------------------------------------------------
+
+TEST(CsvSplitTest, PlainCells) {
+  auto cells = SplitCsvLine("a,b,c", ',');
+  ASSERT_TRUE(cells.ok());
+  EXPECT_EQ(*cells, (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(CsvSplitTest, EmptyCells) {
+  auto cells = SplitCsvLine(",x,", ',');
+  ASSERT_TRUE(cells.ok());
+  EXPECT_EQ(*cells, (std::vector<std::string>{"", "x", ""}));
+}
+
+TEST(CsvSplitTest, QuotedCellsWithCommasAndEscapes) {
+  auto cells = SplitCsvLine("\"a,b\",\"he said \"\"hi\"\"\",plain", ',');
+  ASSERT_TRUE(cells.ok());
+  EXPECT_EQ(*cells, (std::vector<std::string>{"a,b", "he said \"hi\"",
+                                              "plain"}));
+}
+
+TEST(CsvSplitTest, UnterminatedQuoteFails) {
+  EXPECT_FALSE(SplitCsvLine("\"oops,b", ',').ok());
+}
+
+// ---- cell parsing ------------------------------------------------------------
+
+TEST(CsvCellTest, TypedParsing) {
+  EXPECT_EQ(*ParseCsvCell("42", {"c", TypeId::kInt32, true}),
+            Value::Int32(42));
+  EXPECT_EQ(*ParseCsvCell("-7", {"c", TypeId::kInt64, true}),
+            Value::Int64(-7));
+  EXPECT_EQ(*ParseCsvCell("2.5", {"c", TypeId::kFloat64, true}),
+            Value::Float64(2.5));
+  EXPECT_EQ(*ParseCsvCell("true", {"c", TypeId::kBool, true}),
+            Value::Bool(true));
+  EXPECT_EQ(*ParseCsvCell("N123", {"c", TypeId::kString, true}),
+            Value::String("N123"));
+}
+
+TEST(CsvCellTest, NullsAndErrors) {
+  EXPECT_TRUE(ParseCsvCell("", {"c", TypeId::kInt32, true})->is_null());
+  EXPECT_TRUE(ParseCsvCell("NULL", {"c", TypeId::kInt64, true})->is_null());
+  EXPECT_FALSE(ParseCsvCell("", {"c", TypeId::kInt32, false}).ok());
+  EXPECT_FALSE(ParseCsvCell("12x", {"c", TypeId::kInt32, true}).ok());
+  EXPECT_FALSE(ParseCsvCell("maybe", {"c", TypeId::kBool, true}).ok());
+}
+
+// ---- import / export -----------------------------------------------------------
+
+TEST_F(CsvTest, ImportWithHeader) {
+  WriteFile(
+      "flight_num,tail,delay,distance,cancelled\n"
+      "100,N1,5,320.5,false\n"
+      "200,\"N2,X\",,1000,true\n"
+      "300,N3,NULL,0.5,0\n");
+  Session session(SmallOptions());
+  auto df = ReadCsv(session, "flights", path_, FlightSchema());
+  ASSERT_TRUE(df.ok());
+  auto rows = df->Collect().value();
+  EXPECT_EQ(rows.rows.size(), 3u);
+  auto sorted = rows.SortedRowStrings();
+  EXPECT_NE(sorted[1].find("\"N2,X\""), std::string::npos);
+
+  // The imported table is in the catalog and SQL-queryable.
+  EXPECT_EQ(session.Sql("SELECT * FROM flights WHERE cancelled = TRUE")
+                ->Count()
+                .value(),
+            1u);  // only the "true" row; "0" parses to false
+}
+
+TEST_F(CsvTest, ImportBadRowFailsOrSkips) {
+  WriteFile(
+      "flight_num,tail,delay,distance,cancelled\n"
+      "100,N1,5,320.5,false\n"
+      "not_a_number,N2,1,1,true\n");
+  Session session(SmallOptions());
+  EXPECT_FALSE(ReadCsv(session, "f1", path_, FlightSchema()).ok());
+
+  CsvOptions lenient;
+  lenient.skip_bad_rows = true;
+  auto df = ReadCsv(session, "f2", path_, FlightSchema(), 0, lenient);
+  ASSERT_TRUE(df.ok());
+  EXPECT_EQ(df->Count().value(), 1u);
+}
+
+TEST_F(CsvTest, ArityMismatchFails) {
+  WriteFile("flight_num,tail,delay,distance,cancelled\n1,2,3\n");
+  Session session(SmallOptions());
+  EXPECT_FALSE(ReadCsv(session, "f", path_, FlightSchema()).ok());
+}
+
+TEST_F(CsvTest, ExportImportRoundTrip) {
+  Session session(SmallOptions());
+  std::vector<RowVec> rows = {
+      {Value::Int32(1), Value::String("a,b"), Value::Int64(10),
+       Value::Float64(1.5), Value::Bool(true)},
+      {Value::Int32(2), Value::Null(TypeId::kString),
+       Value::Null(TypeId::kInt64), Value::Float64(0), Value::Bool(false)},
+  };
+  auto df = *session.CreateTable("t", FlightSchema(), rows);
+  auto collected = df.Collect().value();
+  IDF_CHECK_OK(WriteCsv(collected, path_));
+
+  auto reloaded = ReadCsv(session, "t2", path_, FlightSchema());
+  ASSERT_TRUE(reloaded.ok());
+  auto back = reloaded->Collect().value();
+  EXPECT_EQ(back.SortedRowStrings(), collected.SortedRowStrings());
+}
+
+TEST_F(CsvTest, MissingFileIsNotFound) {
+  Session session(SmallOptions());
+  EXPECT_EQ(ReadCsv(session, "f", path_ + ".nope", FlightSchema())
+                .status()
+                .code(),
+            StatusCode::kNotFound);
+}
+
+// ---- UNION ALL / Distinct -------------------------------------------------------
+
+SchemaPtr KvSchema() {
+  return std::make_shared<Schema>(Schema({
+      {"k", TypeId::kInt64, false},
+      {"v", TypeId::kString, false},
+  }));
+}
+
+TEST(UnionTest, UnionAllConcatenates) {
+  Session session(SmallOptions());
+  auto a = *session.CreateTable(
+      "a", KvSchema(),
+      {{Value::Int64(1), Value::String("x")},
+       {Value::Int64(2), Value::String("y")}});
+  auto b = *session.CreateTable(
+      "b", KvSchema(),
+      {{Value::Int64(2), Value::String("y")},
+       {Value::Int64(3), Value::String("z")}});
+  auto result = a.UnionAll(b).Collect();
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->rows.size(), 4u);  // duplicates kept
+}
+
+TEST(UnionTest, SchemaMismatchRejected) {
+  Session session(SmallOptions());
+  auto a = *session.CreateTable("a", KvSchema(),
+                                {{Value::Int64(1), Value::String("x")}});
+  auto other_schema = std::make_shared<Schema>(Schema({
+      {"k", TypeId::kInt64, false},
+      {"w", TypeId::kInt64, false},
+  }));
+  auto b = *session.CreateTable("b", other_schema,
+                                {{Value::Int64(1), Value::Int64(2)}});
+  EXPECT_FALSE(a.UnionAll(b).Collect().ok());
+}
+
+TEST(UnionTest, SqlUnionAll) {
+  Session session(SmallOptions());
+  (void)session.CreateTable("a", KvSchema(),
+                            {{Value::Int64(1), Value::String("x")}});
+  (void)session.CreateTable("b", KvSchema(),
+                            {{Value::Int64(2), Value::String("y")}});
+  auto df = session.Sql("SELECT * FROM a UNION ALL SELECT * FROM b");
+  ASSERT_TRUE(df.ok());
+  EXPECT_EQ(df->Count().value(), 2u);
+}
+
+TEST(UnionTest, DistinctRemovesDuplicates) {
+  Session session(SmallOptions());
+  auto a = *session.CreateTable(
+      "a", KvSchema(),
+      {{Value::Int64(1), Value::String("x")},
+       {Value::Int64(1), Value::String("x")},
+       {Value::Int64(1), Value::String("other")},
+       {Value::Int64(2), Value::String("y")}});
+  auto distinct = a.Distinct();
+  ASSERT_TRUE(distinct.ok());
+  auto result = distinct->Collect();
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->rows.size(), 3u);
+  EXPECT_EQ(result->schema->num_fields(), 2u);  // count column projected away
+}
+
+TEST(UnionTest, UnionThenDistinctIsSetUnion) {
+  Session session(SmallOptions());
+  auto a = *session.CreateTable(
+      "a", KvSchema(),
+      {{Value::Int64(1), Value::String("x")},
+       {Value::Int64(2), Value::String("y")}});
+  auto b = *session.CreateTable(
+      "b", KvSchema(),
+      {{Value::Int64(2), Value::String("y")},
+       {Value::Int64(3), Value::String("z")}});
+  auto result = a.UnionAll(b).Distinct()->Collect();
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->rows.size(), 3u);
+}
+
+}  // namespace
+}  // namespace idf

@@ -1,0 +1,467 @@
+// Tests for the concurrent hash trie (CTrie) — the Indexed DataFrame's index
+// structure. Covers single-threaded semantics, hash-collision paths (LNode),
+// entombment/contraction after removals, O(1) snapshots with isolation, and
+// multi-threaded stress.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "ctrie/ctrie.h"
+
+namespace idf {
+namespace {
+
+TEST(CTrieTest, EmptyLookupMisses) {
+  CTrie<uint64_t, uint64_t> trie;
+  EXPECT_FALSE(trie.Lookup(42).has_value());
+  EXPECT_FALSE(trie.Contains(42));
+  EXPECT_EQ(trie.Size(), 0u);
+  EXPECT_TRUE(trie.Empty());
+}
+
+TEST(CTrieTest, PutThenLookup) {
+  CTrie<uint64_t, uint64_t> trie;
+  EXPECT_FALSE(trie.Put(1, 100).has_value());
+  auto v = trie.Lookup(1);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, 100u);
+  EXPECT_FALSE(trie.Empty());
+}
+
+TEST(CTrieTest, PutReturnsPreviousValue) {
+  // This is the contract the backward-pointer chain relies on (§III-C):
+  // inserting a row for an existing key must yield the previous row pointer.
+  CTrie<uint64_t, uint64_t> trie;
+  EXPECT_FALSE(trie.Put(7, 1).has_value());
+  auto old1 = trie.Put(7, 2);
+  ASSERT_TRUE(old1.has_value());
+  EXPECT_EQ(*old1, 1u);
+  auto old2 = trie.Put(7, 3);
+  ASSERT_TRUE(old2.has_value());
+  EXPECT_EQ(*old2, 2u);
+  EXPECT_EQ(*trie.Lookup(7), 3u);
+}
+
+TEST(CTrieTest, PutIfAbsentKeepsExisting) {
+  CTrie<uint64_t, uint64_t> trie;
+  EXPECT_FALSE(trie.PutIfAbsent(5, 50).has_value());
+  auto existing = trie.PutIfAbsent(5, 99);
+  ASSERT_TRUE(existing.has_value());
+  EXPECT_EQ(*existing, 50u);
+  EXPECT_EQ(*trie.Lookup(5), 50u);
+}
+
+TEST(CTrieTest, RemoveReturnsValue) {
+  CTrie<uint64_t, uint64_t> trie;
+  trie.Put(3, 30);
+  auto removed = trie.Remove(3);
+  ASSERT_TRUE(removed.has_value());
+  EXPECT_EQ(*removed, 30u);
+  EXPECT_FALSE(trie.Lookup(3).has_value());
+  EXPECT_FALSE(trie.Remove(3).has_value());
+}
+
+TEST(CTrieTest, ManyKeysRoundTrip) {
+  CTrie<uint64_t, uint64_t> trie;
+  constexpr uint64_t kN = 50000;
+  for (uint64_t i = 0; i < kN; ++i) trie.Put(i, i * 2);
+  EXPECT_EQ(trie.Size(), kN);
+  for (uint64_t i = 0; i < kN; ++i) {
+    auto v = trie.Lookup(i);
+    ASSERT_TRUE(v.has_value()) << i;
+    EXPECT_EQ(*v, i * 2);
+  }
+  EXPECT_FALSE(trie.Lookup(kN + 1).has_value());
+}
+
+TEST(CTrieTest, RemoveAllContractsTrie) {
+  CTrie<uint64_t, uint64_t> trie;
+  constexpr uint64_t kN = 2000;
+  for (uint64_t i = 0; i < kN; ++i) trie.Put(i, i);
+  for (uint64_t i = 0; i < kN; ++i) {
+    ASSERT_TRUE(trie.Remove(i).has_value()) << i;
+  }
+  EXPECT_EQ(trie.Size(), 0u);
+  // After mass removal, re-insertion still works (no tombstone leaks).
+  trie.Put(1, 11);
+  EXPECT_EQ(*trie.Lookup(1), 11u);
+}
+
+TEST(CTrieTest, InterleavedInsertRemove) {
+  CTrie<uint64_t, uint64_t> trie;
+  std::map<uint64_t, uint64_t> model;
+  Rng rng(2024);
+  for (int step = 0; step < 20000; ++step) {
+    uint64_t key = rng.Below(500);
+    if (rng.Chance(0.6)) {
+      auto expected = model.count(key) ? std::optional<uint64_t>(model[key])
+                                       : std::nullopt;
+      auto old = trie.Put(key, step);
+      EXPECT_EQ(old, expected);
+      model[key] = step;
+    } else {
+      auto expected = model.count(key) ? std::optional<uint64_t>(model[key])
+                                       : std::nullopt;
+      auto old = trie.Remove(key);
+      EXPECT_EQ(old, expected);
+      model.erase(key);
+    }
+  }
+  EXPECT_EQ(trie.Size(), model.size());
+  for (const auto& [k, v] : model) {
+    auto found = trie.Lookup(k);
+    ASSERT_TRUE(found.has_value());
+    EXPECT_EQ(*found, v);
+  }
+}
+
+TEST(CTrieTest, StringKeys) {
+  CTrie<std::string, uint64_t> trie;
+  trie.Put("alpha", 1);
+  trie.Put("beta", 2);
+  trie.Put("alpha", 3);
+  EXPECT_EQ(*trie.Lookup("alpha"), 3u);
+  EXPECT_EQ(*trie.Lookup("beta"), 2u);
+  EXPECT_FALSE(trie.Lookup("gamma").has_value());
+}
+
+// ---- hash collisions (LNode path) -----------------------------------------
+
+// Degenerate hasher mapping every key to one of two buckets: all operations
+// funnel through deep CNode chains and LNode collision lists.
+struct CollidingHash {
+  uint64_t operator()(const uint64_t& k) const { return k % 2; }
+};
+
+TEST(CTrieTest, FullHashCollisionsUseLNodes) {
+  CTrie<uint64_t, uint64_t, CollidingHash> trie;
+  constexpr uint64_t kN = 64;
+  for (uint64_t i = 0; i < kN; ++i) trie.Put(i, i + 1000);
+  EXPECT_EQ(trie.Size(), kN);
+  for (uint64_t i = 0; i < kN; ++i) {
+    auto v = trie.Lookup(i);
+    ASSERT_TRUE(v.has_value()) << i;
+    EXPECT_EQ(*v, i + 1000);
+  }
+}
+
+TEST(CTrieTest, CollidingUpdateReturnsOld) {
+  CTrie<uint64_t, uint64_t, CollidingHash> trie;
+  for (uint64_t i = 0; i < 16; ++i) trie.Put(i, i);
+  auto old = trie.Put(6, 999);
+  ASSERT_TRUE(old.has_value());
+  EXPECT_EQ(*old, 6u);
+  EXPECT_EQ(*trie.Lookup(6), 999u);
+  EXPECT_EQ(trie.Size(), 16u);
+}
+
+TEST(CTrieTest, CollidingRemove) {
+  CTrie<uint64_t, uint64_t, CollidingHash> trie;
+  for (uint64_t i = 0; i < 16; ++i) trie.Put(i, i);
+  for (uint64_t i = 0; i < 16; i += 2) {
+    auto removed = trie.Remove(i);
+    ASSERT_TRUE(removed.has_value()) << i;
+  }
+  EXPECT_EQ(trie.Size(), 8u);
+  for (uint64_t i = 1; i < 16; i += 2) EXPECT_TRUE(trie.Contains(i));
+  for (uint64_t i = 0; i < 16; i += 2) EXPECT_FALSE(trie.Contains(i));
+}
+
+TEST(CTrieTest, CollidingPutIfAbsent) {
+  CTrie<uint64_t, uint64_t, CollidingHash> trie;
+  trie.Put(2, 20);
+  trie.Put(4, 40);
+  auto existing = trie.PutIfAbsent(2, 99);
+  ASSERT_TRUE(existing.has_value());
+  EXPECT_EQ(*existing, 20u);
+  EXPECT_FALSE(trie.PutIfAbsent(8, 80).has_value());
+  EXPECT_EQ(*trie.Lookup(8), 80u);
+}
+
+// ---- snapshots -------------------------------------------------------------
+
+TEST(CTrieSnapshotTest, ReadOnlySnapshotSeesStateAtCreation) {
+  CTrie<uint64_t, uint64_t> trie;
+  trie.Put(1, 10);
+  trie.Put(2, 20);
+  auto snap = trie.ReadOnlySnapshot();
+  trie.Put(3, 30);
+  trie.Put(1, 11);
+  trie.Remove(2);
+
+  EXPECT_EQ(*snap.Lookup(1), 10u);
+  EXPECT_EQ(*snap.Lookup(2), 20u);
+  EXPECT_FALSE(snap.Lookup(3).has_value());
+  EXPECT_EQ(snap.Size(), 2u);
+
+  EXPECT_EQ(*trie.Lookup(1), 11u);
+  EXPECT_FALSE(trie.Lookup(2).has_value());
+  EXPECT_EQ(*trie.Lookup(3), 30u);
+}
+
+TEST(CTrieSnapshotTest, WritableSnapshotDiverges) {
+  // Paper Listing 2: two divergent children of one parent must both work.
+  CTrie<uint64_t, uint64_t> parent;
+  for (uint64_t i = 0; i < 100; ++i) parent.Put(i, i);
+
+  auto child_a = parent.Snapshot();
+  auto child_b = parent.Snapshot();
+  child_a.Put(1000, 1);
+  child_b.Put(2000, 2);
+  child_a.Put(5, 555);
+
+  EXPECT_TRUE(child_a.Contains(1000));
+  EXPECT_FALSE(child_a.Contains(2000));
+  EXPECT_FALSE(child_b.Contains(1000));
+  EXPECT_TRUE(child_b.Contains(2000));
+  EXPECT_EQ(*child_a.Lookup(5), 555u);
+  EXPECT_EQ(*child_b.Lookup(5), 5u);
+  EXPECT_EQ(*parent.Lookup(5), 5u);
+  EXPECT_FALSE(parent.Contains(1000));
+  EXPECT_FALSE(parent.Contains(2000));
+
+  // Shared ancestry is still readable everywhere.
+  for (uint64_t i = 0; i < 100; ++i) {
+    if (i == 5) continue;
+    EXPECT_EQ(*child_a.Lookup(i), i);
+    EXPECT_EQ(*child_b.Lookup(i), i);
+    EXPECT_EQ(*parent.Lookup(i), i);
+  }
+}
+
+TEST(CTrieSnapshotTest, SnapshotOfSnapshot) {
+  CTrie<uint64_t, uint64_t> trie;
+  trie.Put(1, 1);
+  auto s1 = trie.Snapshot();
+  s1.Put(2, 2);
+  auto s2 = s1.Snapshot();
+  s2.Put(3, 3);
+  EXPECT_EQ(trie.Size(), 1u);
+  EXPECT_EQ(s1.Size(), 2u);
+  EXPECT_EQ(s2.Size(), 3u);
+}
+
+TEST(CTrieSnapshotTest, SnapshotIsCheapStructurally) {
+  // Snapshot must not copy the trie eagerly: taking one on a large trie and
+  // writing a handful of keys should leave almost all nodes shared. We can't
+  // observe sharing directly, but we can bound the node count growth of the
+  // child after K writes: it should be O(K * depth), far below a full copy.
+  CTrie<uint64_t, uint64_t> trie;
+  constexpr uint64_t kN = 100000;
+  for (uint64_t i = 0; i < kN; ++i) trie.Put(i, i);
+  auto before = trie.ComputeMemoryStats();
+
+  auto snap = trie.Snapshot();
+  for (uint64_t i = 0; i < 10; ++i) snap.Put(kN + i, i);
+  auto after_child = snap.ComputeMemoryStats();
+
+  EXPECT_EQ(after_child.snodes, before.snodes + 10);
+  // CNode count can only grow by the rewritten paths, not double.
+  EXPECT_LT(after_child.cnodes, before.cnodes + 200);
+}
+
+TEST(CTrieSnapshotTest, MutatingReadOnlySnapshotAborts) {
+  CTrie<uint64_t, uint64_t> trie;
+  trie.Put(1, 1);
+  auto snap = trie.ReadOnlySnapshot();
+  EXPECT_TRUE(snap.read_only());
+  EXPECT_DEATH(snap.Put(2, 2), "read-only");
+}
+
+TEST(CTrieSnapshotTest, ForEachIsConsistent) {
+  CTrie<uint64_t, uint64_t> trie;
+  for (uint64_t i = 0; i < 1000; ++i) trie.Put(i, i * 3);
+  std::map<uint64_t, uint64_t> seen;
+  trie.ForEach([&](const uint64_t& k, const uint64_t& v) { seen[k] = v; });
+  EXPECT_EQ(seen.size(), 1000u);
+  for (const auto& [k, v] : seen) EXPECT_EQ(v, k * 3);
+}
+
+TEST(CTrieSnapshotTest, ReadOnlySnapshotOfReadOnlySnapshot) {
+  CTrie<uint64_t, uint64_t> trie;
+  trie.Put(1, 10);
+  auto s1 = trie.ReadOnlySnapshot();
+  auto s2 = s1.ReadOnlySnapshot();
+  EXPECT_EQ(*s2.Lookup(1), 10u);
+  EXPECT_TRUE(s2.read_only());
+}
+
+TEST(CTrieSnapshotTest, MemoryStatsCountEntries) {
+  CTrie<uint64_t, uint64_t> trie;
+  for (uint64_t i = 0; i < 5000; ++i) trie.Put(i, i);
+  auto stats = trie.ComputeMemoryStats();
+  EXPECT_EQ(stats.snodes + stats.lnodes, 5000u);
+  EXPECT_GT(stats.cnodes, 0u);
+  EXPECT_GT(stats.approx_bytes, 5000 * sizeof(uint64_t) * 2);
+}
+
+// ---- concurrency -------------------------------------------------------------
+
+TEST(CTrieConcurrencyTest, ParallelDisjointInserts) {
+  CTrie<uint64_t, uint64_t> trie;
+  constexpr int kThreads = 8;
+  constexpr uint64_t kPerThread = 5000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&trie, t] {
+      for (uint64_t i = 0; i < kPerThread; ++i) {
+        trie.Put(static_cast<uint64_t>(t) * kPerThread + i, i);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(trie.Size(), kThreads * kPerThread);
+  for (int t = 0; t < kThreads; ++t) {
+    for (uint64_t i = 0; i < kPerThread; i += 97) {
+      auto v = trie.Lookup(static_cast<uint64_t>(t) * kPerThread + i);
+      ASSERT_TRUE(v.has_value());
+      EXPECT_EQ(*v, i);
+    }
+  }
+}
+
+TEST(CTrieConcurrencyTest, ParallelOverlappingPutsConverge) {
+  CTrie<uint64_t, uint64_t> trie;
+  constexpr int kThreads = 8;
+  constexpr uint64_t kKeys = 256;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&trie, t] {
+      for (uint64_t round = 0; round < 2000; ++round) {
+        trie.Put(round % kKeys, static_cast<uint64_t>(t));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(trie.Size(), kKeys);
+  for (uint64_t k = 0; k < kKeys; ++k) {
+    auto v = trie.Lookup(k);
+    ASSERT_TRUE(v.has_value());
+    EXPECT_LT(*v, static_cast<uint64_t>(kThreads));
+  }
+}
+
+TEST(CTrieConcurrencyTest, ReadersDuringWrites) {
+  CTrie<uint64_t, uint64_t> trie;
+  for (uint64_t i = 0; i < 1000; ++i) trie.Put(i, i);
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> reads{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&] {
+      Rng rng(static_cast<uint64_t>(reads.load()) + 1);
+      while (!stop.load(std::memory_order_relaxed)) {
+        uint64_t k = rng.Below(1000);
+        auto v = trie.Lookup(k);
+        ASSERT_TRUE(v.has_value());
+        // Values only move forward: base i, or i + multiple of 1000.
+        EXPECT_EQ(*v % 1000, k);
+        reads++;
+      }
+    });
+  }
+  for (uint64_t round = 1; round <= 20; ++round) {
+    for (uint64_t i = 0; i < 1000; ++i) trie.Put(i, i + round * 1000);
+  }
+  stop.store(true);
+  for (auto& th : readers) th.join();
+  EXPECT_GT(reads.load(), 0u);
+}
+
+TEST(CTrieConcurrencyTest, SnapshotsDuringWrites) {
+  CTrie<uint64_t, uint64_t> trie;
+  for (uint64_t i = 0; i < 500; ++i) trie.Put(i, 0);
+  std::atomic<bool> stop{false};
+  std::thread snapshotter([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      auto snap = trie.ReadOnlySnapshot();
+      // Within one snapshot all values must come from the same "round" or
+      // the one in flight — but critically each key must still be present.
+      size_t n = 0;
+      snap.ForEach([&n](const uint64_t&, const uint64_t&) { ++n; });
+      EXPECT_EQ(n, 500u);
+    }
+  });
+  for (uint64_t round = 1; round <= 50; ++round) {
+    for (uint64_t i = 0; i < 500; ++i) trie.Put(i, round);
+  }
+  stop.store(true);
+  snapshotter.join();
+}
+
+TEST(CTrieConcurrencyTest, ConcurrentInsertAndRemoveDisjointRanges) {
+  CTrie<uint64_t, uint64_t> trie;
+  for (uint64_t i = 0; i < 10000; ++i) trie.Put(i, i);
+  std::thread remover([&] {
+    for (uint64_t i = 0; i < 10000; ++i) ASSERT_TRUE(trie.Remove(i));
+  });
+  std::thread inserter([&] {
+    for (uint64_t i = 10000; i < 20000; ++i) trie.Put(i, i);
+  });
+  remover.join();
+  inserter.join();
+  EXPECT_EQ(trie.Size(), 10000u);
+  for (uint64_t i = 10000; i < 20000; i += 501) {
+    EXPECT_TRUE(trie.Contains(i));
+  }
+}
+
+// ---- parameterized sweeps --------------------------------------------------
+
+class CTrieSizeSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CTrieSizeSweep, InsertLookupRemoveAtScale) {
+  const uint64_t n = GetParam();
+  CTrie<uint64_t, uint64_t> trie;
+  Rng rng(n);
+  std::vector<uint64_t> keys;
+  keys.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) keys.push_back(rng.Next());
+  for (uint64_t i = 0; i < n; ++i) trie.Put(keys[i], i);
+  EXPECT_LE(trie.Size(), n);  // random keys may repeat
+  for (uint64_t i = 0; i < n; ++i) {
+    EXPECT_TRUE(trie.Contains(keys[i]));
+  }
+  for (uint64_t i = 0; i < n; i += 2) trie.Remove(keys[i]);
+  for (uint64_t i = 1; i < n; i += 2) {
+    // Odd-index keys survive unless they collided with a removed duplicate.
+    if (trie.Contains(keys[i])) continue;
+    bool removed_as_duplicate = false;
+    for (uint64_t j = 0; j < n; j += 2) {
+      if (keys[j] == keys[i]) removed_as_duplicate = true;
+    }
+    EXPECT_TRUE(removed_as_duplicate) << "lost key at index " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CTrieSizeSweep,
+                         ::testing::Values(1, 2, 16, 64, 65, 1000, 20000));
+
+class CTrieThreadSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(CTrieThreadSweep, ConcurrentPutsAllLand) {
+  const int threads = GetParam();
+  CTrie<uint64_t, uint64_t> trie;
+  std::vector<std::thread> pool;
+  constexpr uint64_t kPerThread = 2000;
+  for (int t = 0; t < threads; ++t) {
+    pool.emplace_back([&trie, t] {
+      for (uint64_t i = 0; i < kPerThread; ++i) {
+        trie.Put(static_cast<uint64_t>(t) << 32 | i, i);
+      }
+    });
+  }
+  for (auto& th : pool) th.join();
+  EXPECT_EQ(trie.Size(), static_cast<size_t>(threads) * kPerThread);
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, CTrieThreadSweep,
+                         ::testing::Values(1, 2, 4, 8, 16));
+
+}  // namespace
+}  // namespace idf

@@ -1,0 +1,251 @@
+// Tests for left-outer joins (all three vanilla algorithms) and ORDER BY.
+#include <gtest/gtest.h>
+
+#include "core/indexed_dataframe.h"
+#include "sql/session.h"
+
+namespace idf {
+namespace {
+
+SessionOptions SmallOptions() {
+  SessionOptions opts;
+  opts.cluster.num_workers = 2;
+  opts.cluster.executors_per_worker = 2;
+  opts.cluster.cores_per_executor = 2;
+  opts.default_partitions = 4;
+  return opts;
+}
+
+SchemaPtr LeftSchema() {
+  return std::make_shared<Schema>(Schema({
+      {"k", TypeId::kInt64, true},
+      {"lv", TypeId::kString, false},
+  }));
+}
+SchemaPtr RightSchema() {
+  return std::make_shared<Schema>(Schema({
+      {"rk", TypeId::kInt64, true},
+      {"rv", TypeId::kInt64, false},
+  }));
+}
+
+std::vector<RowVec> LeftRows() {
+  return {
+      {Value::Int64(1), Value::String("a")},
+      {Value::Int64(2), Value::String("b")},
+      {Value::Int64(2), Value::String("b2")},
+      {Value::Int64(3), Value::String("c")},          // no match
+      {Value::Null(TypeId::kInt64), Value::String("n")},  // null key
+  };
+}
+std::vector<RowVec> RightRows() {
+  return {
+      {Value::Int64(1), Value::Int64(10)},
+      {Value::Int64(2), Value::Int64(20)},
+      {Value::Int64(2), Value::Int64(21)},
+      {Value::Int64(9), Value::Int64(90)},             // no match
+      {Value::Null(TypeId::kInt64), Value::Int64(99)}, // null key
+  };
+}
+
+class OuterJoinModeSweep : public ::testing::TestWithParam<JoinExec::Mode> {};
+
+TEST_P(OuterJoinModeSweep, LeftOuterSemantics) {
+  SessionOptions opts = SmallOptions();
+  opts.join_mode = GetParam();
+  Session session(opts);
+  auto left = *session.CreateTable("l", LeftSchema(), LeftRows());
+  auto right = *session.CreateTable("r", RightSchema(), RightRows());
+
+  auto result = left.LeftJoin(right, "k", "rk").Collect();
+  ASSERT_TRUE(result.ok());
+  // Matches: k=1 (1x1) + k=2 (2x2) = 5; unmatched left: k=3, k=null => 7.
+  EXPECT_EQ(result->rows.size(), 7u);
+
+  int padded = 0;
+  for (const RowVec& row : result->rows) {
+    ASSERT_EQ(row.size(), 4u);
+    if (row[2].is_null()) {
+      ++padded;
+      EXPECT_TRUE(row[3].is_null());  // whole right side padded
+      const std::string lv = row[1].string_value();
+      EXPECT_TRUE(lv == "c" || lv == "n") << lv;
+    }
+  }
+  EXPECT_EQ(padded, 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, OuterJoinModeSweep,
+                         ::testing::Values(JoinExec::Mode::kBroadcastHash,
+                                           JoinExec::Mode::kShuffledHash,
+                                           JoinExec::Mode::kSortMerge));
+
+TEST(OuterJoinTest, AllModesAgree) {
+  std::vector<std::vector<std::string>> results;
+  for (JoinExec::Mode mode :
+       {JoinExec::Mode::kBroadcastHash, JoinExec::Mode::kShuffledHash,
+        JoinExec::Mode::kSortMerge}) {
+    SessionOptions opts = SmallOptions();
+    opts.join_mode = mode;
+    Session session(opts);
+    auto left = *session.CreateTable("l", LeftSchema(), LeftRows());
+    auto right = *session.CreateTable("r", RightSchema(), RightRows());
+    results.push_back(
+        left.LeftJoin(right, "k", "rk").Collect()->SortedRowStrings());
+  }
+  EXPECT_EQ(results[0], results[1]);
+  EXPECT_EQ(results[1], results[2]);
+}
+
+TEST(OuterJoinTest, InnerAndOuterDifferOnlyInUnmatched) {
+  Session session(SmallOptions());
+  auto left = *session.CreateTable("l", LeftSchema(), LeftRows());
+  auto right = *session.CreateTable("r", RightSchema(), RightRows());
+  auto inner = left.Join(right, "k", "rk").Collect();
+  auto outer = left.LeftJoin(right, "k", "rk").Collect();
+  ASSERT_TRUE(inner.ok());
+  ASSERT_TRUE(outer.ok());
+  EXPECT_EQ(outer->rows.size(), inner->rows.size() + 2);
+}
+
+TEST(OuterJoinTest, OuterSchemaMarksRightNullable) {
+  Session session(SmallOptions());
+  auto left = *session.CreateTable("l", LeftSchema(), LeftRows());
+  auto right = *session.CreateTable("r", RightSchema(), RightRows());
+  auto schema = left.LeftJoin(right, "k", "rk").schema();
+  ASSERT_TRUE(schema.ok());
+  EXPECT_TRUE(schema->field(2).nullable);
+  EXPECT_TRUE(schema->field(3).nullable);
+}
+
+TEST(OuterJoinTest, IndexedDatasetOuterJoinFallsBackAndWorks) {
+  Session session(SmallOptions());
+  auto left = *session.CreateTable("l", LeftSchema(), LeftRows());
+  auto right = *session.CreateTable("r", RightSchema(), RightRows());
+  auto indexed = *IndexedDataFrame::Create(left, "k");
+
+  auto q = indexed.AsDataFrame().Join(right, "k", "rk", JoinType::kLeftOuter);
+  auto plan = q.ExplainPhysical();
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->find("IndexedJoinExec"), std::string::npos) << *plan;
+
+  auto vanilla = left.LeftJoin(right, "k", "rk").Collect();
+  auto via_indexed = q.Collect();
+  ASSERT_TRUE(vanilla.ok());
+  ASSERT_TRUE(via_indexed.ok());
+  // Indexed storage drops no rows: the fallback scan sees null keys too.
+  EXPECT_EQ(via_indexed->SortedRowStrings(), vanilla->SortedRowStrings());
+}
+
+TEST(OuterJoinTest, SqlLeftJoin) {
+  Session session(SmallOptions());
+  (void)session.CreateTable("l", LeftSchema(), LeftRows());
+  (void)session.CreateTable("r", RightSchema(), RightRows());
+  auto df = session.Sql("SELECT * FROM l LEFT JOIN r ON k = rk");
+  ASSERT_TRUE(df.ok());
+  EXPECT_EQ(df->Count().value(), 7u);
+  auto df2 = session.Sql("SELECT * FROM l LEFT OUTER JOIN r ON k = rk");
+  ASSERT_TRUE(df2.ok());
+  EXPECT_EQ(df2->Count().value(), 7u);
+  auto df3 = session.Sql("SELECT * FROM l INNER JOIN r ON k = rk");
+  ASSERT_TRUE(df3.ok());
+  EXPECT_EQ(df3->Count().value(), 5u);
+}
+
+// ---- ORDER BY -----------------------------------------------------------
+
+SchemaPtr NumSchema() {
+  return std::make_shared<Schema>(Schema({
+      {"a", TypeId::kInt64, true},
+      {"b", TypeId::kString, false},
+  }));
+}
+
+TEST(SortTest, OrderByAscending) {
+  Session session(SmallOptions());
+  auto df = *session.CreateTable(
+      "t", NumSchema(),
+      {{Value::Int64(3), Value::String("c")},
+       {Value::Int64(1), Value::String("a")},
+       {Value::Int64(2), Value::String("b")}});
+  auto result = df.OrderBy({{"a", false}}).Collect();
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->rows.size(), 3u);
+  EXPECT_EQ(result->rows[0][0], Value::Int64(1));
+  EXPECT_EQ(result->rows[1][0], Value::Int64(2));
+  EXPECT_EQ(result->rows[2][0], Value::Int64(3));
+}
+
+TEST(SortTest, OrderByDescendingWithNullsFirstAscending) {
+  Session session(SmallOptions());
+  auto df = *session.CreateTable(
+      "t", NumSchema(),
+      {{Value::Int64(3), Value::String("c")},
+       {Value::Null(TypeId::kInt64), Value::String("n")},
+       {Value::Int64(1), Value::String("a")}});
+  auto asc = df.OrderBy({{"a", false}}).Collect();
+  ASSERT_TRUE(asc.ok());
+  EXPECT_TRUE(asc->rows[0][0].is_null());  // nulls sort first ascending
+  auto desc = df.OrderBy({{"a", true}}).Collect();
+  ASSERT_TRUE(desc.ok());
+  EXPECT_EQ(desc->rows[0][0], Value::Int64(3));
+  EXPECT_TRUE(desc->rows[2][0].is_null());
+}
+
+TEST(SortTest, MultiKeyStable) {
+  Session session(SmallOptions());
+  auto df = *session.CreateTable(
+      "t", NumSchema(),
+      {{Value::Int64(1), Value::String("z")},
+       {Value::Int64(1), Value::String("a")},
+       {Value::Int64(0), Value::String("m")}});
+  auto result = df.OrderBy({{"a", false}, {"b", false}}).Collect();
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->rows[0][1], Value::String("m"));
+  EXPECT_EQ(result->rows[1][1], Value::String("a"));
+  EXPECT_EQ(result->rows[2][1], Value::String("z"));
+}
+
+TEST(SortTest, SqlOrderByLimit) {
+  Session session(SmallOptions());
+  std::vector<RowVec> rows;
+  for (int64_t i = 0; i < 20; ++i) {
+    rows.push_back({Value::Int64((i * 7) % 20),
+                    Value::String("r" + std::to_string(i))});
+  }
+  (void)session.CreateTable("t", NumSchema(), rows);
+  auto result =
+      session.Sql("SELECT a FROM t ORDER BY a DESC LIMIT 3")->Collect();
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->rows.size(), 3u);
+  EXPECT_EQ(result->rows[0][0], Value::Int64(19));
+  EXPECT_EQ(result->rows[1][0], Value::Int64(18));
+  EXPECT_EQ(result->rows[2][0], Value::Int64(17));
+}
+
+TEST(SortTest, OrderByOnIndexedFallback) {
+  Session session(SmallOptions());
+  std::vector<RowVec> rows;
+  for (int64_t i = 0; i < 50; ++i) {
+    rows.push_back(
+        {Value::Int64(49 - i), Value::String("x" + std::to_string(i))});
+  }
+  auto df = *session.CreateTable("t", NumSchema(), rows);
+  auto indexed = *IndexedDataFrame::Create(df, "a");
+  auto result = indexed.AsDataFrame().OrderBy({{"a", false}}).Collect();
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->rows.size(), 50u);
+  for (int64_t i = 0; i < 50; ++i) {
+    EXPECT_EQ(result->rows[static_cast<size_t>(i)][0], Value::Int64(i));
+  }
+}
+
+TEST(SortTest, UnknownSortColumnFails) {
+  Session session(SmallOptions());
+  auto df = *session.CreateTable("t", NumSchema(),
+                                 {{Value::Int64(1), Value::String("a")}});
+  EXPECT_FALSE(df.OrderBy({{"zzz", false}}).Collect().ok());
+}
+
+}  // namespace
+}  // namespace idf

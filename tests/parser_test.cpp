@@ -1,0 +1,349 @@
+// Tests for the SQL front-end: lexer, parser, binding against the catalog,
+// end-to-end execution, and integration with the index-aware strategies
+// (a SQL equality filter on a registered indexed table must plan an
+// IndexLookupExec, per Fig. 2).
+#include <gtest/gtest.h>
+
+#include "core/indexed_dataframe.h"
+#include "sql/parser.h"
+#include "sql/session.h"
+
+namespace idf {
+namespace {
+
+using sql_detail::Lex;
+using sql_detail::TokenKind;
+
+SessionOptions SmallOptions() {
+  SessionOptions opts;
+  opts.cluster.num_workers = 2;
+  opts.cluster.executors_per_worker = 2;
+  opts.cluster.cores_per_executor = 2;
+  opts.default_partitions = 4;
+  return opts;
+}
+
+SchemaPtr PeopleSchema() {
+  return std::make_shared<Schema>(Schema({
+      {"id", TypeId::kInt64, false},
+      {"name", TypeId::kString, true},
+      {"age", TypeId::kInt32, true},
+      {"score", TypeId::kFloat64, true},
+  }));
+}
+
+std::vector<RowVec> PeopleRows() {
+  std::vector<RowVec> rows;
+  const char* names[] = {"ann", "bob", "cat", "dan", "eve",
+                         "fay", "gus", "hal", "ivy", "joe"};
+  for (int64_t i = 0; i < 10; ++i) {
+    rows.push_back({Value::Int64(i), Value::String(names[i]),
+                    Value::Int32(static_cast<int32_t>(20 + i)),
+                    Value::Float64(i * 0.5)});
+  }
+  return rows;
+}
+
+SchemaPtr OrdersSchema() {
+  return std::make_shared<Schema>(Schema({
+      {"order_id", TypeId::kInt64, false},
+      {"person", TypeId::kInt64, false},
+      {"amount", TypeId::kFloat64, true},
+  }));
+}
+
+std::vector<RowVec> OrdersRows() {
+  std::vector<RowVec> rows;
+  int64_t order_id = 0;
+  for (int64_t person = 0; person < 10; ++person) {
+    for (int64_t k = 0; k < person; ++k) {
+      rows.push_back({Value::Int64(order_id++), Value::Int64(person),
+                      Value::Float64(person * 10.0 + k)});
+    }
+  }
+  return rows;
+}
+
+// ---- lexer ------------------------------------------------------------------
+
+TEST(SqlLexerTest, TokenKinds) {
+  auto tokens = Lex("SELECT a, 42 3.5 'str' >= <> (x)");
+  ASSERT_TRUE(tokens.ok());
+  std::vector<TokenKind> kinds;
+  for (const auto& t : *tokens) kinds.push_back(t.kind);
+  EXPECT_EQ(kinds,
+            (std::vector<TokenKind>{
+                TokenKind::kIdentifier, TokenKind::kIdentifier,
+                TokenKind::kSymbol, TokenKind::kInteger, TokenKind::kFloat,
+                TokenKind::kString, TokenKind::kSymbol, TokenKind::kSymbol,
+                TokenKind::kSymbol, TokenKind::kIdentifier, TokenKind::kSymbol,
+                TokenKind::kEnd}));
+}
+
+TEST(SqlLexerTest, KeywordsUppercasedRawPreserved) {
+  auto tokens = Lex("select FooBar");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].text, "SELECT");
+  EXPECT_EQ((*tokens)[1].text, "FOOBAR");
+  EXPECT_EQ((*tokens)[1].raw, "FooBar");
+}
+
+TEST(SqlLexerTest, StringsKeepCase) {
+  auto tokens = Lex("'Hello World'");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].raw, "Hello World");
+}
+
+TEST(SqlLexerTest, UnterminatedStringFails) {
+  EXPECT_FALSE(Lex("SELECT 'oops").ok());
+}
+
+TEST(SqlLexerTest, BadCharacterFails) {
+  EXPECT_FALSE(Lex("SELECT a & b").ok());
+}
+
+// ---- parsing & execution -----------------------------------------------------
+
+class SqlQueryTest : public ::testing::Test {
+ protected:
+  SqlQueryTest() : session_(SmallOptions()) {
+    (void)session_.CreateTable("people", PeopleSchema(), PeopleRows());
+    (void)session_.CreateTable("orders", OrdersSchema(), OrdersRows());
+  }
+  Session session_;
+};
+
+TEST_F(SqlQueryTest, SelectStar) {
+  auto df = session_.Sql("SELECT * FROM people");
+  ASSERT_TRUE(df.ok());
+  EXPECT_EQ(df->Count().value(), 10u);
+}
+
+TEST_F(SqlQueryTest, CaseInsensitiveKeywordsAndTableNames) {
+  auto df = session_.Sql("select * from PEOPLE");
+  ASSERT_TRUE(df.ok());
+  EXPECT_EQ(df->Count().value(), 10u);
+}
+
+TEST_F(SqlQueryTest, Projection) {
+  auto result = session_.Sql("SELECT name, age FROM people")->Collect();
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->schema->num_fields(), 2u);
+  EXPECT_EQ(result->schema->field(0).name, "name");
+  EXPECT_EQ(result->rows.size(), 10u);
+}
+
+TEST_F(SqlQueryTest, WhereComparisons) {
+  EXPECT_EQ(session_.Sql("SELECT * FROM people WHERE age >= 27")
+                ->Count()
+                .value(),
+            3u);
+  EXPECT_EQ(session_.Sql("SELECT * FROM people WHERE name = 'eve'")
+                ->Count()
+                .value(),
+            1u);
+  EXPECT_EQ(session_.Sql("SELECT * FROM people WHERE age <> 25")
+                ->Count()
+                .value(),
+            9u);
+  EXPECT_EQ(
+      session_.Sql("SELECT * FROM people WHERE age > 22 AND score < 3.0")
+          ->Count()
+          .value(),
+      3u);
+  EXPECT_EQ(
+      session_.Sql("SELECT * FROM people WHERE age < 21 OR age > 28")
+          ->Count()
+          .value(),
+      2u);
+  EXPECT_EQ(session_.Sql("SELECT * FROM people WHERE NOT (age < 25)")
+                ->Count()
+                .value(),
+            5u);
+}
+
+TEST_F(SqlQueryTest, WhereArithmetic) {
+  // age - 20 = id for every row.
+  EXPECT_EQ(session_.Sql("SELECT * FROM people WHERE age - 20 = id")
+                ->Count()
+                .value(),
+            10u);
+  EXPECT_EQ(session_.Sql("SELECT * FROM people WHERE id * 2 >= 10")
+                ->Count()
+                .value(),
+            5u);
+}
+
+TEST_F(SqlQueryTest, IsNull) {
+  auto with_null = PeopleRows();
+  with_null.push_back({Value::Int64(100), Value::Null(TypeId::kString),
+                       Value::Null(TypeId::kInt32), Value::Float64(0)});
+  (void)session_.CreateTable("people2", PeopleSchema(), with_null);
+  EXPECT_EQ(session_.Sql("SELECT * FROM people2 WHERE age IS NULL")
+                ->Count()
+                .value(),
+            1u);
+  EXPECT_EQ(session_.Sql("SELECT * FROM people2 WHERE age IS NOT NULL")
+                ->Count()
+                .value(),
+            10u);
+}
+
+TEST_F(SqlQueryTest, JoinOn) {
+  auto df = session_.Sql(
+      "SELECT name, amount FROM people JOIN orders ON id = person");
+  ASSERT_TRUE(df.ok());
+  auto result = df->Collect();
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->rows.size(), 45u);
+  EXPECT_EQ(result->schema->num_fields(), 2u);
+}
+
+TEST_F(SqlQueryTest, JoinThenWhere) {
+  auto df = session_.Sql(
+      "SELECT * FROM people JOIN orders ON id = person WHERE amount > 80");
+  ASSERT_TRUE(df.ok());
+  int expected = 0;
+  for (const RowVec& row : OrdersRows()) {
+    if (row[2].float64_value() > 80) ++expected;
+  }
+  EXPECT_EQ(df->Count().value(), static_cast<uint64_t>(expected));
+}
+
+TEST_F(SqlQueryTest, GlobalAggregates) {
+  auto result = session_
+                    .Sql("SELECT COUNT(*) AS n, SUM(amount) AS total, "
+                         "AVG(amount) AS mean FROM orders")
+                    ->Collect();
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->rows.size(), 1u);
+  EXPECT_EQ(result->rows[0][0], Value::Int64(45));
+  double total = 0;
+  for (const RowVec& row : OrdersRows()) total += row[2].float64_value();
+  EXPECT_NEAR(result->rows[0][1].float64_value(), total, 1e-9);
+  EXPECT_NEAR(result->rows[0][2].float64_value(), total / 45, 1e-9);
+}
+
+TEST_F(SqlQueryTest, GroupBy) {
+  auto result =
+      session_
+          .Sql("SELECT person, COUNT(*) AS n FROM orders GROUP BY person")
+          ->Collect();
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->rows.size(), 9u);
+  for (const RowVec& row : result->rows) {
+    EXPECT_EQ(row[0].int64_value(), row[1].int64_value());
+  }
+}
+
+TEST_F(SqlQueryTest, MinMax) {
+  auto result =
+      session_.Sql("SELECT MIN(age) AS lo, MAX(age) AS hi FROM people")
+          ->Collect();
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->rows[0][0], Value::Int32(20));
+  EXPECT_EQ(result->rows[0][1], Value::Int32(29));
+}
+
+TEST_F(SqlQueryTest, Limit) {
+  EXPECT_EQ(session_.Sql("SELECT * FROM people LIMIT 4")->Count().value(), 4u);
+}
+
+TEST_F(SqlQueryTest, SqlMatchesDataFrameApi) {
+  auto via_sql =
+      session_
+          .Sql("SELECT name FROM people JOIN orders ON id = person "
+               "WHERE amount >= 50")
+          ->Collect();
+  auto people = session_.Read(session_.LookupTable("people").value());
+  auto orders = session_.Read(session_.LookupTable("orders").value());
+  auto via_api = people.Join(orders, "id", "person")
+                     .Filter(Ge(Col("amount"), Lit(50.0)))
+                     .Select({"name"})
+                     .Collect();
+  ASSERT_TRUE(via_sql.ok());
+  ASSERT_TRUE(via_api.ok());
+  EXPECT_EQ(via_sql->SortedRowStrings(), via_api->SortedRowStrings());
+}
+
+// ---- error handling ---------------------------------------------------------
+
+TEST_F(SqlQueryTest, UnknownTableFails) {
+  auto df = session_.Sql("SELECT * FROM nope");
+  EXPECT_EQ(df.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(SqlQueryTest, UnknownColumnFailsAtBind) {
+  EXPECT_FALSE(session_.Sql("SELECT zzz FROM people").ok());
+}
+
+TEST_F(SqlQueryTest, SyntaxErrors) {
+  EXPECT_FALSE(session_.Sql("SELECT FROM people").ok());
+  EXPECT_FALSE(session_.Sql("SELECT * people").ok());
+  EXPECT_FALSE(session_.Sql("SELECT * FROM people WHERE").ok());
+  EXPECT_FALSE(session_.Sql("SELECT * FROM people LIMIT x").ok());
+  EXPECT_FALSE(session_.Sql("SELECT * FROM people trailing garbage").ok());
+  EXPECT_FALSE(
+      session_.Sql("SELECT * FROM people JOIN orders ON id person").ok());
+}
+
+TEST_F(SqlQueryTest, NonGroupedColumnWithAggregateFails) {
+  EXPECT_FALSE(session_.Sql("SELECT name, COUNT(*) FROM people").ok());
+}
+
+TEST_F(SqlQueryTest, GroupByWithoutAggregateFails) {
+  EXPECT_FALSE(session_.Sql("SELECT name FROM people GROUP BY name").ok());
+}
+
+// ---- index integration (Fig. 2) ------------------------------------------------
+
+TEST_F(SqlQueryTest, SqlOnRegisteredIndexUsesIndexLookup) {
+  auto people = session_.Read(session_.LookupTable("people").value());
+  auto indexed = IndexedDataFrame::Create(people, "id").value();
+  indexed.RegisterAs("people_idx");
+
+  auto df = session_.Sql("SELECT * FROM people_idx WHERE id = 4");
+  ASSERT_TRUE(df.ok());
+  auto plan = df->ExplainPhysical();
+  ASSERT_TRUE(plan.ok());
+  EXPECT_NE(plan->find("IndexLookupExec"), std::string::npos) << *plan;
+  auto result = df->Collect();
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->rows.size(), 1u);
+  EXPECT_EQ(result->rows[0][1], Value::String("eve"));
+}
+
+TEST_F(SqlQueryTest, SqlJoinOnRegisteredIndexUsesIndexedJoin) {
+  auto people = session_.Read(session_.LookupTable("people").value());
+  auto indexed = IndexedDataFrame::Create(people, "id").value();
+  indexed.RegisterAs("people_idx");
+
+  auto df = session_.Sql(
+      "SELECT name, amount FROM people_idx JOIN orders ON id = person");
+  ASSERT_TRUE(df.ok());
+  auto plan = df->ExplainPhysical();
+  ASSERT_TRUE(plan.ok());
+  EXPECT_NE(plan->find("IndexedJoinExec"), std::string::npos) << *plan;
+  EXPECT_EQ(df->Count().value(), 45u);
+}
+
+TEST_F(SqlQueryTest, SqlSeesAppendedVersionAfterReRegistration) {
+  auto people = session_.Read(session_.LookupTable("people").value());
+  auto v0 = IndexedDataFrame::Create(people, "id").value();
+  v0.RegisterAs("live");
+  EXPECT_EQ(session_.Sql("SELECT * FROM live WHERE id = 4")->Count().value(),
+            1u);
+
+  auto extra = session_
+                   .CreateTable("extra", PeopleSchema(),
+                                {{Value::Int64(4), Value::String("eve2"),
+                                  Value::Int32(25), Value::Float64(9.0)}})
+                   .value();
+  auto v1 = v0.AppendRows(extra).value();
+  v1.RegisterAs("live");
+  EXPECT_EQ(session_.Sql("SELECT * FROM live WHERE id = 4")->Count().value(),
+            2u);
+}
+
+}  // namespace
+}  // namespace idf

@@ -1,0 +1,430 @@
+// End-to-end tests for the SQL layer: columnar chunks, planner rules,
+// physical execution of filter/project/join/aggregate/limit, and
+// cross-validation of the three vanilla join algorithms.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/rng.h"
+#include "sql/session.h"
+
+namespace idf {
+namespace {
+
+SessionOptions SmallOptions() {
+  SessionOptions opts;
+  opts.cluster.num_workers = 2;
+  opts.cluster.executors_per_worker = 2;
+  opts.cluster.cores_per_executor = 2;
+  opts.default_partitions = 4;
+  return opts;
+}
+
+SchemaPtr PeopleSchema() {
+  return std::make_shared<Schema>(Schema({
+      {"id", TypeId::kInt64, false},
+      {"name", TypeId::kString, true},
+      {"age", TypeId::kInt32, true},
+      {"score", TypeId::kFloat64, true},
+  }));
+}
+
+std::vector<RowVec> PeopleRows() {
+  std::vector<RowVec> rows;
+  const char* names[] = {"ann", "bob", "cat", "dan", "eve", "fay", "gus",
+                         "hal", "ivy", "joe"};
+  for (int64_t i = 0; i < 10; ++i) {
+    rows.push_back({Value::Int64(i), Value::String(names[i]),
+                    Value::Int32(static_cast<int32_t>(20 + i)),
+                    Value::Float64(i * 0.5)});
+  }
+  return rows;
+}
+
+// ---- columnar ---------------------------------------------------------------
+
+TEST(ColumnarTest, ChunkRoundTrip) {
+  ColumnarChunk chunk(PeopleSchema());
+  for (const RowVec& row : PeopleRows()) IDF_CHECK_OK(chunk.AppendRow(row));
+  EXPECT_EQ(chunk.num_rows(), 10u);
+  EXPECT_EQ(chunk.RowAt(3)[1], Value::String("dan"));
+  EXPECT_EQ(chunk.ValueAt(5, 2), Value::Int32(25));
+  EXPECT_GT(chunk.ByteSize(), 0u);
+}
+
+TEST(ColumnarTest, NullHandling) {
+  ColumnarChunk chunk(PeopleSchema());
+  IDF_CHECK_OK(chunk.AppendRow({Value::Int64(1), Value::Null(TypeId::kString),
+                                Value::Null(TypeId::kInt32),
+                                Value::Float64(0)}));
+  EXPECT_TRUE(chunk.column(1).IsNull(0));
+  EXPECT_TRUE(chunk.column(2).IsNull(0));
+  EXPECT_FALSE(chunk.column(0).IsNull(0));
+  EXPECT_TRUE(chunk.RowAt(0)[1].is_null());
+}
+
+TEST(ColumnarTest, KeyCodeMatchesIndexKeyCode) {
+  ColumnarChunk chunk(PeopleSchema());
+  IDF_CHECK_OK(chunk.AppendRow(PeopleRows()[4]));
+  EXPECT_EQ(chunk.column(0).KeyCodeAt(0), IndexKeyCode(Value::Int64(4)));
+  EXPECT_EQ(chunk.column(1).KeyCodeAt(0), IndexKeyCode(Value::String("eve")));
+}
+
+TEST(ColumnarTest, ChunkBuilderFromEncodedRows) {
+  auto schema = PeopleSchema();
+  RowLayout layout(schema);
+  std::vector<uint8_t> buf;
+  ChunkBuilder builder(schema);
+  for (const RowVec& row : PeopleRows()) {
+    buf.resize(*layout.ComputeRowSize(row));
+    layout.EncodeRow(row, buf.data(), PackedRowPtr::Null());
+    builder.AddEncodedRow(layout, buf.data());
+  }
+  ChunkPtr chunk = builder.Finish();
+  EXPECT_EQ(chunk->num_rows(), 10u);
+  EXPECT_EQ(chunk->RowAt(7)[1], Value::String("hal"));
+}
+
+// ---- planner rules --------------------------------------------------------------
+
+TEST(PlannerTest, CombineFiltersRule) {
+  Session session(SmallOptions());
+  auto df = *session.CreateTable("people", PeopleSchema(), PeopleRows());
+  auto filtered = df.Filter(Gt(Col("age"), Lit(int32_t{22})))
+                      .Filter(Lt(Col("age"), Lit(int32_t{27})));
+  auto explained = filtered.ExplainOptimized();
+  ASSERT_TRUE(explained.ok());
+  // Two Filter nodes collapse into one AND.
+  EXPECT_EQ(explained->find("Filter"), explained->rfind("Filter"));
+  EXPECT_NE(explained->find("AND"), std::string::npos);
+}
+
+TEST(PlannerTest, PushFilterBelowProjectRule) {
+  Session session(SmallOptions());
+  auto df = *session.CreateTable("people", PeopleSchema(), PeopleRows());
+  auto q = df.Select({"id", "age"}).Filter(Eq(Col("id"), Lit(int64_t{3})));
+  auto explained = q.ExplainOptimized();
+  ASSERT_TRUE(explained.ok());
+  // Project must now be above Filter.
+  EXPECT_LT(explained->find("Project"), explained->find("Filter"));
+}
+
+TEST(PlannerTest, PhysicalPlanUsesVanillaOperators) {
+  Session session(SmallOptions());
+  auto df = *session.CreateTable("people", PeopleSchema(), PeopleRows());
+  auto q = df.Filter(Gt(Col("age"), Lit(int32_t{21}))).Select({"name"});
+  auto physical = q.ExplainPhysical();
+  ASSERT_TRUE(physical.ok());
+  EXPECT_NE(physical->find("ProjectExec"), std::string::npos);
+  EXPECT_NE(physical->find("FilterExec"), std::string::npos);
+  EXPECT_NE(physical->find("ScanExec"), std::string::npos);
+}
+
+// ---- execution: scan/filter/project -----------------------------------------
+
+TEST(SqlExecTest, CollectWholeTable) {
+  Session session(SmallOptions());
+  auto df = *session.CreateTable("people", PeopleSchema(), PeopleRows());
+  auto result = df.Collect();
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->rows.size(), 10u);
+}
+
+TEST(SqlExecTest, FilterNumericVectorizedPath) {
+  Session session(SmallOptions());
+  auto df = *session.CreateTable("people", PeopleSchema(), PeopleRows());
+  auto result = df.Filter(Ge(Col("age"), Lit(int32_t{27}))).Collect();
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->rows.size(), 3u);  // ages 27, 28, 29
+}
+
+TEST(SqlExecTest, FilterLiteralOnLeftMirrorsComparison) {
+  Session session(SmallOptions());
+  auto df = *session.CreateTable("people", PeopleSchema(), PeopleRows());
+  // 27 <= age is the mirrored form of age >= 27.
+  auto result = df.Filter(Le(Lit(int32_t{27}), Col("age"))).Collect();
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->rows.size(), 3u);
+}
+
+TEST(SqlExecTest, FilterStringGenericPath) {
+  Session session(SmallOptions());
+  auto df = *session.CreateTable("people", PeopleSchema(), PeopleRows());
+  auto result = df.Filter(Eq(Col("name"), Lit("eve"))).Collect();
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->rows.size(), 1u);
+  EXPECT_EQ(result->rows[0][0], Value::Int64(4));
+}
+
+TEST(SqlExecTest, FilterCompoundPredicate) {
+  Session session(SmallOptions());
+  auto df = *session.CreateTable("people", PeopleSchema(), PeopleRows());
+  auto result = df.Filter(And(Gt(Col("age"), Lit(int32_t{22})),
+                              Lt(Col("score"), Lit(3.0))))
+                    .Collect();
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->rows.size(), 3u);  // ids 3,4,5
+}
+
+TEST(SqlExecTest, FilterKeepsNoNullMatches) {
+  Session session(SmallOptions());
+  std::vector<RowVec> rows = PeopleRows();
+  rows.push_back({Value::Int64(100), Value::String("nil"),
+                  Value::Null(TypeId::kInt32), Value::Float64(0)});
+  auto df = *session.CreateTable("people", PeopleSchema(), rows);
+  auto result = df.Filter(Gt(Col("age"), Lit(int32_t{0}))).Collect();
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->rows.size(), 10u);  // null age row dropped
+}
+
+TEST(SqlExecTest, ProjectReordersColumns) {
+  Session session(SmallOptions());
+  auto df = *session.CreateTable("people", PeopleSchema(), PeopleRows());
+  auto result = df.Select({"age", "id"}).Collect();
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->schema->num_fields(), 2u);
+  EXPECT_EQ(result->schema->field(0).name, "age");
+  EXPECT_EQ(result->rows.size(), 10u);
+  for (const RowVec& row : result->rows) {
+    EXPECT_EQ(row[0].AsInt64() - 20, row[1].AsInt64());
+  }
+}
+
+TEST(SqlExecTest, LimitTruncates) {
+  Session session(SmallOptions());
+  auto df = *session.CreateTable("people", PeopleSchema(), PeopleRows());
+  auto result = df.Limit(3).Collect();
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->rows.size(), 3u);
+  auto count = df.Limit(100).Count();
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(*count, 10u);
+}
+
+// ---- execution: joins ---------------------------------------------------------
+
+SchemaPtr OrdersSchema() {
+  return std::make_shared<Schema>(Schema({
+      {"order_id", TypeId::kInt64, false},
+      {"person", TypeId::kInt64, false},
+      {"amount", TypeId::kFloat64, true},
+  }));
+}
+
+std::vector<RowVec> OrdersRows() {
+  std::vector<RowVec> rows;
+  // person i gets i orders (skew): person 0 none, 1 one, ...
+  int64_t order_id = 0;
+  for (int64_t person = 0; person < 10; ++person) {
+    for (int64_t k = 0; k < person; ++k) {
+      rows.push_back({Value::Int64(order_id++), Value::Int64(person),
+                      Value::Float64(person * 10.0 + k)});
+    }
+  }
+  return rows;  // 45 orders
+}
+
+std::map<std::string, int> JoinResultHistogram(const CollectedTable& t) {
+  std::map<std::string, int> hist;
+  for (const std::string& row : t.SortedRowStrings()) ++hist[row];
+  return hist;
+}
+
+class JoinModeSweep : public ::testing::TestWithParam<JoinExec::Mode> {};
+
+TEST_P(JoinModeSweep, JoinMatchesExpectedCardinality) {
+  SessionOptions opts = SmallOptions();
+  opts.join_mode = GetParam();
+  Session session(opts);
+  auto people = *session.CreateTable("people", PeopleSchema(), PeopleRows());
+  auto orders = *session.CreateTable("orders", OrdersSchema(), OrdersRows());
+
+  auto joined = people.Join(orders, "id", "person");
+  auto result = joined.Collect();
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->rows.size(), 45u);
+  // Schema: people columns then orders columns.
+  EXPECT_EQ(result->schema->num_fields(), 7u);
+  EXPECT_EQ(result->schema->field(0).name, "id");
+  EXPECT_EQ(result->schema->field(4).name, "order_id");
+  // Every joined row satisfies id == person.
+  for (const RowVec& row : result->rows) {
+    EXPECT_EQ(row[0].int64_value(), row[5].int64_value());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, JoinModeSweep,
+                         ::testing::Values(JoinExec::Mode::kBroadcastHash,
+                                           JoinExec::Mode::kShuffledHash,
+                                           JoinExec::Mode::kSortMerge));
+
+TEST(SqlJoinTest, AllJoinModesProduceIdenticalResults) {
+  // Property: the three algorithms are interchangeable. Random datasets.
+  Rng rng(77);
+  for (int trial = 0; trial < 3; ++trial) {
+    std::vector<RowVec> left_rows, right_rows;
+    for (int i = 0; i < 200; ++i) {
+      left_rows.push_back({Value::Int64(static_cast<int64_t>(rng.Below(40))),
+                           Value::String(rng.NextString(4)),
+                           Value::Int32(static_cast<int32_t>(i)),
+                           Value::Float64(rng.NextDouble())});
+    }
+    for (int i = 0; i < 100; ++i) {
+      right_rows.push_back({Value::Int64(i),
+                            Value::Int64(static_cast<int64_t>(rng.Below(40))),
+                            Value::Float64(rng.NextDouble())});
+    }
+    std::map<std::string, int> results[3];
+    int idx = 0;
+    for (JoinExec::Mode mode :
+         {JoinExec::Mode::kBroadcastHash, JoinExec::Mode::kShuffledHash,
+          JoinExec::Mode::kSortMerge}) {
+      SessionOptions opts = SmallOptions();
+      opts.join_mode = mode;
+      Session session(opts);
+      auto left = *session.CreateTable("l", PeopleSchema(), left_rows);
+      auto right = *session.CreateTable("r", OrdersSchema(), right_rows);
+      auto collected = left.Join(right, "id", "person").Collect();
+      ASSERT_TRUE(collected.ok());
+      results[idx++] = JoinResultHistogram(*collected);
+    }
+    EXPECT_EQ(results[0], results[1]);
+    EXPECT_EQ(results[1], results[2]);
+  }
+}
+
+TEST(SqlJoinTest, StringKeyJoin) {
+  Session session(SmallOptions());
+  auto people = *session.CreateTable("people", PeopleSchema(), PeopleRows());
+  auto lookup_schema = std::make_shared<Schema>(Schema({
+      {"who", TypeId::kString, false},
+      {"team", TypeId::kString, false},
+  }));
+  auto lookup = *session.CreateTable(
+      "teams", lookup_schema,
+      {{Value::String("ann"), Value::String("red")},
+       {Value::String("eve"), Value::String("blue")},
+       {Value::String("zed"), Value::String("green")}});
+  auto result = people.Join(lookup, "name", "who").Collect();
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->rows.size(), 2u);  // ann and eve match; zed doesn't
+}
+
+TEST(SqlJoinTest, NullKeysNeverMatch) {
+  Session session(SmallOptions());
+  auto schema = std::make_shared<Schema>(Schema({
+      {"k", TypeId::kInt64, true},
+      {"v", TypeId::kInt64, false},
+  }));
+  auto left = *session.CreateTable(
+      "l", schema,
+      {{Value::Null(TypeId::kInt64), Value::Int64(1)},
+       {Value::Int64(5), Value::Int64(2)}});
+  auto right = *session.CreateTable(
+      "r", schema,
+      {{Value::Null(TypeId::kInt64), Value::Int64(3)},
+       {Value::Int64(5), Value::Int64(4)}});
+  auto result = left.Join(right, "k", "k").Collect();
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->rows.size(), 1u);  // only 5==5; null != null
+}
+
+TEST(SqlJoinTest, JoinMetricsShowShuffleOrBroadcast) {
+  SessionOptions opts = SmallOptions();
+  opts.join_mode = JoinExec::Mode::kShuffledHash;
+  Session session(opts);
+  auto people = *session.CreateTable("people", PeopleSchema(), PeopleRows());
+  auto orders = *session.CreateTable("orders", OrdersSchema(), OrdersRows());
+  QueryMetrics metrics;
+  auto handle = people.Join(orders, "id", "person").Execute(&metrics);
+  ASSERT_TRUE(handle.ok());
+  EXPECT_GT(metrics.totals.shuffle_bytes_written, 0u);
+  EXPECT_GT(metrics.totals.hash_build_seconds, 0.0);
+  EXPECT_GT(metrics.simulated_seconds, 0.0);
+  EXPECT_GT(metrics.num_stages, 1u);
+}
+
+// ---- execution: aggregates ------------------------------------------------------
+
+TEST(SqlAggTest, GlobalAggregates) {
+  Session session(SmallOptions());
+  auto orders = *session.CreateTable("orders", OrdersSchema(), OrdersRows());
+  auto result = orders
+                    .Agg({}, {AggSpec::Count("n"), AggSpec::Sum("amount"),
+                              AggSpec::Min("amount"), AggSpec::Max("amount"),
+                              AggSpec::Avg("amount")})
+                    .Collect();
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->rows.size(), 1u);
+  const RowVec& row = result->rows[0];
+  EXPECT_EQ(row[0], Value::Int64(45));
+  double expected_sum = 0;
+  for (const RowVec& r : OrdersRows()) expected_sum += r[2].float64_value();
+  EXPECT_NEAR(row[1].float64_value(), expected_sum, 1e-9);
+  EXPECT_DOUBLE_EQ(row[2].float64_value(), 10.0);   // min: person 1, k 0
+  EXPECT_DOUBLE_EQ(row[3].float64_value(), 98.0);   // max: person 9, k 8
+  EXPECT_NEAR(row[4].float64_value(), expected_sum / 45, 1e-9);
+}
+
+TEST(SqlAggTest, GroupByCounts) {
+  Session session(SmallOptions());
+  auto orders = *session.CreateTable("orders", OrdersSchema(), OrdersRows());
+  auto result =
+      orders.Agg({"person"}, {AggSpec::Count("n")}).Collect();
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->rows.size(), 9u);  // persons 1..9 have orders
+  for (const RowVec& row : result->rows) {
+    EXPECT_EQ(row[0].int64_value(), row[1].int64_value());  // person i: i orders
+  }
+}
+
+TEST(SqlAggTest, GroupBySums) {
+  Session session(SmallOptions());
+  auto people = *session.CreateTable("people", PeopleSchema(), PeopleRows());
+  // Group by constant-ish small domain: age bucket = age (distinct) — use
+  // name instead for string grouping.
+  auto result = people.Agg({"name"}, {AggSpec::Sum("age", "total")}).Collect();
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->rows.size(), 10u);
+}
+
+TEST(SqlAggTest, AggregateOnEmptyTable) {
+  Session session(SmallOptions());
+  auto empty = *session.CreateTable("empty", OrdersSchema(), {});
+  auto result =
+      empty.Agg({}, {AggSpec::Count("n"), AggSpec::Sum("amount")}).Collect();
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->rows.size(), 1u);
+  EXPECT_EQ(result->rows[0][0], Value::Int64(0));
+}
+
+TEST(SqlAggTest, GroupedAggregateAfterJoin) {
+  Session session(SmallOptions());
+  auto people = *session.CreateTable("people", PeopleSchema(), PeopleRows());
+  auto orders = *session.CreateTable("orders", OrdersSchema(), OrdersRows());
+  auto result = people.Join(orders, "id", "person")
+                    .Agg({"name"}, {AggSpec::Sum("amount", "spend"),
+                                    AggSpec::Count("n")})
+                    .Collect();
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->rows.size(), 9u);
+}
+
+// ---- lineage integration ------------------------------------------------------
+
+TEST(SqlLineageTest, QueriesSurviveExecutorFailure) {
+  Session session(SmallOptions());
+  auto people = *session.CreateTable("people", PeopleSchema(), PeopleRows());
+  // First run works.
+  ASSERT_EQ(people.Filter(Gt(Col("age"), Lit(int32_t{24}))).Count().value(),
+            5u);
+  // Kill an executor holding blocks; query must recompute via lineage.
+  session.cluster().KillExecutor(1);
+  QueryMetrics metrics;
+  auto count = people.Filter(Gt(Col("age"), Lit(int32_t{24}))).Count(&metrics);
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(*count, 5u);
+}
+
+}  // namespace
+}  // namespace idf

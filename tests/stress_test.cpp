@@ -1,0 +1,235 @@
+// Randomized stress and property tests for the Indexed DataFrame, checked
+// against simple in-memory models:
+//  - a random append/lookup/join workload over a version tree, validated
+//    against a std::multimap model per version;
+//  - concurrent readers against published partition versions while a writer
+//    produces new snapshots (the paper's reader/writer regime);
+//  - randomized fault injection during a mixed workload.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <thread>
+
+#include "common/rng.h"
+#include "core/indexed_dataframe.h"
+
+namespace idf {
+namespace {
+
+SessionOptions SmallOptions() {
+  SessionOptions opts;
+  opts.cluster.num_workers = 2;
+  opts.cluster.executors_per_worker = 2;
+  opts.cluster.cores_per_executor = 2;
+  opts.default_partitions = 4;
+  return opts;
+}
+
+SchemaPtr KvSchema() {
+  return std::make_shared<Schema>(Schema({
+      {"k", TypeId::kInt64, false},
+      {"v", TypeId::kInt64, false},
+  }));
+}
+
+RowVec Kv(int64_t k, int64_t v) { return {Value::Int64(k), Value::Int64(v)}; }
+
+// ---- model-checked MVCC workload -------------------------------------------
+
+using Model = std::multimap<int64_t, int64_t>;  // key -> values
+
+class MvccStress : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MvccStress, RandomVersionTreeMatchesModel) {
+  Session session(SmallOptions());
+  Rng rng(GetParam());
+  constexpr int64_t kKeyDomain = 40;
+
+  // Base data.
+  std::vector<RowVec> base_rows;
+  Model base_model;
+  for (int i = 0; i < 300; ++i) {
+    const int64_t k = static_cast<int64_t>(rng.Below(kKeyDomain));
+    base_rows.push_back(Kv(k, i));
+    base_model.emplace(k, i);
+  }
+  auto df = *session.CreateTable("base", KvSchema(), base_rows);
+  auto v0 = *IndexedDataFrame::Create(df, "k");
+
+  // Version tree: each step appends to a random existing version.
+  std::vector<IndexedDataFrame> versions{v0};
+  std::vector<Model> models{base_model};
+  for (int step = 0; step < 12; ++step) {
+    const size_t parent = rng.Below(versions.size());
+    std::vector<RowVec> extra_rows;
+    Model next_model = models[parent];
+    const int n = 1 + static_cast<int>(rng.Below(25));
+    for (int i = 0; i < n; ++i) {
+      const int64_t k = static_cast<int64_t>(rng.Below(kKeyDomain));
+      const int64_t v = 10000 + step * 100 + i;
+      extra_rows.push_back(Kv(k, v));
+      next_model.emplace(k, v);
+    }
+    auto extra = *session.CreateTable("x" + std::to_string(step), KvSchema(),
+                                      extra_rows);
+    auto appended = versions[parent].AppendRows(extra);
+    ASSERT_TRUE(appended.ok());
+    versions.push_back(*appended);
+    models.push_back(std::move(next_model));
+  }
+
+  // Every version must agree with its model on every key (count and sum).
+  for (size_t vi = 0; vi < versions.size(); ++vi) {
+    for (int64_t k = 0; k < kKeyDomain; k += 3) {
+      auto rows = versions[vi].GetRows(Value::Int64(k));
+      ASSERT_TRUE(rows.ok());
+      auto range = models[vi].equal_range(k);
+      const size_t expected =
+          static_cast<size_t>(std::distance(range.first, range.second));
+      ASSERT_EQ(rows->rows.size(), expected)
+          << "version " << vi << " key " << k;
+      int64_t model_sum = 0;
+      for (auto it = range.first; it != range.second; ++it) {
+        model_sum += it->second;
+      }
+      int64_t got_sum = 0;
+      for (const RowVec& row : rows->rows) got_sum += row[1].int64_value();
+      EXPECT_EQ(got_sum, model_sum) << "version " << vi << " key " << k;
+    }
+    EXPECT_EQ(versions[vi].num_rows(), models[vi].size());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MvccStress,
+                         ::testing::Values(11, 22, 33, 44, 55));
+
+// ---- concurrent readers during snapshot/append -----------------------------
+
+TEST(ConcurrencyStress, ReadersOnPublishedVersionsDuringAppends) {
+  // The engine's contract (§III-C): one writer per partition, concurrent
+  // readers on snapshots. Readers pin specific published versions and must
+  // see exactly that version's data while the writer races ahead.
+  IndexedPartition base(KvSchema(), 0, 64 << 10);
+  for (int64_t i = 0; i < 2000; ++i) {
+    IDF_CHECK_OK(base.InsertRow(Kv(i % 50, i)));
+  }
+
+  std::vector<std::shared_ptr<IndexedPartition>> published;
+  published.push_back(base.Snapshot());
+  std::mutex mu;
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> reads{0};
+
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 3; ++t) {
+    readers.emplace_back([&, t] {
+      Rng rng(static_cast<uint64_t>(t) + 99);
+      while (!stop.load(std::memory_order_relaxed)) {
+        std::shared_ptr<IndexedPartition> snapshot;
+        size_t version;
+        {
+          std::lock_guard<std::mutex> lock(mu);
+          version = rng.Below(published.size());
+          snapshot = published[version];
+        }
+        // Version i holds 2000 + i*10 rows; key counts scale accordingly.
+        const int64_t key = static_cast<int64_t>(rng.Below(50));
+        auto rows = snapshot->LookupRows(Value::Int64(key));
+        ASSERT_EQ(snapshot->num_rows(), 2000u + version * 10);
+        ASSERT_GE(rows.size(), 40u);  // 2000/50 from the base alone
+        reads++;
+      }
+    });
+  }
+
+  // Writer: 40 rounds of snapshot + append + publish.
+  std::shared_ptr<IndexedPartition> current = published[0];
+  for (int round = 1; round <= 40; ++round) {
+    auto next = current->Snapshot();
+    for (int i = 0; i < 10; ++i) {
+      IDF_CHECK_OK(next->InsertRow(Kv((round * 7 + i) % 50, 100000 + i)));
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      published.push_back(next);
+    }
+    current = next;
+  }
+  // On a single-core host the writer can finish before the readers are even
+  // scheduled; keep the versions live until the readers have demonstrably
+  // exercised them.
+  while (reads.load(std::memory_order_relaxed) < 200) {
+    std::this_thread::yield();
+  }
+  stop.store(true);
+  for (auto& th : readers) th.join();
+  EXPECT_GE(reads.load(), 200u);
+}
+
+// ---- randomized fault injection --------------------------------------------
+
+class FaultStress : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FaultStress, MixedWorkloadSurvivesRandomFailures) {
+  Session session(SmallOptions());
+  Rng rng(GetParam());
+
+  std::vector<RowVec> rows;
+  Model model;
+  for (int i = 0; i < 500; ++i) {
+    const int64_t k = static_cast<int64_t>(rng.Below(30));
+    rows.push_back(Kv(k, i));
+    model.emplace(k, i);
+  }
+  auto df = *session.CreateTable("t", KvSchema(), rows);
+  auto current = *IndexedDataFrame::Create(df, "k");
+
+  for (int step = 0; step < 15; ++step) {
+    const double dice = rng.NextDouble();
+    if (dice < 0.3) {
+      // Append.
+      const int64_t k = static_cast<int64_t>(rng.Below(30));
+      const int64_t v = 5000 + step;
+      auto extra = *session.CreateTable("a" + std::to_string(step), KvSchema(),
+                                        {Kv(k, v)});
+      current = *current.AppendRows(extra);
+      model.emplace(k, v);
+    } else if (dice < 0.5) {
+      // Kill a random executor (keep at least one alive), then revive a
+      // random dead one sometimes, like a flapping cluster.
+      auto alive = session.cluster().AliveExecutors();
+      if (alive.size() > 1) {
+        session.cluster().KillExecutor(
+            alive[rng.Below(alive.size())]);
+      }
+      if (rng.Chance(0.5)) {
+        const ExecutorId total = session.cluster().config().total_executors();
+        for (ExecutorId e = 0; e < total; ++e) {
+          if (!session.cluster().IsAlive(e)) {
+            session.cluster().ReviveExecutor(e);
+            break;
+          }
+        }
+      }
+    } else {
+      // Lookup, checked against the model.
+      const int64_t k = static_cast<int64_t>(rng.Below(30));
+      auto got = current.GetRows(Value::Int64(k));
+      ASSERT_TRUE(got.ok()) << got.status().ToString();
+      const size_t expected = model.count(k);
+      EXPECT_EQ(got->rows.size(), expected) << "step " << step << " key " << k;
+    }
+  }
+  // Final full verification.
+  for (int64_t k = 0; k < 30; ++k) {
+    auto got = current.GetRows(Value::Int64(k));
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(got->rows.size(), model.count(k)) << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FaultStress,
+                         ::testing::Values(7, 17, 27, 37));
+
+}  // namespace
+}  // namespace idf

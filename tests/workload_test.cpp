@@ -1,0 +1,317 @@
+// Tests for the workload generators: determinism (lineage-safety), schema
+// shapes, cardinalities, skew properties, planted selectivities, and the
+// SNB short-query analogues end-to-end on indexed and vanilla tables.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/indexed_dataframe.h"
+#include "workload/broconn.h"
+#include "workload/flights.h"
+#include "workload/snb.h"
+#include "workload/tpcds.h"
+
+namespace idf {
+namespace {
+
+SessionOptions SmallOptions() {
+  SessionOptions opts;
+  opts.cluster.num_workers = 2;
+  opts.cluster.executors_per_worker = 2;
+  opts.cluster.cores_per_executor = 2;
+  opts.default_partitions = 4;
+  return opts;
+}
+
+// ---- SNB -------------------------------------------------------------------
+
+SnbConfig TinySnb() {
+  SnbConfig config;
+  config.num_vertices = 2000;
+  config.num_edges = 20000;
+  config.partitions = 4;
+  return config;
+}
+
+TEST(SnbTest, EdgeRowsDeterministic) {
+  SnbGenerator g(TinySnb());
+  for (uint64_t i : {0ull, 1ull, 999ull}) {
+    RowVec a = g.EdgeRow(i);
+    RowVec b = g.EdgeRow(i);
+    EXPECT_EQ(a[0], b[0]);
+    EXPECT_EQ(a[1], b[1]);
+    EXPECT_EQ(a[2], b[2]);
+  }
+}
+
+TEST(SnbTest, EdgeAndVertexCardinalities) {
+  Session session(SmallOptions());
+  SnbGenerator g(TinySnb());
+  auto edges = *g.Edges(session);
+  auto vertices = *g.Vertices(session);
+  EXPECT_EQ(*edges.Count(), 20000u);
+  EXPECT_EQ(*vertices.Count(), 2000u);
+}
+
+TEST(SnbTest, EdgeSourcesArePowerLaw) {
+  Session session(SmallOptions());
+  SnbGenerator g(TinySnb());
+  auto edges = *g.Edges(session);
+  auto degrees = edges.Agg({"edge_source"}, {AggSpec::Count("deg")}).Collect();
+  ASSERT_TRUE(degrees.ok());
+  // Zipf: far fewer distinct sources than edges, and the max degree is a
+  // large multiple of the median.
+  EXPECT_LT(degrees->rows.size(), 20000u / 2);
+  int64_t max_deg = 0;
+  for (const RowVec& row : degrees->rows) {
+    max_deg = std::max(max_deg, row[1].int64_value());
+  }
+  EXPECT_GT(max_deg, 200);  // rank-0 vertex dominates
+}
+
+TEST(SnbTest, EdgeSampleSizeAndDomain) {
+  Session session(SmallOptions());
+  SnbGenerator g(TinySnb());
+  auto sample = *g.EdgeSample(session, 500, 1);
+  auto rows = sample.Collect();
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->rows.size(), 500u);
+  for (const RowVec& row : rows->rows) {
+    EXPECT_LT(row[0].int64_value(), 2000);
+  }
+}
+
+TEST(SnbTest, ScaleFactorHelper) {
+  SnbConfig sf10 = SnbConfig::ScaleFactor(10);
+  EXPECT_EQ(sf10.num_edges, 10000000u);
+  // LDBC-like average degree of ~100.
+  EXPECT_EQ(sf10.num_vertices, 100000u);
+}
+
+TEST(SnbTest, ShortQueriesRunOnVanillaAndIndexed) {
+  Session session(SmallOptions());
+  SnbGenerator g(TinySnb());
+  auto edges = *g.Edges(session);
+  auto vertices = *g.Vertices(session);
+  auto indexed_edges = *IndexedDataFrame::Create(edges, "edge_source");
+  auto indexed_vertices = *IndexedDataFrame::Create(vertices, "id");
+
+  for (int q = 1; q <= 7; ++q) {
+    auto vanilla =
+        SnbShortQuery(q, edges, vertices, /*person_id=*/3).Collect();
+    auto indexed = SnbShortQuery(q, indexed_edges.AsDataFrame(),
+                                 indexed_vertices.AsDataFrame(), 3)
+                       .Collect();
+    ASSERT_TRUE(vanilla.ok()) << "SQ" << q;
+    ASSERT_TRUE(indexed.ok()) << "SQ" << q;
+    EXPECT_EQ(indexed->SortedRowStrings(), vanilla->SortedRowStrings())
+        << "SQ" << q;
+  }
+}
+
+TEST(SnbTest, IndexedShortQueriesUseIndexWhereExpected) {
+  Session session(SmallOptions());
+  SnbGenerator g(TinySnb());
+  auto edges = *g.Edges(session);
+  auto vertices = *g.Vertices(session);
+  auto ie = *IndexedDataFrame::Create(edges, "edge_source");
+  auto iv = *IndexedDataFrame::Create(vertices, "id");
+
+  // SQ2 should plan an index lookup on edges AND an indexed join on vertices.
+  auto sq2 = SnbShortQuery(2, ie.AsDataFrame(), iv.AsDataFrame(), 3);
+  auto plan = sq2.ExplainPhysical();
+  ASSERT_TRUE(plan.ok());
+  EXPECT_NE(plan->find("IndexLookupExec"), std::string::npos) << *plan;
+  EXPECT_NE(plan->find("IndexedJoinExec"), std::string::npos) << *plan;
+
+  // SQ5 cannot use the index (non-equality filter).
+  auto sq5 = SnbShortQuery(5, ie.AsDataFrame(), iv.AsDataFrame(), 3);
+  auto plan5 = sq5.ExplainPhysical();
+  ASSERT_TRUE(plan5.ok());
+  EXPECT_EQ(plan5->find("IndexLookupExec"), std::string::npos);
+  EXPECT_EQ(plan5->find("IndexedJoinExec"), std::string::npos);
+}
+
+// ---- TPC-DS ---------------------------------------------------------------
+
+TEST(TpcdsTest, CardinalitiesScaleWithSf) {
+  TpcdsConfig sf1;
+  sf1.scale_factor = 1.0;
+  TpcdsConfig sf4;
+  sf4.scale_factor = 4.0;
+  EXPECT_EQ(sf4.sales_rows(), 4 * sf1.sales_rows());
+  EXPECT_EQ(sf4.date_rows, sf1.date_rows);  // date_dim constant, as in TPC-DS
+}
+
+TEST(TpcdsTest, TablesMaterialize) {
+  Session session(SmallOptions());
+  TpcdsConfig config;
+  config.scale_factor = 0.05;  // 6000 rows
+  config.partitions = 4;
+  TpcdsGenerator g(config);
+  auto sales = *g.StoreSales(session);
+  auto dates = *g.DateDim(session);
+  EXPECT_EQ(*sales.Count(), config.sales_rows());
+  EXPECT_EQ(*dates.Count(), config.date_rows);
+}
+
+TEST(TpcdsTest, DateDimYearFilterSelectsOneYear) {
+  Session session(SmallOptions());
+  TpcdsConfig config;
+  config.scale_factor = 0.01;
+  TpcdsGenerator g(config);
+  auto year = *g.DateDimForYear(session, TpcdsConfig::kTargetYear);
+  auto rows = year.Collect();
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->rows.size(), 365u);
+  for (const RowVec& row : rows->rows) {
+    EXPECT_EQ(row[1], Value::Int32(TpcdsConfig::kTargetYear));
+  }
+}
+
+TEST(TpcdsTest, JoinKeysLandInDateDomain) {
+  Session session(SmallOptions());
+  TpcdsConfig config;
+  config.scale_factor = 0.02;
+  TpcdsGenerator g(config);
+  auto sales = *g.StoreSales(session);
+  auto rows = sales.Collect();
+  ASSERT_TRUE(rows.ok());
+  for (const RowVec& row : rows->rows) {
+    EXPECT_GE(row[0].int32_value(), 0);
+    EXPECT_LT(row[0].int32_value(), static_cast<int32_t>(config.date_rows));
+  }
+}
+
+TEST(TpcdsTest, IndexedJoinMatchesVanilla) {
+  Session session(SmallOptions());
+  TpcdsConfig config;
+  config.scale_factor = 0.05;
+  TpcdsGenerator g(config);
+  auto sales = *g.StoreSales(session);
+  auto dates = *g.DateDimForYear(session, TpcdsConfig::kTargetYear);
+
+  auto vanilla = sales.Join(dates, "ss_sold_date_sk", "d_date_sk").Collect();
+  auto indexed = *IndexedDataFrame::Create(sales, "ss_sold_date_sk");
+  auto fast = indexed.Join(dates, "d_date_sk").Collect();
+  ASSERT_TRUE(vanilla.ok());
+  ASSERT_TRUE(fast.ok());
+  EXPECT_GT(vanilla->rows.size(), 0u);
+  EXPECT_EQ(fast->SortedRowStrings(), vanilla->SortedRowStrings());
+}
+
+// ---- Flights ---------------------------------------------------------------
+
+FlightsConfig TinyFlights() {
+  FlightsConfig config;
+  config.num_flights = 20000;
+  config.num_planes = 300;
+  config.partitions = 4;
+  return config;
+}
+
+TEST(FlightsTest, PlantedSelectivities) {
+  Session session(SmallOptions());
+  FlightsGenerator g(TinyFlights());
+  auto flights = *g.Flights(session);
+  auto indexed = *IndexedDataFrame::Create(flights, "flight_num");
+  EXPECT_EQ(indexed.GetRows(Value::Int32(FlightsConfig::kKey10))->rows.size(),
+            10u);
+  EXPECT_EQ(indexed.GetRows(Value::Int32(FlightsConfig::kKey100))->rows.size(),
+            100u);
+  EXPECT_EQ(
+      indexed.GetRows(Value::Int32(FlightsConfig::kKey1000))->rows.size(),
+      1000u);
+}
+
+TEST(FlightsTest, TailNumsJoinPlanes) {
+  Session session(SmallOptions());
+  FlightsGenerator g(TinyFlights());
+  auto flights = *g.Flights(session);
+  auto planes = *g.Planes(session);
+  EXPECT_EQ(*planes.Count(), 300u);
+  // Every flight references an existing plane: inner join keeps all rows.
+  auto joined = flights.Join(planes, "tail_num", "tail_num");
+  EXPECT_EQ(*joined.Count(), 20000u);
+}
+
+TEST(FlightsTest, StringIndexedJoinMatchesVanilla) {
+  Session session(SmallOptions());
+  FlightsGenerator g(TinyFlights());
+  auto flights = *g.Flights(session);
+  auto planes = *g.Planes(session);
+  auto vanilla = flights.Join(planes, "tail_num", "tail_num").Collect();
+  auto indexed = *IndexedDataFrame::Create(flights, "tail_num");
+  auto fast = indexed.Join(planes, "tail_num").Collect();
+  ASSERT_TRUE(vanilla.ok());
+  ASSERT_TRUE(fast.ok());
+  EXPECT_EQ(fast->SortedRowStrings(), vanilla->SortedRowStrings());
+}
+
+TEST(FlightsTest, FlightNumDomain) {
+  Session session(SmallOptions());
+  FlightsConfig config = TinyFlights();
+  FlightsGenerator g(config);
+  auto flights = *g.Flights(session);
+  // Q3's probe: flight_num < 200 (Table II).
+  auto subset = flights.Filter(Lt(Col("flight_num"), Lit(int32_t{200})));
+  auto n = subset.Count();
+  ASSERT_TRUE(n.ok());
+  // ~ (200/8000) * (20000 - 1110) regular rows.
+  EXPECT_GT(*n, 300u);
+  EXPECT_LT(*n, 700u);
+}
+
+// ---- Broconn ---------------------------------------------------------------
+
+BroconnConfig TinyBroconn() {
+  BroconnConfig config;
+  config.num_connections = 20000;
+  config.num_hosts = 2000;
+  config.partitions = 4;
+  return config;
+}
+
+TEST(BroconnTest, ConnectionsMaterializeWithSkew) {
+  Session session(SmallOptions());
+  BroconnGenerator g(TinyBroconn());
+  auto conns = *g.Connections(session);
+  EXPECT_EQ(*conns.Count(), 20000u);
+  auto per_host = conns.Agg({"src_ip"}, {AggSpec::Count("n")}).Collect();
+  ASSERT_TRUE(per_host.ok());
+  int64_t max_count = 0;
+  for (const RowVec& row : per_host->rows) {
+    max_count = std::max(max_count, row[1].int64_value());
+  }
+  EXPECT_GT(max_count, 400);  // heavy-hitter host
+}
+
+TEST(BroconnTest, WatchlistJoinFindsThreats) {
+  Session session(SmallOptions());
+  BroconnGenerator g(TinyBroconn());
+  auto conns = *g.Connections(session);
+  auto watchlist = *g.Watchlist(session, 50, 9);
+  auto indexed = *IndexedDataFrame::Create(conns, "src_ip");
+  auto hits = indexed.Join(watchlist, "ip").Collect();
+  auto vanilla = conns.Join(watchlist, "src_ip", "ip").Collect();
+  ASSERT_TRUE(hits.ok());
+  ASSERT_TRUE(vanilla.ok());
+  EXPECT_EQ(hits->SortedRowStrings(), vanilla->SortedRowStrings());
+}
+
+TEST(BroconnTest, SampleProbeJoin) {
+  Session session(SmallOptions());
+  BroconnGenerator g(TinyBroconn());
+  auto conns = *g.Connections(session);
+  auto sample = *g.ConnectionSample(session, 100, 3);
+  auto indexed = *IndexedDataFrame::Create(conns, "src_ip");
+  auto joined = indexed.Join(sample, "src_ip");
+  auto n = joined.Count();
+  ASSERT_TRUE(n.ok());
+  // Probe keys are uniform over the host domain; most hosts carry traffic,
+  // so the self-join multiplies out well beyond the sample size.
+  EXPECT_GT(*n, 100u);
+}
+
+}  // namespace
+}  // namespace idf
