@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_backptr.dir/ablation_backptr.cpp.o"
+  "CMakeFiles/ablation_backptr.dir/ablation_backptr.cpp.o.d"
+  "ablation_backptr"
+  "ablation_backptr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_backptr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_cow.dir/ablation_cow.cpp.o"
+  "CMakeFiles/ablation_cow.dir/ablation_cow.cpp.o.d"
+  "ablation_cow"
+  "ablation_cow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_cow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_stringkey.dir/ablation_stringkey.cpp.o"
+  "CMakeFiles/ablation_stringkey.dir/ablation_stringkey.cpp.o.d"
+  "ablation_stringkey"
+  "ablation_stringkey.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_stringkey.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_amortization.dir/fig01_amortization.cpp.o"
+  "CMakeFiles/fig01_amortization.dir/fig01_amortization.cpp.o.d"
+  "fig01_amortization"
+  "fig01_amortization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_amortization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

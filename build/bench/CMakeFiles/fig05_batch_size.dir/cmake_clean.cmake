@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_batch_size.dir/fig05_batch_size.cpp.o"
+  "CMakeFiles/fig05_batch_size.dir/fig05_batch_size.cpp.o.d"
+  "fig05_batch_size"
+  "fig05_batch_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_batch_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

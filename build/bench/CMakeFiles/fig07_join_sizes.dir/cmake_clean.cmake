@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_join_sizes.dir/fig07_join_sizes.cpp.o"
+  "CMakeFiles/fig07_join_sizes.dir/fig07_join_sizes.cpp.o.d"
+  "fig07_join_sizes"
+  "fig07_join_sizes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_join_sizes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_operators.dir/fig08_operators.cpp.o"
+  "CMakeFiles/fig08_operators.dir/fig08_operators.cpp.o.d"
+  "fig08_operators"
+  "fig08_operators.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_operators.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

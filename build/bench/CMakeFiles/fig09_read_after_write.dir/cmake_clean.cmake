@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_read_after_write.dir/fig09_read_after_write.cpp.o"
+  "CMakeFiles/fig09_read_after_write.dir/fig09_read_after_write.cpp.o.d"
+  "fig09_read_after_write"
+  "fig09_read_after_write.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_read_after_write.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

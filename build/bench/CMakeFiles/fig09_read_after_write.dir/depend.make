@@ -1,0 +1,2 @@
+# Empty dependencies file for fig09_read_after_write.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_snb_queries.dir/fig13_snb_queries.cpp.o"
+  "CMakeFiles/fig13_snb_queries.dir/fig13_snb_queries.cpp.o.d"
+  "fig13_snb_queries"
+  "fig13_snb_queries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_snb_queries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

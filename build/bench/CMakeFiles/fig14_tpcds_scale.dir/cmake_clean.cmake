@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_tpcds_scale.dir/fig14_tpcds_scale.cpp.o"
+  "CMakeFiles/fig14_tpcds_scale.dir/fig14_tpcds_scale.cpp.o.d"
+  "fig14_tpcds_scale"
+  "fig14_tpcds_scale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_tpcds_scale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

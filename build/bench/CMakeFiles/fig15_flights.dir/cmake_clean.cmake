@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_flights.dir/fig15_flights.cpp.o"
+  "CMakeFiles/fig15_flights.dir/fig15_flights.cpp.o.d"
+  "fig15_flights"
+  "fig15_flights.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_flights.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

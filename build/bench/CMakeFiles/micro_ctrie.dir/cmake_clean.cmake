@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_ctrie.dir/micro_ctrie.cpp.o"
+  "CMakeFiles/micro_ctrie.dir/micro_ctrie.cpp.o.d"
+  "micro_ctrie"
+  "micro_ctrie.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_ctrie.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

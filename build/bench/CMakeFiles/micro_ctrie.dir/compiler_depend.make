@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for micro_ctrie.
+# This may be replaced when dependencies are built.

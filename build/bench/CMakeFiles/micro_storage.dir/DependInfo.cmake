@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/micro_storage.cpp" "bench/CMakeFiles/micro_storage.dir/micro_storage.cpp.o" "gcc" "bench/CMakeFiles/micro_storage.dir/micro_storage.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/idf_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/idf_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/idf_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/idf_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/idf_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/types/CMakeFiles/idf_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/idf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_join_sizes.dir/table3_join_sizes.cpp.o"
+  "CMakeFiles/table3_join_sizes.dir/table3_join_sizes.cpp.o.d"
+  "table3_join_sizes"
+  "table3_join_sizes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_join_sizes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/social_monitoring.dir/social_monitoring.cpp.o"
+  "CMakeFiles/social_monitoring.dir/social_monitoring.cpp.o.d"
+  "social_monitoring"
+  "social_monitoring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/social_monitoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/threat_detection.dir/threat_detection.cpp.o"
+  "CMakeFiles/threat_detection.dir/threat_detection.cpp.o.d"
+  "threat_detection"
+  "threat_detection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/threat_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/idf_common.dir/hash.cpp.o"
+  "CMakeFiles/idf_common.dir/hash.cpp.o.d"
+  "CMakeFiles/idf_common.dir/logging.cpp.o"
+  "CMakeFiles/idf_common.dir/logging.cpp.o.d"
+  "CMakeFiles/idf_common.dir/rng.cpp.o"
+  "CMakeFiles/idf_common.dir/rng.cpp.o.d"
+  "CMakeFiles/idf_common.dir/stats.cpp.o"
+  "CMakeFiles/idf_common.dir/stats.cpp.o.d"
+  "CMakeFiles/idf_common.dir/status.cpp.o"
+  "CMakeFiles/idf_common.dir/status.cpp.o.d"
+  "CMakeFiles/idf_common.dir/threadpool.cpp.o"
+  "CMakeFiles/idf_common.dir/threadpool.cpp.o.d"
+  "libidf_common.a"
+  "libidf_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/idf_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for idf_common.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/indexed_agg.cpp" "src/core/CMakeFiles/idf_core.dir/indexed_agg.cpp.o" "gcc" "src/core/CMakeFiles/idf_core.dir/indexed_agg.cpp.o.d"
+  "/root/repo/src/core/indexed_dataframe.cpp" "src/core/CMakeFiles/idf_core.dir/indexed_dataframe.cpp.o" "gcc" "src/core/CMakeFiles/idf_core.dir/indexed_dataframe.cpp.o.d"
+  "/root/repo/src/core/indexed_ops.cpp" "src/core/CMakeFiles/idf_core.dir/indexed_ops.cpp.o" "gcc" "src/core/CMakeFiles/idf_core.dir/indexed_ops.cpp.o.d"
+  "/root/repo/src/core/indexed_partition.cpp" "src/core/CMakeFiles/idf_core.dir/indexed_partition.cpp.o" "gcc" "src/core/CMakeFiles/idf_core.dir/indexed_partition.cpp.o.d"
+  "/root/repo/src/core/indexed_rdd.cpp" "src/core/CMakeFiles/idf_core.dir/indexed_rdd.cpp.o" "gcc" "src/core/CMakeFiles/idf_core.dir/indexed_rdd.cpp.o.d"
+  "/root/repo/src/core/indexed_rules.cpp" "src/core/CMakeFiles/idf_core.dir/indexed_rules.cpp.o" "gcc" "src/core/CMakeFiles/idf_core.dir/indexed_rules.cpp.o.d"
+  "/root/repo/src/core/persistence.cpp" "src/core/CMakeFiles/idf_core.dir/persistence.cpp.o" "gcc" "src/core/CMakeFiles/idf_core.dir/persistence.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sql/CMakeFiles/idf_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/idf_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/idf_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/types/CMakeFiles/idf_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/idf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

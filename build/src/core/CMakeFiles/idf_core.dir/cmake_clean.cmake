@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/idf_core.dir/indexed_agg.cpp.o"
+  "CMakeFiles/idf_core.dir/indexed_agg.cpp.o.d"
+  "CMakeFiles/idf_core.dir/indexed_dataframe.cpp.o"
+  "CMakeFiles/idf_core.dir/indexed_dataframe.cpp.o.d"
+  "CMakeFiles/idf_core.dir/indexed_ops.cpp.o"
+  "CMakeFiles/idf_core.dir/indexed_ops.cpp.o.d"
+  "CMakeFiles/idf_core.dir/indexed_partition.cpp.o"
+  "CMakeFiles/idf_core.dir/indexed_partition.cpp.o.d"
+  "CMakeFiles/idf_core.dir/indexed_rdd.cpp.o"
+  "CMakeFiles/idf_core.dir/indexed_rdd.cpp.o.d"
+  "CMakeFiles/idf_core.dir/indexed_rules.cpp.o"
+  "CMakeFiles/idf_core.dir/indexed_rules.cpp.o.d"
+  "CMakeFiles/idf_core.dir/persistence.cpp.o"
+  "CMakeFiles/idf_core.dir/persistence.cpp.o.d"
+  "libidf_core.a"
+  "libidf_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/idf_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/idf_engine.dir/cluster.cpp.o"
+  "CMakeFiles/idf_engine.dir/cluster.cpp.o.d"
+  "libidf_engine.a"
+  "libidf_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/idf_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

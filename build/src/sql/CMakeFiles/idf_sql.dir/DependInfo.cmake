@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sql/columnar.cpp" "src/sql/CMakeFiles/idf_sql.dir/columnar.cpp.o" "gcc" "src/sql/CMakeFiles/idf_sql.dir/columnar.cpp.o.d"
+  "/root/repo/src/sql/csv.cpp" "src/sql/CMakeFiles/idf_sql.dir/csv.cpp.o" "gcc" "src/sql/CMakeFiles/idf_sql.dir/csv.cpp.o.d"
+  "/root/repo/src/sql/expr.cpp" "src/sql/CMakeFiles/idf_sql.dir/expr.cpp.o" "gcc" "src/sql/CMakeFiles/idf_sql.dir/expr.cpp.o.d"
+  "/root/repo/src/sql/parser.cpp" "src/sql/CMakeFiles/idf_sql.dir/parser.cpp.o" "gcc" "src/sql/CMakeFiles/idf_sql.dir/parser.cpp.o.d"
+  "/root/repo/src/sql/physical.cpp" "src/sql/CMakeFiles/idf_sql.dir/physical.cpp.o" "gcc" "src/sql/CMakeFiles/idf_sql.dir/physical.cpp.o.d"
+  "/root/repo/src/sql/plan.cpp" "src/sql/CMakeFiles/idf_sql.dir/plan.cpp.o" "gcc" "src/sql/CMakeFiles/idf_sql.dir/plan.cpp.o.d"
+  "/root/repo/src/sql/planner.cpp" "src/sql/CMakeFiles/idf_sql.dir/planner.cpp.o" "gcc" "src/sql/CMakeFiles/idf_sql.dir/planner.cpp.o.d"
+  "/root/repo/src/sql/session.cpp" "src/sql/CMakeFiles/idf_sql.dir/session.cpp.o" "gcc" "src/sql/CMakeFiles/idf_sql.dir/session.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/engine/CMakeFiles/idf_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/idf_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/types/CMakeFiles/idf_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/idf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

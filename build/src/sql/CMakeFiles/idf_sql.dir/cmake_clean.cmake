@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/idf_sql.dir/columnar.cpp.o"
+  "CMakeFiles/idf_sql.dir/columnar.cpp.o.d"
+  "CMakeFiles/idf_sql.dir/csv.cpp.o"
+  "CMakeFiles/idf_sql.dir/csv.cpp.o.d"
+  "CMakeFiles/idf_sql.dir/expr.cpp.o"
+  "CMakeFiles/idf_sql.dir/expr.cpp.o.d"
+  "CMakeFiles/idf_sql.dir/parser.cpp.o"
+  "CMakeFiles/idf_sql.dir/parser.cpp.o.d"
+  "CMakeFiles/idf_sql.dir/physical.cpp.o"
+  "CMakeFiles/idf_sql.dir/physical.cpp.o.d"
+  "CMakeFiles/idf_sql.dir/plan.cpp.o"
+  "CMakeFiles/idf_sql.dir/plan.cpp.o.d"
+  "CMakeFiles/idf_sql.dir/planner.cpp.o"
+  "CMakeFiles/idf_sql.dir/planner.cpp.o.d"
+  "CMakeFiles/idf_sql.dir/session.cpp.o"
+  "CMakeFiles/idf_sql.dir/session.cpp.o.d"
+  "libidf_sql.a"
+  "libidf_sql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/idf_sql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libidf_sql.a"
+)

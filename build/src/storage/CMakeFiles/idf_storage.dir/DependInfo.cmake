@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/partition_store.cpp" "src/storage/CMakeFiles/idf_storage.dir/partition_store.cpp.o" "gcc" "src/storage/CMakeFiles/idf_storage.dir/partition_store.cpp.o.d"
+  "/root/repo/src/storage/row_batch.cpp" "src/storage/CMakeFiles/idf_storage.dir/row_batch.cpp.o" "gcc" "src/storage/CMakeFiles/idf_storage.dir/row_batch.cpp.o.d"
+  "/root/repo/src/storage/row_layout.cpp" "src/storage/CMakeFiles/idf_storage.dir/row_layout.cpp.o" "gcc" "src/storage/CMakeFiles/idf_storage.dir/row_layout.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/types/CMakeFiles/idf_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/idf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

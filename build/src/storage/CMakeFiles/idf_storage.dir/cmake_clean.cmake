@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/idf_storage.dir/partition_store.cpp.o"
+  "CMakeFiles/idf_storage.dir/partition_store.cpp.o.d"
+  "CMakeFiles/idf_storage.dir/row_batch.cpp.o"
+  "CMakeFiles/idf_storage.dir/row_batch.cpp.o.d"
+  "CMakeFiles/idf_storage.dir/row_layout.cpp.o"
+  "CMakeFiles/idf_storage.dir/row_layout.cpp.o.d"
+  "libidf_storage.a"
+  "libidf_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/idf_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/idf_types.dir/schema.cpp.o"
+  "CMakeFiles/idf_types.dir/schema.cpp.o.d"
+  "CMakeFiles/idf_types.dir/value.cpp.o"
+  "CMakeFiles/idf_types.dir/value.cpp.o.d"
+  "libidf_types.a"
+  "libidf_types.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/idf_types.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/broconn.cpp" "src/workload/CMakeFiles/idf_workload.dir/broconn.cpp.o" "gcc" "src/workload/CMakeFiles/idf_workload.dir/broconn.cpp.o.d"
+  "/root/repo/src/workload/flights.cpp" "src/workload/CMakeFiles/idf_workload.dir/flights.cpp.o" "gcc" "src/workload/CMakeFiles/idf_workload.dir/flights.cpp.o.d"
+  "/root/repo/src/workload/snb.cpp" "src/workload/CMakeFiles/idf_workload.dir/snb.cpp.o" "gcc" "src/workload/CMakeFiles/idf_workload.dir/snb.cpp.o.d"
+  "/root/repo/src/workload/tpcds.cpp" "src/workload/CMakeFiles/idf_workload.dir/tpcds.cpp.o" "gcc" "src/workload/CMakeFiles/idf_workload.dir/tpcds.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sql/CMakeFiles/idf_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/idf_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/idf_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/idf_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/types/CMakeFiles/idf_types.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

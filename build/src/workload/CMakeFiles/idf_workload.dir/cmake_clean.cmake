@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/idf_workload.dir/broconn.cpp.o"
+  "CMakeFiles/idf_workload.dir/broconn.cpp.o.d"
+  "CMakeFiles/idf_workload.dir/flights.cpp.o"
+  "CMakeFiles/idf_workload.dir/flights.cpp.o.d"
+  "CMakeFiles/idf_workload.dir/snb.cpp.o"
+  "CMakeFiles/idf_workload.dir/snb.cpp.o.d"
+  "CMakeFiles/idf_workload.dir/tpcds.cpp.o"
+  "CMakeFiles/idf_workload.dir/tpcds.cpp.o.d"
+  "libidf_workload.a"
+  "libidf_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/idf_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

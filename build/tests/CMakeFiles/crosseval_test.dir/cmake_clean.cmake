@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crosseval_test.dir/crosseval_test.cpp.o"
+  "CMakeFiles/crosseval_test.dir/crosseval_test.cpp.o.d"
+  "crosseval_test"
+  "crosseval_test.pdb"
+  "crosseval_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crosseval_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csv_union_test.dir/csv_union_test.cpp.o"
+  "CMakeFiles/csv_union_test.dir/csv_union_test.cpp.o.d"
+  "csv_union_test"
+  "csv_union_test.pdb"
+  "csv_union_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csv_union_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

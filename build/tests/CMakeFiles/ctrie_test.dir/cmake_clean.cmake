@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ctrie_test.dir/ctrie_test.cpp.o"
+  "CMakeFiles/ctrie_test.dir/ctrie_test.cpp.o.d"
+  "ctrie_test"
+  "ctrie_test.pdb"
+  "ctrie_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ctrie_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

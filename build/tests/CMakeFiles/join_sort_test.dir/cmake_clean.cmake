@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/join_sort_test.dir/join_sort_test.cpp.o"
+  "CMakeFiles/join_sort_test.dir/join_sort_test.cpp.o.d"
+  "join_sort_test"
+  "join_sort_test.pdb"
+  "join_sort_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/join_sort_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
