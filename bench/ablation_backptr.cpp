@@ -31,7 +31,8 @@ struct MultimapIndex {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  idf::bench::ObsGuard obs(argc, argv);
   const double scale = bench::ScaleEnv();
   SessionOptions options;
   bench::PrintHeader("Ablation", "backward-pointer chains vs multimap index",

@@ -35,7 +35,8 @@ JoinCost MeasureJoin(Session& session, const IndexedDataFrame& indexed,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  idf::bench::ObsGuard obs(argc, argv);
   const double scale = bench::ScaleEnv();
   const int reps = bench::RepsEnv(5);
   bench::PrintHeader("Ablation", "indexed join: broadcast vs shuffled probe",

@@ -11,7 +11,8 @@
 
 using namespace idf;
 
-int main() {
+int main(int argc, char** argv) {
+  idf::bench::ObsGuard obs(argc, argv);
   const double scale = bench::ScaleEnv();
   SessionOptions options;
   bench::PrintHeader("Ablation", "versioned append storage strategies",

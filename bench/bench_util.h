@@ -5,18 +5,76 @@
 // Scale is adjustable without recompiling:
 //   IDF_BENCH_SCALE  — multiplies dataset sizes (default 1.0)
 //   IDF_BENCH_REPS   — repetitions per data point (default per-bench)
+//
+// Observability (see docs/OBSERVABILITY.md):
+//   --metrics-out=<file>.json  (or IDF_METRICS_OUT=<file>)
+//       dump the global metrics registry as JSON on exit
+//   --trace-out=<file>.json    (or IDF_TRACE_OUT=<file>)
+//       enable span tracing and write a Chrome trace_event file on exit
 #pragma once
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <functional>
 #include <string>
 
 #include "common/stats.h"
 #include "common/timer.h"
+#include "obs/metrics_registry.h"
+#include "obs/trace.h"
 #include "sql/session.h"
 
 namespace idf::bench {
+
+/// Declared at the top of a bench's main(): parses --metrics-out= /
+/// --trace-out= (and the matching env vars), enables tracing when a trace
+/// sink is requested, and exports both files from its destructor — after
+/// the bench body has run.
+class ObsGuard {
+ public:
+  ObsGuard(int argc, char** argv) {
+    if (const char* env = std::getenv("IDF_METRICS_OUT")) metrics_path_ = env;
+    if (const char* env = std::getenv("IDF_TRACE_OUT")) trace_path_ = env;
+    for (int i = 1; i < argc; ++i) {
+      const char* arg = argv[i];
+      if (std::strncmp(arg, "--metrics-out=", 14) == 0) {
+        metrics_path_ = arg + 14;
+      } else if (std::strncmp(arg, "--trace-out=", 12) == 0) {
+        trace_path_ = arg + 12;
+      }
+    }
+    if (!trace_path_.empty()) obs::Tracer::Global().SetEnabled(true);
+  }
+
+  ~ObsGuard() {
+    if (!metrics_path_.empty()) {
+      const Status s = obs::Registry::Global().WriteJson(metrics_path_);
+      if (s.ok()) {
+        std::printf("metrics registry written to %s\n", metrics_path_.c_str());
+      } else {
+        std::fprintf(stderr, "metrics export failed: %s\n",
+                     s.message().c_str());
+      }
+    }
+    if (!trace_path_.empty()) {
+      const Status s = obs::Tracer::Global().WriteChromeJson(trace_path_);
+      if (s.ok()) {
+        std::printf("chrome trace written to %s (load in ui.perfetto.dev)\n",
+                    trace_path_.c_str());
+      } else {
+        std::fprintf(stderr, "trace export failed: %s\n", s.message().c_str());
+      }
+    }
+  }
+
+  ObsGuard(const ObsGuard&) = delete;
+  ObsGuard& operator=(const ObsGuard&) = delete;
+
+ private:
+  std::string metrics_path_;
+  std::string trace_path_;
+};
 
 inline double ScaleEnv() {
   const char* s = std::getenv("IDF_BENCH_SCALE");

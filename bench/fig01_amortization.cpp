@@ -14,7 +14,8 @@
 
 using namespace idf;
 
-int main() {
+int main(int argc, char** argv) {
+  idf::bench::ObsGuard obs(argc, argv);
   const double scale = bench::ScaleEnv();
   SessionOptions options = bench::Ec2Cluster(4, /*big=*/false);  // 4x i3.xlarge
   bench::PrintHeader(

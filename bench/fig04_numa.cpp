@@ -24,7 +24,8 @@ struct Config {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  idf::bench::ObsGuard obs(argc, argv);
   const double scale = bench::ScaleEnv();
   const int reps = bench::RepsEnv(8);
 

@@ -43,7 +43,8 @@ double MeasureJoin(SessionOptions options, SnbConfig snb, int reps) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  idf::bench::ObsGuard obs(argc, argv);
   const double scale = bench::ScaleEnv();
   const int reps = bench::RepsEnv(3);
   bench::PrintHeader("Fig. 6", "horizontal & vertical scalability (XL join)",

@@ -43,7 +43,8 @@ double MeanReadLatency(Session& session, const SnbGenerator& generator,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  idf::bench::ObsGuard obs(argc, argv);
   const double scale = bench::ScaleEnv();
   const int queries = bench::RepsEnv(0) > 0 ? bench::RepsEnv(0) : 100;
   SessionOptions options = bench::PrivateCluster();

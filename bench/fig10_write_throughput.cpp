@@ -13,7 +13,8 @@
 
 using namespace idf;
 
-int main() {
+int main(int argc, char** argv) {
+  idf::bench::ObsGuard obs(argc, argv);
   const double scale = bench::ScaleEnv();
   const int appends = bench::RepsEnv(0) > 0 ? bench::RepsEnv(0) : 200;
   SessionOptions options = bench::PrivateCluster();

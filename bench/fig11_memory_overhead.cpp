@@ -13,7 +13,8 @@
 
 using namespace idf;
 
-int main() {
+int main(int argc, char** argv) {
+  idf::bench::ObsGuard obs(argc, argv);
   const double scale = bench::ScaleEnv();
   SessionOptions options = bench::PrivateCluster();
   bench::PrintHeader("Fig. 11", "per-partition index memory overhead",

@@ -12,7 +12,8 @@
 
 using namespace idf;
 
-int main() {
+int main(int argc, char** argv) {
+  idf::bench::ObsGuard obs(argc, argv);
   const double scale = bench::ScaleEnv();
   const int reps = bench::RepsEnv(10);
   SessionOptions options = bench::PrivateCluster();

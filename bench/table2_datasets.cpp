@@ -10,7 +10,8 @@
 
 using namespace idf;
 
-int main() {
+int main(int argc, char** argv) {
+  idf::bench::ObsGuard obs(argc, argv);
   const double scale = bench::ScaleEnv();
   std::printf("Table II — datasets and queries (paper -> this reproduction)\n");
   std::printf("%-16s %-18s %-34s %-12s %s\n", "Dataset", "Experiment",

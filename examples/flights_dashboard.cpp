@@ -7,6 +7,8 @@
 // Build & run:  ./build/examples/flights_dashboard
 #include <cstdio>
 
+#include "bench/bench_util.h"
+
 #include "common/timer.h"
 #include "core/indexed_dataframe.h"
 #include "workload/flights.h"
@@ -23,7 +25,8 @@ double TimeMs(const std::function<void()>& fn) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  idf::bench::ObsGuard obs(argc, argv);
   SessionOptions options;
   options.cluster.num_workers = 4;
   options.cluster.executors_per_worker = 2;

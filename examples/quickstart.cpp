@@ -9,12 +9,15 @@
 // Build & run:  ./build/examples/quickstart
 #include <cstdio>
 
+#include "bench/bench_util.h"
+
 #include "core/indexed_dataframe.h"
 #include "sql/session.h"
 
 using namespace idf;
 
-int main() {
+int main(int argc, char** argv) {
+  idf::bench::ObsGuard obs(argc, argv);
   // A 4-worker simulated cluster (see DESIGN.md: real task execution,
   // modeled placement/network).
   SessionOptions options;

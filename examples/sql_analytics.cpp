@@ -5,6 +5,8 @@
 // Build & run:  ./build/examples/sql_analytics
 #include <cstdio>
 
+#include "bench/bench_util.h"
+
 #include "core/indexed_dataframe.h"
 #include "sql/session.h"
 #include "workload/tpcds.h"
@@ -38,7 +40,8 @@ void Run(Session& session, const char* sql) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  idf::bench::ObsGuard obs(argc, argv);
   SessionOptions options;
   options.cluster.num_workers = 4;
   options.cluster.executors_per_worker = 2;

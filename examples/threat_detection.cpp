@@ -11,13 +11,16 @@
 // Build & run:  ./build/examples/threat_detection
 #include <cstdio>
 
+#include "bench/bench_util.h"
+
 #include "common/timer.h"
 #include "core/indexed_dataframe.h"
 #include "workload/broconn.h"
 
 using namespace idf;
 
-int main() {
+int main(int argc, char** argv) {
+  idf::bench::ObsGuard obs(argc, argv);
   SessionOptions options;
   options.cluster.num_workers = 4;
   options.cluster.executors_per_worker = 2;

@@ -5,8 +5,8 @@
 
 namespace idf {
 
-Result<TableHandle> RowAggExec::Execute(Session& session,
-                                        QueryMetrics& metrics) const {
+Result<TableHandle> RowAggExec::ExecuteImpl(Session& session,
+                                            QueryMetrics& metrics) const {
   using agg_internal::FindOrCreateGroup;
   using agg_internal::GroupMap;
   using agg_internal::GroupState;

@@ -29,8 +29,8 @@ class IndexedJoinExec final : public PhysicalOp {
         probe_key_(std::move(probe_key)),
         indexed_is_left_(indexed_is_left) {}
 
-  Result<TableHandle> Execute(Session& session,
-                              QueryMetrics& metrics) const override;
+  Result<TableHandle> ExecuteImpl(Session& session,
+                                  QueryMetrics& metrics) const override;
   std::string Describe() const override {
     return "IndexedJoinExec probe_key=" + probe_key_ + " on " +
            indexed_->name();
@@ -53,8 +53,8 @@ class IndexLookupExec final : public PhysicalOp {
         key_(std::move(key)),
         residual_(std::move(residual)) {}
 
-  Result<TableHandle> Execute(Session& session,
-                              QueryMetrics& metrics) const override;
+  Result<TableHandle> ExecuteImpl(Session& session,
+                                  QueryMetrics& metrics) const override;
   std::string Describe() const override {
     return "IndexLookupExec key=" + key_.ToString() +
            (residual_ ? " residual=" + residual_->ToString() : "") + " on " +

@@ -82,6 +82,11 @@ class IndexedPartition final : public Block {
   uint64_t data_bytes() const { return store_.data_bytes(); }
   uint32_t num_batches() const { return store_.num_batches(); }
 
+  /// COW batch opens charged to this partition (see
+  /// PartitionStore::cow_batch_opens). A freshly snapshotted partition
+  /// starts at zero, so the value attributes copies to the divergent writer.
+  uint64_t cow_batch_opens() const { return store_.cow_batch_opens(); }
+
   /// Approximate bytes held by the cTrie index (Fig. 11's overhead metric).
   uint64_t IndexBytes() const;
 

@@ -234,6 +234,7 @@ Result<uint64_t> IndexedRdd::Append(uint64_t parent_version,
             std::shared_ptr<const IndexedPartition> parent,
             GetPartition(partition, parent_version, ctx));
         std::shared_ptr<IndexedPartition> next = parent->Snapshot();
+        ++ctx.metrics().ctrie_snapshots;
         uint64_t routed_bytes = 0;
         for (const uint8_t* row : routed) {
           routed_bytes += RowLayout::RowSize(row);
@@ -243,6 +244,9 @@ Result<uint64_t> IndexedRdd::Append(uint64_t parent_version,
           IDF_RETURN_IF_ERROR(
               next->InsertEncoded(row, RowLayout::RowSize(row)));
         }
+        // `next` starts with zero COW opens, so this is exactly the number
+        // of sealed-tail divergences caused by this append (Fig. 9).
+        ctx.metrics().batch_copies += next->cow_batch_opens();
         appended += routed.size();
         ctx.metrics().rows_written += routed.size();
         ctx.cluster().blocks().Put(BlockId{rdd_id_, partition, new_version},

@@ -1,0 +1,219 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "obs/metrics_registry.h"
+
+namespace idf::obs {
+
+namespace {
+
+/// Innermost live span per thread, for parent links.
+thread_local std::vector<uint64_t> t_span_stack;
+thread_local Tracer::ThreadBuffer* t_buffer = nullptr;
+
+bool TraceEnabledFromEnv() {
+  const char* v = std::getenv("IDF_TRACE");
+  return v != nullptr && v[0] != '\0' && v[0] != '0';
+}
+
+std::string ArgsJson(const TraceEvent& ev) {
+  std::string out = "{";
+  for (size_t i = 0; i < ev.args.size(); ++i) {
+    if (i) out += ",";
+    out += "\"" + JsonEscape(ev.args[i].first) + "\":" + ev.args[i].second;
+  }
+  out += "}";
+  return out;
+}
+
+std::string EventJson(const TraceEvent& ev, bool chrome) {
+  std::string out = "{\"name\":\"" + JsonEscape(ev.name) + "\",\"cat\":\"" +
+                    JsonEscape(ev.category) + "\",";
+  if (chrome) out += "\"ph\":\"X\",\"pid\":1,";
+  out += "\"ts\":" + std::to_string(ev.start_us) +
+         ",\"dur\":" + std::to_string(ev.dur_us) +
+         ",\"tid\":" + std::to_string(ev.tid);
+  // Span links ride in args so Chrome renders them in the detail pane.
+  std::string args = "{\"span_id\":" + std::to_string(ev.span_id) +
+                     ",\"parent_id\":" + std::to_string(ev.parent_id);
+  for (const auto& [key, value] : ev.args) {
+    args += ",\"" + JsonEscape(key) + "\":" + value;
+  }
+  args += "}";
+  if (chrome) {
+    out += ",\"args\":" + args;
+  } else {
+    out += ",\"id\":" + std::to_string(ev.span_id) +
+           ",\"parent\":" + std::to_string(ev.parent_id) +
+           ",\"args\":" + ArgsJson(ev);
+  }
+  out += "}";
+  return out;
+}
+
+std::string NumJson(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+}  // namespace
+
+Tracer::Tracer() : epoch_(std::chrono::steady_clock::now()) {
+  enabled_.store(TraceEnabledFromEnv(), std::memory_order_relaxed);
+}
+
+Tracer& Tracer::Global() {
+  static Tracer* tracer = new Tracer();
+  return *tracer;
+}
+
+uint64_t Tracer::NowMicros() const {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - epoch_)
+          .count());
+}
+
+Tracer::ThreadBuffer& Tracer::LocalBuffer() {
+  if (t_buffer == nullptr) {
+    auto buffer = std::make_shared<ThreadBuffer>();
+    buffer->tid = next_tid_.fetch_add(1, std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> lock(buffers_mutex_);
+      buffers_.push_back(buffer);
+    }
+    // The tracer is process-lived (leaked singleton), so the raw cache
+    // cannot dangle; the shared_ptr keeps the buffer alive past thread exit.
+    t_buffer = buffer.get();
+  }
+  return *t_buffer;
+}
+
+void Tracer::Record(TraceEvent event) {
+  ThreadBuffer& buffer = LocalBuffer();
+  event.tid = buffer.tid;
+  std::lock_guard<std::mutex> lock(buffer.mutex);
+  buffer.events.push_back(std::move(event));
+}
+
+std::vector<TraceEvent> Tracer::Snapshot() const {
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  {
+    std::lock_guard<std::mutex> lock(buffers_mutex_);
+    buffers = buffers_;
+  }
+  std::vector<TraceEvent> out;
+  for (const auto& buffer : buffers) {
+    std::lock_guard<std::mutex> lock(buffer->mutex);
+    out.insert(out.end(), buffer->events.begin(), buffer->events.end());
+  }
+  std::sort(out.begin(), out.end(), [](const TraceEvent& a,
+                                       const TraceEvent& b) {
+    return a.start_us != b.start_us ? a.start_us < b.start_us
+                                    : a.span_id < b.span_id;
+  });
+  return out;
+}
+
+void Tracer::Clear() {
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  {
+    std::lock_guard<std::mutex> lock(buffers_mutex_);
+    buffers = buffers_;
+  }
+  for (const auto& buffer : buffers) {
+    std::lock_guard<std::mutex> lock(buffer->mutex);
+    buffer->events.clear();
+  }
+}
+
+std::string Tracer::ToChromeJson() const {
+  std::string out = "{\"traceEvents\":[";
+  const std::vector<TraceEvent> events = Snapshot();
+  for (size_t i = 0; i < events.size(); ++i) {
+    if (i) out += ",";
+    out += EventJson(events[i], /*chrome=*/true);
+  }
+  out += "]}";
+  return out;
+}
+
+std::string Tracer::ToJsonl() const {
+  std::string out;
+  for (const TraceEvent& ev : Snapshot()) {
+    out += EventJson(ev, /*chrome=*/false);
+    out += "\n";
+  }
+  return out;
+}
+
+Status Tracer::WriteString(const std::string& path,
+                           const std::string& body) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::Unavailable("cannot open trace file '" + path + "'");
+  }
+  const size_t written = std::fwrite(body.data(), 1, body.size(), f);
+  std::fclose(f);
+  if (written != body.size()) {
+    return Status::Unavailable("short write to trace file '" + path + "'");
+  }
+  return Status::OK();
+}
+
+Status Tracer::WriteChromeJson(const std::string& path) const {
+  return WriteString(path, ToChromeJson());
+}
+
+Status Tracer::WriteJsonl(const std::string& path) const {
+  return WriteString(path, ToJsonl());
+}
+
+Span::Span(const char* category, std::string name) {
+  Tracer& tracer = Tracer::Global();
+  if (!tracer.enabled()) return;
+  active_ = true;
+  event_.name = std::move(name);
+  event_.category = category;
+  event_.start_us = tracer.NowMicros();
+  event_.span_id = tracer.next_span_id_.fetch_add(1, std::memory_order_relaxed);
+  event_.parent_id = t_span_stack.empty() ? 0 : t_span_stack.back();
+  t_span_stack.push_back(event_.span_id);
+}
+
+void Span::End() {
+  if (!active_) return;
+  active_ = false;
+  Tracer& tracer = Tracer::Global();
+  event_.dur_us = tracer.NowMicros() - event_.start_us;
+  // Pop this span (spans are strictly nested per thread by construction).
+  if (!t_span_stack.empty() && t_span_stack.back() == event_.span_id) {
+    t_span_stack.pop_back();
+  }
+  tracer.Record(std::move(event_));
+}
+
+void Span::AddArg(const char* key, const std::string& value) {
+  if (!active_) return;
+  event_.args.emplace_back(key, "\"" + JsonEscape(value) + "\"");
+}
+
+void Span::AddArgInt(const char* key, uint64_t value) {
+  if (!active_) return;
+  event_.args.emplace_back(key, std::to_string(value));
+}
+
+void Span::AddArgNum(const char* key, double value) {
+  if (!active_) return;
+  event_.args.emplace_back(key, NumJson(value));
+}
+
+uint64_t Span::CurrentId() {
+  return t_span_stack.empty() ? 0 : t_span_stack.back();
+}
+
+}  // namespace idf::obs

@@ -1,0 +1,126 @@
+// Span-based tracing (observability layer, part 2 of 2).
+//
+// RAII spans record query -> stage -> task -> physical-operator nesting with
+// parent/child links. Recording appends to a per-thread buffer (no shared
+// lock on the hot path; each buffer's own mutex is uncontended except while
+// an export drains it), and the whole trace exports as Chrome `trace_event`
+// JSON — load it in chrome://tracing or https://ui.perfetto.dev — or as
+// JSONL, one event per line, for scripting.
+//
+// Tracing is OFF by default: a disabled Span construction is one relaxed
+// atomic load and no allocation, so instrumentation can stay in hot paths
+// permanently. Enable with Tracer::Global().SetEnabled(true) or by exporting
+// IDF_TRACE=1 before the first span (see TraceEnabledFromEnv in trace.cpp).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace idf::obs {
+
+struct TraceEvent {
+  std::string name;
+  const char* category = "";    // "query", "stage", "task", "op", ...
+  uint64_t start_us = 0;        // microseconds since the tracer epoch
+  uint64_t dur_us = 0;
+  uint32_t tid = 0;             // logical thread id (dense, 1-based)
+  uint64_t span_id = 0;
+  uint64_t parent_id = 0;       // 0 = root
+  // Pre-rendered JSON values: {"rows", "1234"} or {"stage", "\"filter\""}.
+  std::vector<std::pair<std::string, std::string>> args;
+};
+
+class Tracer {
+ public:
+  static Tracer& Global();
+
+  void SetEnabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Microseconds since this tracer's construction.
+  uint64_t NowMicros() const;
+
+  /// Appends one finished event (Span does this from its destructor).
+  void Record(TraceEvent event);
+
+  /// Copies out every recorded event, across all threads, ordered by start.
+  std::vector<TraceEvent> Snapshot() const;
+
+  /// Drops all recorded events (buffers stay registered).
+  void Clear();
+
+  /// {"traceEvents":[{"ph":"X",...}, ...]} — complete events with
+  /// microsecond timestamps, pid 1, one tid per recording thread.
+  std::string ToChromeJson() const;
+
+  /// One JSON object per line: {"name":...,"cat":...,"ts":...,"dur":...,
+  /// "tid":...,"id":...,"parent":...,"args":{...}}.
+  std::string ToJsonl() const;
+
+  Status WriteChromeJson(const std::string& path) const;
+  Status WriteJsonl(const std::string& path) const;
+
+  /// Per-thread event buffer; public so the implementation's thread_local
+  /// cache can name the type, but only the tracer hands instances out.
+  struct ThreadBuffer {
+    mutable std::mutex mutex;
+    std::vector<TraceEvent> events;
+    uint32_t tid = 0;
+  };
+
+ private:
+  friend class Span;
+
+  Tracer();
+  ThreadBuffer& LocalBuffer();
+  Status WriteString(const std::string& path, const std::string& body) const;
+
+  std::atomic<bool> enabled_{false};
+  std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex buffers_mutex_;
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers_;
+  std::atomic<uint32_t> next_tid_{1};
+  std::atomic<uint64_t> next_span_id_{1};
+};
+
+/// RAII span. Construction captures the start time and links to the
+/// innermost live span on this thread; destruction records the event.
+/// Cheap no-op when the tracer is disabled at construction time.
+class Span {
+ public:
+  Span(const char* category, std::string name);
+  ~Span() { End(); }
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  bool active() const { return active_; }
+
+  /// Attach key/value arguments (shown in the trace viewer's detail pane).
+  void AddArg(const char* key, const std::string& value);   // string value
+  void AddArgInt(const char* key, uint64_t value);
+  void AddArgNum(const char* key, double value);
+
+  /// Records the span now instead of at destruction (idempotent).
+  void End();
+
+  /// Span id of the innermost live span on this thread (0 if none) — lets
+  /// non-RAII events link themselves into the tree.
+  static uint64_t CurrentId();
+
+ private:
+  bool active_ = false;
+  TraceEvent event_;
+};
+
+}  // namespace idf::obs

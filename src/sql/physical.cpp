@@ -1,9 +1,11 @@
 #include "sql/physical.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <unordered_map>
 
 #include "common/timer.h"
+#include "obs/trace.h"
 #include "sql/agg_internal.h"
 #include "sql/session.h"
 #include "storage/row_layout.h"
@@ -15,6 +17,106 @@ std::string PhysicalOp::Explain(int indent) const {
   out += Describe();
   out += "\n";
   for (const PhysOpPtr& child : children()) out += child->Explain(indent + 1);
+  return out;
+}
+
+Result<TableHandle> PhysicalOp::Execute(Session& session,
+                                        QueryMetrics& metrics) const {
+  obs::Span span("op", Describe());
+  if (metrics.op_profile == nullptr) {
+    // Regular execution: just the trace span (a no-op unless tracing is on).
+    return ExecuteImpl(session, metrics);
+  }
+
+  // EXPLAIN ANALYZE: attribute the query-total delta across this subtree to
+  // this node (inclusively; the renderer subtracts children for self time).
+  // Operators execute sequentially on the driver, so snapshot-and-subtract
+  // on the shared accumulator is race-free.
+  const TaskMetrics before = metrics.totals;
+  Stopwatch timer;
+  Result<TableHandle> result = ExecuteImpl(session, metrics);
+  const double elapsed = timer.ElapsedSeconds();
+
+  OpProfile& prof = (*metrics.op_profile)[this];
+  if (prof.label.empty()) prof.label = Describe();
+  ++prof.executions;
+  prof.wall_seconds += elapsed;
+  prof.inclusive.MergeFrom(metrics.totals.DeltaSince(before));
+  if (result.ok()) {
+    prof.rows_out += result->num_rows;
+    prof.bytes_out += result->total_bytes;
+    if (span.active()) {
+      span.AddArgInt("rows_out", result->num_rows);
+      span.AddArgInt("bytes_out", result->total_bytes);
+    }
+  }
+  return result;
+}
+
+std::string PhysicalOp::ExplainAnalyze(const QueryMetrics& metrics,
+                                       int indent) const {
+  std::string out(static_cast<size_t>(indent) * 2, ' ');
+  out += Describe();
+  const OpProfile* prof = nullptr;
+  if (metrics.op_profile != nullptr) {
+    auto it = metrics.op_profile->find(this);
+    if (it != metrics.op_profile->end()) prof = &it->second;
+  }
+  if (prof != nullptr) {
+    // Self time/metrics = this node's inclusive numbers minus the children's.
+    double child_wall = 0;
+    TaskMetrics child_sum;
+    if (metrics.op_profile != nullptr) {
+      for (const PhysOpPtr& child : children()) {
+        auto it = metrics.op_profile->find(child.get());
+        if (it == metrics.op_profile->end()) continue;
+        child_wall += it->second.wall_seconds;
+        child_sum.MergeFrom(it->second.inclusive);
+      }
+    }
+    const TaskMetrics self = prof->inclusive.DeltaSince(child_sum);
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "  (rows=%llu bytes=%llu wall=%.3fms self=%.3fms",
+                  static_cast<unsigned long long>(prof->rows_out),
+                  static_cast<unsigned long long>(prof->bytes_out),
+                  prof->wall_seconds * 1e3,
+                  std::max(0.0, prof->wall_seconds - child_wall) * 1e3);
+    out += buf;
+    if (prof->executions > 1) {
+      out += " executions=" + std::to_string(prof->executions);
+    }
+    if (self.index_probes > 0) {
+      std::snprintf(buf, sizeof(buf), " probes=%llu hits=%llu",
+                    static_cast<unsigned long long>(self.index_probes),
+                    static_cast<unsigned long long>(self.index_hits));
+      out += buf;
+    }
+    if (self.ctrie_snapshots > 0) {
+      out += " snapshots=" + std::to_string(self.ctrie_snapshots);
+    }
+    if (self.batch_copies > 0) {
+      out += " cow_copies=" + std::to_string(self.batch_copies);
+    }
+    if (self.shuffle_bytes_written > 0) {
+      out += " shuffle_bytes=" + std::to_string(self.shuffle_bytes_written);
+    }
+    if (self.hash_build_seconds > 0) {
+      std::snprintf(buf, sizeof(buf), " hash_build=%.3fms",
+                    self.hash_build_seconds * 1e3);
+      out += buf;
+    }
+    if (self.recovery_seconds > 0) {
+      std::snprintf(buf, sizeof(buf), " recovery=%.3fms",
+                    self.recovery_seconds * 1e3);
+      out += buf;
+    }
+    out += ")";
+  }
+  out += "\n";
+  for (const PhysOpPtr& child : children()) {
+    out += child->ExplainAnalyze(metrics, indent + 1);
+  }
   return out;
 }
 
@@ -142,8 +244,8 @@ void AppendJoinedRow(ColumnarChunk& out, const ColumnarChunk& left, size_t li,
 
 // ---- ScanExec ------------------------------------------------------------
 
-Result<TableHandle> ScanExec::Execute(Session& session,
-                                      QueryMetrics& metrics) const {
+Result<TableHandle> ScanExec::ExecuteImpl(Session& session,
+                                          QueryMetrics& metrics) const {
   return dataset_->ScanAsColumnar(session, metrics);
 }
 
@@ -211,8 +313,8 @@ bool TryVectorizedFilter(const Expr& predicate, const ColumnarChunk& chunk,
 
 }  // namespace
 
-Result<TableHandle> FilterExec::Execute(Session& session,
-                                        QueryMetrics& metrics) const {
+Result<TableHandle> FilterExec::ExecuteImpl(Session& session,
+                                            QueryMetrics& metrics) const {
   IDF_ASSIGN_OR_RETURN(TableHandle in, child()->Execute(session, metrics));
   IDF_ASSIGN_OR_RETURN(ExprPtr resolved, predicate_->Resolve(*in.schema));
 
@@ -265,8 +367,8 @@ std::string ProjectExec::Describe() const {
   return s + "]";
 }
 
-Result<TableHandle> ProjectExec::Execute(Session& session,
-                                         QueryMetrics& metrics) const {
+Result<TableHandle> ProjectExec::ExecuteImpl(Session& session,
+                                             QueryMetrics& metrics) const {
   IDF_ASSIGN_OR_RETURN(TableHandle in, child()->Execute(session, metrics));
   IDF_ASSIGN_OR_RETURN(Schema out_schema, in.schema->Project(columns_));
   auto out_schema_ptr = std::make_shared<Schema>(std::move(out_schema));
@@ -320,8 +422,8 @@ std::string JoinExec::Describe() const {
          left_key_ + " = " + right_key_;
 }
 
-Result<TableHandle> JoinExec::Execute(Session& session,
-                                      QueryMetrics& metrics) const {
+Result<TableHandle> JoinExec::ExecuteImpl(Session& session,
+                                          QueryMetrics& metrics) const {
   IDF_ASSIGN_OR_RETURN(TableHandle lh,
                        children_[0]->Execute(session, metrics));
   IDF_ASSIGN_OR_RETURN(TableHandle rh,
@@ -703,8 +805,8 @@ Result<TableHandle> JoinExec::ShuffledJoin(Session& session,
 
 // ---- HashAggExec ------------------------------------------------------------
 
-Result<TableHandle> HashAggExec::Execute(Session& session,
-                                         QueryMetrics& metrics) const {
+Result<TableHandle> HashAggExec::ExecuteImpl(Session& session,
+                                             QueryMetrics& metrics) const {
   using agg_internal::Accum;
   using agg_internal::FindOrCreateGroup;
   using agg_internal::GroupCode;
@@ -875,8 +977,8 @@ Result<TableHandle> FinalizeAggregation(
 
 // ---- UnionExec ------------------------------------------------------------
 
-Result<TableHandle> UnionExec::Execute(Session& session,
-                                       QueryMetrics& metrics) const {
+Result<TableHandle> UnionExec::ExecuteImpl(Session& session,
+                                           QueryMetrics& metrics) const {
   Cluster& cluster = session.cluster();
   IDF_ASSIGN_OR_RETURN(TableHandle lh, children_[0]->Execute(session, metrics));
   IDF_ASSIGN_OR_RETURN(TableHandle rh, children_[1]->Execute(session, metrics));
@@ -922,8 +1024,8 @@ std::string SortExec::Describe() const {
   return s + "]";
 }
 
-Result<TableHandle> SortExec::Execute(Session& session,
-                                      QueryMetrics& metrics) const {
+Result<TableHandle> SortExec::ExecuteImpl(Session& session,
+                                          QueryMetrics& metrics) const {
   Cluster& cluster = session.cluster();
   IDF_ASSIGN_OR_RETURN(TableHandle in, child()->Execute(session, metrics));
   std::vector<size_t> key_idx;
@@ -981,8 +1083,8 @@ Result<TableHandle> SortExec::Execute(Session& session,
 
 // ---- LimitExec ------------------------------------------------------------
 
-Result<TableHandle> LimitExec::Execute(Session& session,
-                                       QueryMetrics& metrics) const {
+Result<TableHandle> LimitExec::ExecuteImpl(Session& session,
+                                           QueryMetrics& metrics) const {
   Cluster& cluster = session.cluster();
   IDF_ASSIGN_OR_RETURN(TableHandle in, child()->Execute(session, metrics));
 

@@ -28,8 +28,11 @@ class PhysicalOp {
   virtual ~PhysicalOp() = default;
 
   /// Runs this operator (and its inputs), returning the materialized output.
-  virtual Result<TableHandle> Execute(Session& session,
-                                      QueryMetrics& metrics) const = 0;
+  /// Non-virtual: wraps the operator's ExecuteImpl with an "op" trace span
+  /// and, when `metrics.op_profile` is set (EXPLAIN ANALYZE), per-operator
+  /// accounting — rows/bytes out, wall time, and the inclusive TaskMetrics
+  /// delta attributed to this subtree.
+  Result<TableHandle> Execute(Session& session, QueryMetrics& metrics) const;
 
   virtual std::string Describe() const = 0;
   virtual const std::vector<std::shared_ptr<const PhysicalOp>>& children()
@@ -38,6 +41,17 @@ class PhysicalOp {
     return kEmpty;
   }
   std::string Explain(int indent = 0) const;
+
+  /// Renders the plan annotated with the per-operator profile collected in
+  /// `metrics` during an instrumented Execute (EXPLAIN ANALYZE). Self time
+  /// and self metrics are derived by subtracting the children's inclusive
+  /// numbers. Operators with no profile entry render un-annotated.
+  std::string ExplainAnalyze(const QueryMetrics& metrics, int indent = 0) const;
+
+ protected:
+  /// The operator's actual execution logic.
+  virtual Result<TableHandle> ExecuteImpl(Session& session,
+                                          QueryMetrics& metrics) const = 0;
 };
 
 using PhysOpPtr = std::shared_ptr<const PhysicalOp>;
@@ -47,8 +61,8 @@ using PhysOpPtr = std::shared_ptr<const PhysicalOp>;
 class ScanExec final : public PhysicalOp {
  public:
   explicit ScanExec(DatasetPtr dataset) : dataset_(std::move(dataset)) {}
-  Result<TableHandle> Execute(Session& session,
-                              QueryMetrics& metrics) const override;
+  Result<TableHandle> ExecuteImpl(Session& session,
+                                  QueryMetrics& metrics) const override;
   std::string Describe() const override {
     return "ScanExec " + dataset_->name();
   }
@@ -73,8 +87,8 @@ class FilterExec final : public UnaryExec {
  public:
   FilterExec(PhysOpPtr child, ExprPtr predicate)
       : UnaryExec(std::move(child)), predicate_(std::move(predicate)) {}
-  Result<TableHandle> Execute(Session& session,
-                              QueryMetrics& metrics) const override;
+  Result<TableHandle> ExecuteImpl(Session& session,
+                                  QueryMetrics& metrics) const override;
   std::string Describe() const override {
     return "FilterExec " + predicate_->ToString();
   }
@@ -87,8 +101,8 @@ class ProjectExec final : public UnaryExec {
  public:
   ProjectExec(PhysOpPtr child, std::vector<std::string> columns)
       : UnaryExec(std::move(child)), columns_(std::move(columns)) {}
-  Result<TableHandle> Execute(Session& session,
-                              QueryMetrics& metrics) const override;
+  Result<TableHandle> ExecuteImpl(Session& session,
+                                  QueryMetrics& metrics) const override;
   std::string Describe() const override;
 
  private:
@@ -111,8 +125,8 @@ class JoinExec final : public PhysicalOp {
         mode_(mode),
         join_type_(join_type) {}
 
-  Result<TableHandle> Execute(Session& session,
-                              QueryMetrics& metrics) const override;
+  Result<TableHandle> ExecuteImpl(Session& session,
+                                  QueryMetrics& metrics) const override;
   std::string Describe() const override;
   const std::vector<PhysOpPtr>& children() const override { return children_; }
 
@@ -138,8 +152,8 @@ class UnionExec final : public PhysicalOp {
  public:
   UnionExec(PhysOpPtr left, PhysOpPtr right)
       : children_{std::move(left), std::move(right)} {}
-  Result<TableHandle> Execute(Session& session,
-                              QueryMetrics& metrics) const override;
+  Result<TableHandle> ExecuteImpl(Session& session,
+                                  QueryMetrics& metrics) const override;
   std::string Describe() const override { return "UnionExec"; }
   const std::vector<PhysOpPtr>& children() const override { return children_; }
 
@@ -155,8 +169,8 @@ class SortExec final : public UnaryExec {
  public:
   SortExec(PhysOpPtr child, std::vector<SortKey> keys)
       : UnaryExec(std::move(child)), keys_(std::move(keys)) {}
-  Result<TableHandle> Execute(Session& session,
-                              QueryMetrics& metrics) const override;
+  Result<TableHandle> ExecuteImpl(Session& session,
+                                  QueryMetrics& metrics) const override;
   std::string Describe() const override;
 
  private:
@@ -172,8 +186,8 @@ class HashAggExec final : public UnaryExec {
       : UnaryExec(std::move(child)),
         group_by_(std::move(group_by)),
         aggs_(std::move(aggs)) {}
-  Result<TableHandle> Execute(Session& session,
-                              QueryMetrics& metrics) const override;
+  Result<TableHandle> ExecuteImpl(Session& session,
+                                  QueryMetrics& metrics) const override;
   std::string Describe() const override { return "HashAggExec"; }
 
  private:
@@ -185,8 +199,8 @@ class LimitExec final : public UnaryExec {
  public:
   LimitExec(PhysOpPtr child, uint64_t limit)
       : UnaryExec(std::move(child)), limit_(limit) {}
-  Result<TableHandle> Execute(Session& session,
-                              QueryMetrics& metrics) const override;
+  Result<TableHandle> ExecuteImpl(Session& session,
+                                  QueryMetrics& metrics) const override;
   std::string Describe() const override {
     return "LimitExec " + std::to_string(limit_);
   }

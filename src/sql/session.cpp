@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cstdio>
 
+#include "obs/trace.h"
 #include "sql/parser.h"
 
 namespace idf {
@@ -50,6 +52,15 @@ Result<DataFrame> Session::CreateTable(const std::string& name,
 Result<DataFrame> Session::CreateTableFromGenerator(
     const std::string& name, SchemaPtr schema, uint32_t partitions,
     PartitionGenerator generator) {
+  return CreateTableImpl(name, std::move(schema), partitions,
+                         std::move(generator), /*register_in_catalog=*/true);
+}
+
+Result<DataFrame> Session::CreateTableImpl(const std::string& name,
+                                           SchemaPtr schema,
+                                           uint32_t partitions,
+                                           PartitionGenerator generator,
+                                           bool register_in_catalog) {
   IDF_CHECK(partitions > 0);
   IDF_CHECK(generator != nullptr);
   const uint64_t rdd_id = cluster_->NewRddId();
@@ -104,7 +115,7 @@ Result<DataFrame> Session::CreateTableFromGenerator(
   handle.total_bytes = total_bytes;
 
   auto dataset = std::make_shared<CachedTable>(handle, name);
-  RegisterTable(name, dataset);
+  if (register_in_catalog) RegisterTable(name, dataset);
   return Read(std::move(dataset));
 }
 
@@ -132,6 +143,49 @@ Result<DatasetPtr> Session::LookupTable(const std::string& name) const {
 }
 
 Result<DataFrame> Session::Sql(const std::string& query) {
+  // Peel an EXPLAIN [ANALYZE] prefix off before parsing: the remainder is a
+  // complete query of its own, re-entered through this function.
+  IDF_ASSIGN_OR_RETURN(std::vector<sql_detail::Token> tokens,
+                       sql_detail::Lex(query));
+  if (!tokens.empty() && tokens[0].kind == sql_detail::TokenKind::kIdentifier &&
+      tokens[0].text == "EXPLAIN") {
+    size_t next = 1;
+    bool analyze = false;
+    if (tokens.size() > 1 &&
+        tokens[1].kind == sql_detail::TokenKind::kIdentifier &&
+        tokens[1].text == "ANALYZE") {
+      analyze = true;
+      next = 2;
+    }
+    if (next >= tokens.size() ||
+        tokens[next].kind == sql_detail::TokenKind::kEnd) {
+      return Status::InvalidArgument("EXPLAIN requires a query");
+    }
+    IDF_ASSIGN_OR_RETURN(DataFrame inner,
+                         Sql(query.substr(tokens[next].position)));
+    std::string text;
+    if (analyze) {
+      IDF_ASSIGN_OR_RETURN(text, inner.ExplainAnalyze());
+    } else {
+      IDF_ASSIGN_OR_RETURN(text, inner.ExplainPhysical());
+    }
+    // One row per plan line, in a single driver-side partition. Not
+    // registered in the catalog: the result is an anonymous table.
+    auto schema = std::make_shared<Schema>(
+        Schema({{"plan", TypeId::kString, false}}));
+    std::vector<RowVec> lines;
+    size_t start = 0;
+    while (start < text.size()) {
+      size_t end = text.find('\n', start);
+      if (end == std::string::npos) end = text.size();
+      lines.push_back({Value::String(text.substr(start, end - start))});
+      start = end + 1;
+    }
+    auto generator = [lines](uint32_t) { return lines; };
+    return CreateTableImpl("explain result", schema, 1, std::move(generator),
+                           /*register_in_catalog=*/false);
+  }
+
   IDF_ASSIGN_OR_RETURN(PlanPtr plan, ParseSql(query, *this));
   // Surface binding errors (unknown columns, arity problems) at Sql() time
   // rather than at execution.
@@ -163,8 +217,37 @@ Result<TableHandle> DataFrame::Execute(QueryMetrics* metrics) const {
   IDF_CHECK_MSG(valid(), "Execute on an empty DataFrame");
   QueryMetrics local;
   QueryMetrics& m = metrics != nullptr ? *metrics : local;
+  obs::Span span("query", plan_->Describe());
   IDF_ASSIGN_OR_RETURN(PhysOpPtr op, session_->planner().Plan(plan_));
-  return op->Execute(*session_, m);
+  Result<TableHandle> result = op->Execute(*session_, m);
+  if (span.active()) {
+    span.AddArgInt("stages", m.num_stages);
+    span.AddArgNum("real_s", m.real_seconds);
+    span.AddArgNum("simulated_s", m.simulated_seconds);
+    if (result.ok()) span.AddArgInt("rows_out", result->num_rows);
+  }
+  return result;
+}
+
+Result<std::string> DataFrame::ExplainAnalyze(QueryMetrics* metrics) const {
+  IDF_CHECK_MSG(valid(), "ExplainAnalyze on an empty DataFrame");
+  QueryMetrics local;
+  QueryMetrics& m = metrics != nullptr ? *metrics : local;
+  m.op_profile = std::make_shared<std::map<const void*, OpProfile>>();
+  obs::Span span("query", "EXPLAIN ANALYZE " + plan_->Describe());
+  // Plan once and execute that exact tree: the profile is keyed by the
+  // physical nodes' addresses.
+  IDF_ASSIGN_OR_RETURN(PhysOpPtr op, session_->planner().Plan(plan_));
+  IDF_RETURN_IF_ERROR(op->Execute(*session_, m).status());
+  std::string out = op->ExplainAnalyze(m);
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "-- %u stages, real %.3fms, simulated %.3fms, network %.3fms",
+                m.num_stages, m.real_seconds * 1e3, m.simulated_seconds * 1e3,
+                m.network_seconds * 1e3);
+  out += buf;
+  out += "\n";
+  return out;
 }
 
 Result<CollectedTable> DataFrame::Collect(QueryMetrics* metrics) const {

@@ -88,6 +88,12 @@ class Session {
   /// Parses and binds a SQL query ("SELECT ... FROM ... JOIN ... WHERE ...
   /// GROUP BY ... LIMIT ...") against the catalog. Execution goes through
   /// the same planner as the DataFrame API — indexed strategies included.
+  ///
+  /// An "EXPLAIN <query>" prefix returns a one-column ("plan") dataframe
+  /// holding the physical plan, one row per line; "EXPLAIN ANALYZE <query>"
+  /// additionally *executes* the query and annotates each operator with
+  /// rows/bytes produced, wall time, index probe/hit counts, and COW /
+  /// snapshot work (see DataFrame::ExplainAnalyze).
   Result<DataFrame> Sql(const std::string& query);
 
   /// Gathers every block of a table to the driver.
@@ -101,6 +107,13 @@ class Session {
   void MarkExtension(const std::string& name) { extensions_.insert(name); }
 
  private:
+  /// Shared materialization path; EXPLAIN results skip the catalog so they
+  /// cannot shadow user tables.
+  Result<DataFrame> CreateTableImpl(const std::string& name, SchemaPtr schema,
+                                    uint32_t partitions,
+                                    PartitionGenerator generator,
+                                    bool register_in_catalog);
+
   SessionOptions options_;
   std::unique_ptr<Cluster> cluster_;
   Planner planner_;
@@ -174,6 +187,13 @@ class DataFrame {
   /// Rendered physical plan (for tests asserting strategy selection —
   /// e.g. that a join against an indexed dataframe uses IndexedJoinExec).
   Result<std::string> ExplainPhysical() const;
+  /// Executes the query with per-operator instrumentation and renders the
+  /// physical plan annotated with what each operator actually did: rows and
+  /// bytes produced, wall/self time, index probes vs hits, COW batch copies,
+  /// cTrie snapshots, shuffle volume. A trailing summary line reports query
+  /// totals (stages, real/simulated seconds). When `metrics` is given the
+  /// executed QueryMetrics (op_profile included) are stored there.
+  Result<std::string> ExplainAnalyze(QueryMetrics* metrics = nullptr) const;
 
  private:
   Session* session_ = nullptr;

@@ -2,7 +2,31 @@
 
 #include <algorithm>
 
+#include "obs/metrics_registry.h"
+
 namespace idf {
+
+namespace {
+
+/// Process-wide storage counters, resolved once. Updates are one relaxed
+/// atomic add each, cheap enough for the append path.
+struct StorageMetrics {
+  obs::Counter& snapshots =
+      obs::Registry::Global().GetCounter("storage.partition.snapshots");
+  obs::Counter& batches_opened =
+      obs::Registry::Global().GetCounter("storage.batches.opened");
+  obs::Counter& cow_batch_opens =
+      obs::Registry::Global().GetCounter("storage.batches.cow_opens");
+  obs::Counter& batch_bytes =
+      obs::Registry::Global().GetCounter("storage.batches.allocated_bytes");
+
+  static StorageMetrics& Get() {
+    static StorageMetrics* metrics = new StorageMetrics();
+    return *metrics;
+  }
+};
+
+}  // namespace
 
 PartitionStore::PartitionStore(uint32_t batch_capacity)
     : batch_capacity_(batch_capacity) {
@@ -25,6 +49,7 @@ PartitionStore PartitionStore::Snapshot() {
   // side's next append opens a fresh (hint-sized) batch of its own.
   snap.tail_exclusive_ = false;
   tail_exclusive_ = false;
+  StorageMetrics::Get().snapshots.Increment();
   return snap;
 }
 
@@ -38,6 +63,13 @@ Result<std::shared_ptr<RowBatch>> PartitionStore::WritableTail(uint32_t len) {
   if (num_batches_ >= PackedRowPtr::kMaxBatch) {
     return Status::ResourceExhausted("partition reached max batch count");
   }
+  StorageMetrics& sm = StorageMetrics::Get();
+  if (tail_ != nullptr && !tail_exclusive_ && tail_->remaining() >= len) {
+    // The tail was sealed by a snapshot while it still had room: this open
+    // is the COW divergence event of §III-E, not a capacity rollover.
+    ++cow_batch_opens_;
+    sm.cow_batch_opens.Increment();
+  }
   uint32_t capacity = batch_capacity_;
   if (next_batch_hint_ > 0) {
     capacity = static_cast<uint32_t>(std::clamp<uint64_t>(
@@ -46,6 +78,8 @@ Result<std::shared_ptr<RowBatch>> PartitionStore::WritableTail(uint32_t len) {
   }
   tail_ = RowBatch::Create(capacity);
   allocated_bytes_ += capacity;
+  sm.batches_opened.Increment();
+  sm.batch_bytes.Add(capacity);
   tail_exclusive_ = true;
   directory_.Put(num_batches_, tail_);
   flat_.push_back(tail_);

@@ -78,6 +78,11 @@ class PartitionStore {
   /// hinted appends open right-sized batches).
   uint64_t allocated_bytes() const { return allocated_bytes_; }
 
+  /// COW events on this store: fresh batches opened because the previous
+  /// tail was sealed by a snapshot (the paper's batch-granular copy-on-write,
+  /// Fig. 9). Full-batch opens and first-ever batches are not counted.
+  uint64_t cow_batch_opens() const { return cow_batch_opens_; }
+
  private:
   /// Ensures the tail batch is exclusively owned and has room for `len`
   /// bytes; allocates/COWs as needed. Returns the writable tail.
@@ -98,6 +103,7 @@ class PartitionStore {
   uint64_t data_bytes_ = 0;
   uint64_t allocated_bytes_ = 0;
   uint64_t next_batch_hint_ = 0;
+  uint64_t cow_batch_opens_ = 0;
   std::shared_ptr<RowBatch> tail_;  // == directory_[num_batches_-1]
   bool tail_exclusive_ = false;     // false after a snapshot (tail sealed)
 };

@@ -3,6 +3,8 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "obs/metrics_registry.h"
+
 namespace idf {
 namespace {
 constexpr size_t kAlignment = 64;  // cache-line aligned buffers
@@ -18,6 +20,9 @@ std::shared_ptr<RowBatch> RowBatch::Create(uint32_t capacity) {
   // also why very large batches hurt *write* performance when appends are
   // small (the Fig. 5 sweep's right-hand side).
   std::memset(buf, 0, padded);
+  static obs::Counter& allocations =
+      obs::Registry::Global().GetCounter("storage.row_batch.allocations");
+  allocations.Increment();
   return std::shared_ptr<RowBatch>(new RowBatch(buf, capacity));
 }
 
@@ -37,6 +42,9 @@ Result<uint32_t> RowBatch::Allocate(uint32_t len) {
 }
 
 std::shared_ptr<RowBatch> RowBatch::Clone() const {
+  static obs::Counter& clones =
+      obs::Registry::Global().GetCounter("storage.row_batch.clones");
+  clones.Increment();
   std::shared_ptr<RowBatch> copy = Create(capacity_);
   std::memcpy(copy->data_, data_, used_);
   copy->used_ = used_;

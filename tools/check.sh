@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Smoke check: configure, build, and run the test suite.
+#
+#   tools/check.sh                 # plain RelWithDebInfo build in build/
+#   IDF_SANITIZE=thread tools/check.sh   # TSan build in build-tsan/
+#   IDF_SANITIZE=address tools/check.sh  # ASan+UBSan build in build-asan/
+#
+# Extra args are passed through to ctest (e.g. tools/check.sh -R Obs).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+SANITIZE="${IDF_SANITIZE:-}"
+case "$SANITIZE" in
+  "")       BUILD_DIR=build ;;
+  thread)   BUILD_DIR=build-tsan ;;
+  address)  BUILD_DIR=build-asan ;;
+  *) echo "error: IDF_SANITIZE must be 'thread' or 'address'" >&2; exit 2 ;;
+esac
+
+cmake -B "$BUILD_DIR" -S . -DIDF_SANITIZE="$SANITIZE"
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)" "$@"
