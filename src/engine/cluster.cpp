@@ -1,7 +1,11 @@
 #include "engine/cluster.h"
 
+#include <atomic>
+#include <future>
+
 #include "common/logging.h"
 #include "common/timer.h"
+#include "engine/scheduler.h"
 #include "obs/metrics_registry.h"
 #include "obs/trace.h"
 
@@ -14,6 +18,8 @@ namespace {
 struct EngineMetrics {
   obs::Counter& stages = obs::Registry::Global().GetCounter("engine.stages");
   obs::Counter& tasks = obs::Registry::Global().GetCounter("engine.tasks");
+  obs::Counter& steals =
+      obs::Registry::Global().GetCounter("engine.scheduler.steals");
   obs::Counter& recovered_blocks =
       obs::Registry::Global().GetCounter("engine.recovery.blocks");
   obs::Counter& killed_executors =
@@ -22,6 +28,8 @@ struct EngineMetrics {
       obs::Registry::Global().GetHistogram("engine.task.seconds");
   obs::Histogram& stage_real_seconds =
       obs::Registry::Global().GetHistogram("engine.stage.real_seconds");
+  obs::Histogram& stage_wall_seconds =
+      obs::Registry::Global().GetHistogram("engine.stage.wall_seconds");
   obs::Histogram& stage_simulated_seconds =
       obs::Registry::Global().GetHistogram("engine.stage.simulated_seconds");
   obs::Histogram& recovery_seconds =
@@ -33,78 +41,181 @@ struct EngineMetrics {
   }
 };
 
+/// True while this thread is executing a task body. A task that itself runs
+/// a stage (nested RunStage) executes it in-line, sequentially: submitting
+/// nested work to the pool could leave every pool thread blocked waiting
+/// for work that only the pool itself could run.
+thread_local bool t_in_stage_task = false;
+
 }  // namespace
+
+/// Outcome slot for one task, written by whichever host thread ran it and
+/// merged by the driver in task-index order.
+struct Cluster::TaskResult {
+  Status status = Status::OK();
+  bool ran = false;       // false => cancelled after an earlier failure
+  double elapsed = 0;
+  TaskMetrics metrics;
+  std::vector<SimRead> reads;
+};
 
 Cluster::Cluster(ClusterConfig config)
     : config_(config),
       simulator_(config),
       alive_(config.total_executors(), true) {
   IDF_CHECK_OK(config_.Validate());
+  scheduler_threads_ = ResolveSchedulerThreads(config_);
+}
+
+ThreadPool& Cluster::pool() {
+  std::call_once(pool_once_, [this] {
+    pool_ = std::make_unique<ThreadPool>(scheduler_threads_);
+  });
+  return *pool_;
+}
+
+void Cluster::ExecuteTask(const StageSpec& stage, uint32_t index,
+                          ExecutorId executor, uint64_t stage_span_id,
+                          TaskResult& out) {
+  EngineMetrics& em = EngineMetrics::Get();
+  // Explicit parent: on a pool thread the stage span lives on the driver's
+  // stack, so the implicit thread-local link would miss it.
+  obs::Span task_span("task", stage.name + " #" + std::to_string(index),
+                      stage_span_id);
+  task_span.AddArgInt("executor", executor);
+  TaskContext ctx(this, executor);
+  const bool was_in_task = t_in_stage_task;
+  t_in_stage_task = true;
+  Stopwatch timer;
+  out.status = stage.tasks[index].body(ctx);
+  out.elapsed = timer.ElapsedSeconds();
+  t_in_stage_task = was_in_task;
+  out.ran = true;
+  em.tasks.Increment();
+  em.task_seconds.Observe(out.elapsed);
+  if (!out.status.ok()) return;
+
+  ctx.metrics().compute_seconds += out.elapsed;
+  if (task_span.active()) {
+    task_span.AddArgInt("rows_read", ctx.metrics().rows_read);
+    task_span.AddArgInt("rows_written", ctx.metrics().rows_written);
+    if (ctx.metrics().index_probes > 0) {
+      task_span.AddArgInt("index_probes", ctx.metrics().index_probes);
+      task_span.AddArgInt("index_hits", ctx.metrics().index_hits);
+    }
+    if (ctx.metrics().recovery_seconds > 0) {
+      task_span.AddArgNum("recovery_s", ctx.metrics().recovery_seconds);
+    }
+  }
+  out.metrics = ctx.metrics();
+  out.reads = ctx.reads();
 }
 
 Result<StageMetrics> Cluster::RunStage(const StageSpec& stage) {
   EngineMetrics& em = EngineMetrics::Get();
   obs::Span stage_span("stage", stage.name);
+  Stopwatch stage_timer;
   StageMetrics metrics;
   metrics.num_tasks = static_cast<uint32_t>(stage.tasks.size());
+  const size_t n = stage.tasks.size();
+
+  // Phase 1 (driver): fix every task's executor up front, in task-index
+  // order. A task keeps its preferred executor when alive; dead or unpinned
+  // (kAnyExecutor) tasks round-robin across the alive set so they spread
+  // instead of piling onto the first alive executor. The assignment depends
+  // only on task order and the alive snapshot — work stealing below moves
+  // tasks between *host threads*, never between executors, so DES
+  // placement, block homes, and shuffle accounting are identical to a
+  // sequential run.
+  const std::vector<ExecutorId> alive = AliveExecutors();
+  IDF_CHECK_MSG(!alive.empty(), "no alive executors");
+  std::vector<uint32_t> lane_of_executor(config_.total_executors(), 0);
+  std::vector<char> executor_alive(config_.total_executors(), 0);
+  for (uint32_t lane = 0; lane < alive.size(); ++lane) {
+    lane_of_executor[alive[lane]] = lane;
+    executor_alive[alive[lane]] = 1;
+  }
+  std::vector<ExecutorId> assigned(n);
+  std::vector<uint32_t> lane_of(n);
+  size_t rr = 0;
+  for (size_t i = 0; i < n; ++i) {
+    ExecutorId e = stage.tasks[i].preferred;
+    if (e == kAnyExecutor || e >= executor_alive.size() ||
+        !executor_alive[e]) {
+      e = alive[rr++ % alive.size()];
+    }
+    assigned[i] = e;
+    lane_of[i] = lane_of_executor[e];
+  }
+
+  // Phase 2: execute. Parallel on the pool when the scheduler has threads
+  // to spare; in-line sequential otherwise, and always in-line for a stage
+  // launched from inside a task body (re-entrancy guard above).
+  std::vector<TaskResult> results(n);
+  const uint64_t stage_span_id = stage_span.id();
+  const size_t workers = std::min<size_t>(scheduler_threads_, n);
+  if (workers <= 1 || t_in_stage_task) {
+    for (uint32_t i = 0; i < n; ++i) {
+      ExecuteTask(stage, i, assigned[i], stage_span_id, results[i]);
+      if (!results[i].status.ok()) break;
+    }
+  } else {
+    TaskLanes lanes(lane_of, alive.size());
+    std::atomic<bool> cancelled{false};
+    std::vector<std::future<void>> done;
+    done.reserve(workers);
+    for (size_t w = 0; w < workers; ++w) {
+      done.push_back(pool().Submit([&, w] {
+        uint32_t index = 0;
+        bool stolen = false;
+        // First error wins: a failure flips `cancelled`, workers stop
+        // claiming tasks, and already-running tasks finish undisturbed.
+        while (!cancelled.load(std::memory_order_relaxed) &&
+               lanes.Pop(w % alive.size(), &index, &stolen)) {
+          if (stolen) em.steals.Increment();
+          ExecuteTask(stage, index, assigned[index], stage_span_id,
+                      results[index]);
+          if (!results[index].status.ok()) {
+            cancelled.store(true, std::memory_order_relaxed);
+          }
+        }
+      }));
+    }
+    for (std::future<void>& f : done) f.get();
+  }
+
+  // Phase 3 (driver): merge outcomes in task-index order — the same
+  // accounting, in the same order, as when tasks ran one by one. The
+  // first failed task in index order aborts the stage.
   std::vector<SimTask> sim_tasks;
-  sim_tasks.reserve(stage.tasks.size());
-
-  uint32_t task_index = 0;
-  for (const TaskSpec& spec : stage.tasks) {
-    ExecutorId executor = spec.preferred;
-    if (executor == kAnyExecutor || executor >= alive_.size() ||
-        !alive_[executor]) {
-      // No locality (or home executor dead): any alive executor.
-      const auto candidates = AliveExecutors();
-      IDF_CHECK_MSG(!candidates.empty(), "no alive executors");
-      executor = candidates[0];
+  sim_tasks.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    TaskResult& r = results[i];
+    if (!r.ran) continue;
+    if (!r.status.ok()) {
+      return Status(r.status.code(), "stage '" + stage.name +
+                                         "' task failed: " +
+                                         r.status.message());
     }
-
-    obs::Span task_span("task",
-                        stage.name + " #" + std::to_string(task_index++));
-    task_span.AddArgInt("executor", executor);
-    TaskContext ctx(this, executor);
-    Stopwatch timer;
-    Status status = spec.body(ctx);
-    const double elapsed = timer.ElapsedSeconds();
-    em.tasks.Increment();
-    em.task_seconds.Observe(elapsed);
-    if (!status.ok()) {
-      return Status(status.code(),
-                    "stage '" + stage.name + "' task failed: " +
-                        status.message());
-    }
-
-    ctx.metrics().compute_seconds += elapsed;
-    if (ctx.metrics().recovery_seconds > 0) ++metrics.recovered_tasks;
-    if (task_span.active()) {
-      task_span.AddArgInt("rows_read", ctx.metrics().rows_read);
-      task_span.AddArgInt("rows_written", ctx.metrics().rows_written);
-      if (ctx.metrics().index_probes > 0) {
-        task_span.AddArgInt("index_probes", ctx.metrics().index_probes);
-        task_span.AddArgInt("index_hits", ctx.metrics().index_hits);
-      }
-      if (ctx.metrics().recovery_seconds > 0) {
-        task_span.AddArgNum("recovery_s", ctx.metrics().recovery_seconds);
-      }
-    }
-    metrics.totals.MergeFrom(ctx.metrics());
-    metrics.real_seconds += elapsed;
+    metrics.totals.MergeFrom(r.metrics);
+    metrics.real_seconds += r.elapsed;
+    if (r.metrics.recovery_seconds > 0) ++metrics.recovered_tasks;
 
     SimTask sim;
-    sim.compute_seconds = elapsed + spec.extra_sim_seconds;
-    sim.preferred = executor;
-    sim.reads = spec.static_reads;
-    sim.reads.insert(sim.reads.end(), ctx.reads().begin(), ctx.reads().end());
+    sim.compute_seconds = r.elapsed + stage.tasks[i].extra_sim_seconds;
+    sim.preferred = assigned[i];
+    sim.reads = stage.tasks[i].static_reads;
+    sim.reads.insert(sim.reads.end(), r.reads.begin(), r.reads.end());
     sim_tasks.push_back(std::move(sim));
   }
 
   const SimOutcome outcome = simulator_.RunStage(sim_tasks);
   metrics.simulated_seconds = outcome.makespan_seconds;
   metrics.network_seconds = outcome.network_seconds;
+  metrics.wall_seconds = stage_timer.ElapsedSeconds();
   em.stages.Increment();
   em.stage_real_seconds.Observe(metrics.real_seconds);
+  em.stage_wall_seconds.Observe(metrics.wall_seconds);
   em.stage_simulated_seconds.Observe(metrics.simulated_seconds);
   obs::Registry::Global()
       .GetHistogram(obs::TaggedName("engine.stage.seconds",
@@ -115,12 +226,14 @@ Result<StageMetrics> Cluster::RunStage(const StageSpec& stage) {
     // stage rides along with the measured host time.
     stage_span.AddArgInt("tasks", metrics.num_tasks);
     stage_span.AddArgNum("real_s", metrics.real_seconds);
+    stage_span.AddArgNum("wall_s", metrics.wall_seconds);
     stage_span.AddArgNum("simulated_s", metrics.simulated_seconds);
     stage_span.AddArgNum("network_s", metrics.network_seconds);
   }
-  IDF_LOG_DEBUG("stage '%s': %u tasks, real %.3fs, simulated %.3fs",
+  IDF_LOG_DEBUG("stage '%s': %u tasks, real %.3fs, wall %.3fs, "
+                "simulated %.3fs",
                 stage.name.c_str(), metrics.num_tasks, metrics.real_seconds,
-                metrics.simulated_seconds);
+                metrics.wall_seconds, metrics.simulated_seconds);
   return metrics;
 }
 
@@ -132,10 +245,11 @@ ExecutorId Cluster::HomeExecutorFor(uint64_t rdd, uint32_t partition) const {
 }
 
 bool Cluster::IsAlive(ExecutorId e) const {
+  std::lock_guard<std::mutex> lock(alive_mutex_);
   return e < alive_.size() && alive_[e];
 }
 
-std::vector<ExecutorId> Cluster::AliveExecutors() const {
+std::vector<ExecutorId> Cluster::AliveExecutorsLocked() const {
   std::vector<ExecutorId> out;
   for (ExecutorId e = 0; e < alive_.size(); ++e) {
     if (alive_[e]) out.push_back(e);
@@ -143,10 +257,19 @@ std::vector<ExecutorId> Cluster::AliveExecutors() const {
   return out;
 }
 
+std::vector<ExecutorId> Cluster::AliveExecutors() const {
+  std::lock_guard<std::mutex> lock(alive_mutex_);
+  return AliveExecutorsLocked();
+}
+
 size_t Cluster::KillExecutor(ExecutorId e) {
-  IDF_CHECK(e < alive_.size());
-  IDF_CHECK_MSG(AliveExecutors().size() > 1, "cannot kill the last executor");
-  alive_[e] = false;
+  {
+    std::lock_guard<std::mutex> lock(alive_mutex_);
+    IDF_CHECK(e < alive_.size());
+    IDF_CHECK_MSG(AliveExecutorsLocked().size() > 1,
+                  "cannot kill the last executor");
+    alive_[e] = false;
+  }
   const size_t lost = blocks_.DropExecutor(e);
   EngineMetrics::Get().killed_executors.Increment();
   IDF_LOG_INFO("killed executor %u (%zu blocks lost)", e, lost);
@@ -154,6 +277,7 @@ size_t Cluster::KillExecutor(ExecutorId e) {
 }
 
 void Cluster::ReviveExecutor(ExecutorId e) {
+  std::lock_guard<std::mutex> lock(alive_mutex_);
   IDF_CHECK(e < alive_.size());
   alive_[e] = true;
 }

@@ -1,8 +1,10 @@
 // Cluster: the engine facade tying together topology, block manager, shuffle
 // service, discrete-event simulation, lineage, and failure injection.
 //
-// Execution model (see DESIGN.md):
-//  - task bodies run for real on the host and are individually timed;
+// Execution model (see DESIGN.md and docs/SCHEDULER.md):
+//  - task bodies run for real on the host — concurrently, on a thread pool
+//    with one work lane per executor (engine/scheduler.h) — and are
+//    individually timed;
 //  - the StageSimulator replays the stage on the configured (simulated)
 //    topology to produce cluster-scale makespans;
 //  - fault tolerance follows the paper's §III-D: lost blocks are recomputed
@@ -10,6 +12,7 @@
 //    the index and replaying appends — the Fig. 12 recovery spike).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -18,6 +21,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "common/threadpool.h"
 #include "engine/block.h"
 #include "engine/des.h"
 #include "engine/metrics.h"
@@ -86,12 +90,25 @@ class Cluster {
   ShuffleService& shuffle() { return shuffle_; }
   StageSimulator& simulator() { return simulator_; }
 
-  uint64_t NewRddId() { return next_rdd_id_++; }
+  uint64_t NewRddId() {
+    return next_rdd_id_.fetch_add(1, std::memory_order_relaxed);
+  }
 
-  /// Runs a stage: executes every task body (serially, in order), times it,
-  /// and feeds the simulator. Returns the stage metrics; any task failure
-  /// aborts the stage with its Status.
+  /// Runs a stage. The driver assigns every task an executor up front, in
+  /// task-index order (preferred executor when alive, else round-robin over
+  /// the alive set); tasks then execute concurrently on the scheduler's
+  /// thread pool — one work lane per executor, idle threads stealing from
+  /// the longest lane — and their results merge back in task-index order,
+  /// so metrics totals, DES accounting, and EXPLAIN ANALYZE profiles are
+  /// identical to a sequential run. First task failure wins: its Status
+  /// aborts the stage and unstarted tasks are cancelled. Runs in-line
+  /// sequentially when scheduler_threads() == 1 or when called from inside
+  /// a task body (re-entrancy guard).
   Result<StageMetrics> RunStage(const StageSpec& stage);
+
+  /// Host threads RunStage may use (resolved once at construction from
+  /// ClusterConfig::scheduler_threads and IDF_PARALLEL). 1 = sequential.
+  uint32_t scheduler_threads() const { return scheduler_threads_; }
 
   // ---- placement -----------------------------------------------------
 
@@ -119,12 +136,31 @@ class Cluster {
   Result<BlockPtr> GetOrCompute(const BlockId& id, TaskContext& ctx);
 
  private:
+  struct TaskResult;  // per-task outcome slot (cluster.cpp)
+
+  /// Executes one task body: span, context, timing, global counters. The
+  /// outcome lands in `out`; merging happens later, on the driver, in
+  /// task-index order.
+  void ExecuteTask(const StageSpec& stage, uint32_t index, ExecutorId executor,
+                   uint64_t stage_span_id, TaskResult& out);
+
+  /// Lazily started pool of scheduler_threads() workers, shared by every
+  /// stage this cluster runs.
+  ThreadPool& pool();
+
+  std::vector<ExecutorId> AliveExecutorsLocked() const;  // alive_mutex_ held
+
   ClusterConfig config_;
   BlockManager blocks_;
   ShuffleService shuffle_;
   StageSimulator simulator_;
+  mutable std::mutex alive_mutex_;  // guards alive_ (kills vs. placement)
   std::vector<bool> alive_;
-  uint64_t next_rdd_id_ = 1;
+  std::atomic<uint64_t> next_rdd_id_{1};
+
+  uint32_t scheduler_threads_ = 1;
+  std::once_flag pool_once_;
+  std::unique_ptr<ThreadPool> pool_;
 
   std::mutex lineage_mutex_;
   std::map<uint64_t, PartitionComputeFn> lineage_;

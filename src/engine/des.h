@@ -19,6 +19,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <mutex>
 #include <vector>
 
 #include "common/status.h"
@@ -52,8 +53,11 @@ class StageSimulator {
 
   /// Simulates one stage; clocks persist across calls so that consecutive
   /// stages of a query pipeline queue naturally. Tasks are assigned in
-  /// index order (Spark launches tasks in partition order).
+  /// index order (Spark launches tasks in partition order). Thread-safe:
+  /// concurrent sessions sharing one cluster interleave whole stages (the
+  /// internal mutex), never individual placements.
   SimOutcome RunStage(const std::vector<SimTask>& tasks) {
+    std::lock_guard<std::mutex> lock(mutex_);
     SimOutcome outcome;
     const double start = *std::max_element(core_free_.begin(),
                                            core_free_.end());
@@ -72,6 +76,7 @@ class StageSimulator {
   /// (vanilla BroadcastHashJoin's build-side distribution). Returns the time
   /// until the last worker has the data; clocks advance accordingly.
   double Broadcast(uint64_t bytes) {
+    std::lock_guard<std::mutex> lock(mutex_);
     if (config_.num_workers <= 1 || bytes == 0) return 0.0;
     const NetworkConfig& net = config_.network;
     double done = 0.0;
@@ -90,10 +95,12 @@ class StageSimulator {
   }
 
   double Now() const {
+    std::lock_guard<std::mutex> lock(mutex_);
     return *std::max_element(core_free_.begin(), core_free_.end());
   }
 
   void Reset() {
+    std::lock_guard<std::mutex> lock(mutex_);
     std::fill(core_free_.begin(), core_free_.end(), 0.0);
     std::fill(nic_in_free_.begin(), nic_in_free_.end(), 0.0);
     std::fill(nic_out_free_.begin(), nic_out_free_.end(), 0.0);
@@ -191,6 +198,7 @@ class StageSimulator {
   }
 
   ClusterConfig config_;
+  mutable std::mutex mutex_;
   std::vector<double> core_free_;
   std::vector<double> nic_in_free_;
   std::vector<double> nic_out_free_;

@@ -60,7 +60,10 @@ struct TaskMetrics {
 
 struct StageMetrics {
   TaskMetrics totals;          // summed across tasks
-  double real_seconds = 0;     // actual wall time on this host (serialized)
+  double real_seconds = 0;     // summed per-task host wall time
+  double wall_seconds = 0;     // driver-observed stage wall time; with the
+                               // parallel scheduler this can be well below
+                               // real_seconds (tasks overlap on host threads)
   double simulated_seconds = 0;  // DES makespan on the configured cluster
   double network_seconds = 0;  // portion of the makespan spent in transfers
   uint32_t num_tasks = 0;
@@ -82,6 +85,7 @@ struct OpProfile {
 struct QueryMetrics {
   TaskMetrics totals;
   double real_seconds = 0;
+  double wall_seconds = 0;
   double simulated_seconds = 0;
   double network_seconds = 0;
   uint32_t num_stages = 0;
@@ -94,6 +98,7 @@ struct QueryMetrics {
   void MergeStage(const StageMetrics& stage) {
     totals.MergeFrom(stage.totals);
     real_seconds += stage.real_seconds;
+    wall_seconds += stage.wall_seconds;
     simulated_seconds += stage.simulated_seconds;
     network_seconds += stage.network_seconds;
     recovered_tasks += stage.recovered_tasks;

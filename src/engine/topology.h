@@ -35,6 +35,12 @@ struct ClusterConfig {
   uint32_t sockets_per_worker = 2;
   uint32_t cores_per_worker = 16;  // Table I: dual-socket, 8 cores/socket
 
+  /// Host threads the cluster may use to run a stage's tasks for real
+  /// (engine/scheduler.h). 0 = auto: min(total_executors, host cores).
+  /// 1 = sequential. The IDF_PARALLEL environment variable overrides this
+  /// (IDF_PARALLEL=0 forces single-threaded debugging).
+  uint32_t scheduler_threads = 0;
+
   /// Whether executors are pinned to a NUMA domain (numactl in §IV-B).
   bool numa_pinned = false;
 

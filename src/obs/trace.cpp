@@ -185,6 +185,18 @@ Span::Span(const char* category, std::string name) {
   t_span_stack.push_back(event_.span_id);
 }
 
+Span::Span(const char* category, std::string name, uint64_t parent_id) {
+  Tracer& tracer = Tracer::Global();
+  if (!tracer.enabled()) return;
+  active_ = true;
+  event_.name = std::move(name);
+  event_.category = category;
+  event_.start_us = tracer.NowMicros();
+  event_.span_id = tracer.next_span_id_.fetch_add(1, std::memory_order_relaxed);
+  event_.parent_id = parent_id;
+  t_span_stack.push_back(event_.span_id);
+}
+
 void Span::End() {
   if (!active_) return;
   active_ = false;

@@ -99,12 +99,23 @@ class Tracer {
 class Span {
  public:
   Span(const char* category, std::string name);
+
+  /// Explicit-parent constructor for cross-thread nesting: a task span
+  /// created on a pool thread links under the stage span that lives on the
+  /// driver's stack. The span still pushes onto this thread's stack, so
+  /// spans opened inside it (ops, recovery) nest under it as usual.
+  Span(const char* category, std::string name, uint64_t parent_id);
+
   ~Span() { End(); }
 
   Span(const Span&) = delete;
   Span& operator=(const Span&) = delete;
 
   bool active() const { return active_; }
+
+  /// This span's id (0 when the tracer was disabled at construction).
+  /// Pass it to the explicit-parent constructor on another thread.
+  uint64_t id() const { return active_ ? event_.span_id : 0; }
 
   /// Attach key/value arguments (shown in the trace viewer's detail pane).
   void AddArg(const char* key, const std::string& value);   // string value

@@ -253,8 +253,9 @@ Result<TableHandle> ScanExec::ExecuteImpl(Session& session,
 
 namespace {
 
-/// Vectorized selection for `numeric column <op> literal`. Returns true and
-/// fills `selected` when the fast path applies.
+/// Vectorized selection for `numeric column <op> literal` and string
+/// equality (`string column =/!= literal`). Returns true and fills
+/// `selected` when the fast path applies.
 bool TryVectorizedFilter(const Expr& predicate, const ColumnarChunk& chunk,
                          std::vector<uint32_t>& selected) {
   auto match = [](const Expr& e) -> const CompareExpr* {
@@ -286,8 +287,23 @@ bool TryVectorizedFilter(const Expr& predicate, const ColumnarChunk& chunk,
   if (!col_expr->resolved() || lit_expr->value().is_null()) return false;
   const ColumnVector& col =
       chunk.column(static_cast<size_t>(col_expr->index()));
-  if (col.type() == TypeId::kString || col.type() == TypeId::kBool) {
-    return false;
+  if (col.type() == TypeId::kBool) return false;
+  if (col.type() == TypeId::kString) {
+    // String equality compares the arena bytes directly — no per-row Value
+    // boxing. Ordering comparisons stay on the generic row-wise path.
+    if (lit_expr->value().type() != TypeId::kString) return false;
+    if (op != CompareOp::kEq && op != CompareOp::kNe) return false;
+    const std::string& lit = lit_expr->value().string_value();
+    const size_t n = chunk.num_rows();
+    selected.clear();
+    for (size_t i = 0; i < n; ++i) {
+      if (col.IsNull(i)) continue;
+      const bool eq = col.StringAt(i) == lit;
+      if (eq == (op == CompareOp::kEq)) {
+        selected.push_back(static_cast<uint32_t>(i));
+      }
+    }
+    return true;
   }
   if (lit_expr->value().type() == TypeId::kString) return false;
 

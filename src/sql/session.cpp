@@ -1,6 +1,7 @@
 #include "sql/session.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cctype>
 #include <cstdio>
 
@@ -86,8 +87,9 @@ Result<DataFrame> Session::CreateTableImpl(const std::string& name,
 
   StageSpec stage;
   stage.name = "materialize " + name;
-  uint64_t total_rows = 0;
-  uint64_t total_bytes = 0;
+  // Atomics: materialize tasks run concurrently on the stage scheduler.
+  std::atomic<uint64_t> total_rows{0};
+  std::atomic<uint64_t> total_bytes{0};
   for (uint32_t p = 0; p < partitions; ++p) {
     const ExecutorId home = cluster_->HomeExecutorFor(rdd_id, p);
     stage.tasks.push_back(TaskSpec{

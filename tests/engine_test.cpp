@@ -4,14 +4,20 @@
 // lineage recomputation.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
 #include <cstring>
 #include <set>
+#include <thread>
 
 #include "engine/block.h"
 #include "engine/cluster.h"
 #include "engine/des.h"
+#include "engine/scheduler.h"
 #include "engine/shuffle.h"
 #include "engine/topology.h"
+#include "obs/metrics_registry.h"
 
 namespace idf {
 namespace {
@@ -524,6 +530,156 @@ TEST(ClusterTest, DeadPreferredExecutorFallsBack) {
                                  }});
   ASSERT_TRUE(cluster.RunStage(stage).ok());
   EXPECT_EQ(ran_on, 0u);
+}
+
+TEST(ClusterTest, DeadExecutorTasksRoundRobinAcrossAlive) {
+  // Regression: tasks whose home executor died used to all pile onto
+  // AliveExecutors()[0]; they must spread round-robin over the alive set.
+  Cluster cluster(SmallCluster(2, 2, 1));  // executors 0..3
+  cluster.KillExecutor(0);
+  StageSpec stage;
+  stage.name = "spread";
+  std::vector<ExecutorId> ran_on(8, kAnyExecutor);
+  for (uint32_t i = 0; i < 8; ++i) {
+    stage.tasks.push_back(TaskSpec{0, {}, 0, [&, i](TaskContext& ctx) {
+                                     ran_on[i] = ctx.executor();
+                                     return Status::OK();
+                                   }});
+  }
+  ASSERT_TRUE(cluster.RunStage(stage).ok());
+  const std::vector<ExecutorId> expected{1, 2, 3, 1, 2, 3, 1, 2};
+  EXPECT_EQ(ran_on, expected);
+}
+
+TEST(ClusterTest, ParallelStageMatchesSequentialTotals) {
+  // The scheduler contract: metrics totals and executor assignment are
+  // identical whether tasks ran on 1 host thread or 4.
+  auto run = [](uint32_t threads) {
+    ClusterConfig config = SmallCluster(2, 2, 2);
+    config.scheduler_threads = threads;
+    Cluster cluster(config);
+    StageSpec stage;
+    stage.name = "parity";
+    for (uint32_t i = 0; i < 16; ++i) {
+      stage.tasks.push_back(TaskSpec{
+          static_cast<ExecutorId>(i % 4), {}, 0, [i](TaskContext& ctx) {
+            ctx.metrics().rows_read += 10 * (i + 1);
+            ctx.metrics().index_probes += i;
+            ctx.metrics().index_hits += i / 2;
+            return Status::OK();
+          }});
+    }
+    auto metrics = cluster.RunStage(stage);
+    EXPECT_TRUE(metrics.ok());
+    return *metrics;
+  };
+  obs::Counter& tasks = obs::Registry::Global().GetCounter("engine.tasks");
+  const uint64_t before_seq = tasks.value();
+  const StageMetrics seq = run(1);
+  const uint64_t before_par = tasks.value();
+  EXPECT_EQ(before_par - before_seq, 16u);
+  const StageMetrics par = run(4);
+  EXPECT_EQ(tasks.value() - before_par, 16u);
+  EXPECT_EQ(par.num_tasks, seq.num_tasks);
+  EXPECT_EQ(par.totals.rows_read, seq.totals.rows_read);
+  EXPECT_EQ(par.totals.index_probes, seq.totals.index_probes);
+  EXPECT_EQ(par.totals.index_hits, seq.totals.index_hits);
+}
+
+TEST(ClusterTest, ParallelFirstErrorWinsAndCancelsRemainder) {
+  ClusterConfig config = SmallCluster(2, 2, 2);
+  config.scheduler_threads = 4;
+  Cluster cluster(config);
+  StageSpec stage;
+  stage.name = "failing-parallel";
+  std::atomic<int> executed{0};
+  for (uint32_t i = 0; i < 64; ++i) {
+    stage.tasks.push_back(
+        TaskSpec{kAnyExecutor, {}, 0, [&, i](TaskContext&) -> Status {
+          executed++;
+          std::this_thread::sleep_for(std::chrono::milliseconds(1));
+          if (i == 5) return Status::Internal("task 5 exploded");
+          return Status::OK();
+        }});
+  }
+  auto metrics = cluster.RunStage(stage);
+  ASSERT_FALSE(metrics.ok());
+  EXPECT_EQ(metrics.status().code(), StatusCode::kInternal);
+  EXPECT_NE(metrics.status().message().find("failing-parallel"),
+            std::string::npos);
+  // Cancellation: the failure surfaces long before all 64 ran.
+  EXPECT_LT(executed.load(), 64);
+}
+
+TEST(ClusterTest, NestedStageFromTaskBodyRunsInline) {
+  // A task body that launches its own stage must not deadlock the pool:
+  // nested stages execute in-line on the calling worker.
+  ClusterConfig config = SmallCluster(2, 2, 2);
+  config.scheduler_threads = 4;
+  Cluster cluster(config);
+  std::atomic<int> inner_runs{0};
+  StageSpec outer;
+  outer.name = "outer";
+  for (uint32_t i = 0; i < 4; ++i) {
+    outer.tasks.push_back(
+        TaskSpec{kAnyExecutor, {}, 0, [&](TaskContext& ctx) {
+          StageSpec inner;
+          inner.name = "inner";
+          for (int j = 0; j < 2; ++j) {
+            inner.tasks.push_back(
+                TaskSpec{kAnyExecutor, {}, 0, [&](TaskContext&) {
+                  inner_runs++;
+                  return Status::OK();
+                }});
+          }
+          return ctx.cluster().RunStage(inner).status();
+        }});
+  }
+  ASSERT_TRUE(cluster.RunStage(outer).ok());
+  EXPECT_EQ(inner_runs.load(), 8);
+}
+
+// ---- stage scheduler primitives ------------------------------------------
+
+TEST(SchedulerTest, TaskLanesHomeFirstThenStealOldestFromLongest) {
+  // tasks 0..4 on lanes 0,1,1,1,0 → lane0 = {0,4}, lane1 = {1,2,3}.
+  TaskLanes lanes({0, 1, 1, 1, 0}, 2);
+  uint32_t idx = 0;
+  bool stolen = false;
+  ASSERT_TRUE(lanes.Pop(0, &idx, &stolen));
+  EXPECT_EQ(idx, 0u);
+  EXPECT_FALSE(stolen);
+  ASSERT_TRUE(lanes.Pop(0, &idx, &stolen));
+  EXPECT_EQ(idx, 4u);
+  EXPECT_FALSE(stolen);
+  // Home lane dry: steal the oldest task of the longest other lane.
+  ASSERT_TRUE(lanes.Pop(0, &idx, &stolen));
+  EXPECT_EQ(idx, 1u);
+  EXPECT_TRUE(stolen);
+  ASSERT_TRUE(lanes.Pop(1, &idx, &stolen));
+  EXPECT_EQ(idx, 2u);
+  EXPECT_FALSE(stolen);
+  ASSERT_TRUE(lanes.Pop(1, &idx, &stolen));
+  EXPECT_EQ(idx, 3u);
+  EXPECT_FALSE(stolen);
+  EXPECT_FALSE(lanes.Pop(0, &idx, &stolen));
+}
+
+TEST(SchedulerTest, ResolveSchedulerThreadsHonorsConfigAndEnv) {
+  ClusterConfig c = SmallCluster(2, 2, 1);
+  c.scheduler_threads = 3;
+  EXPECT_EQ(ResolveSchedulerThreads(c), 3u);
+  c.scheduler_threads = 0;
+  const uint32_t auto_threads = ResolveSchedulerThreads(c);
+  EXPECT_GE(auto_threads, 1u);
+  EXPECT_LE(auto_threads, c.total_executors());
+  // IDF_PARALLEL is the debugging escape hatch and beats the config knob.
+  c.scheduler_threads = 8;
+  setenv("IDF_PARALLEL", "0", 1);
+  EXPECT_EQ(ResolveSchedulerThreads(c), 1u);
+  setenv("IDF_PARALLEL", "6", 1);
+  EXPECT_EQ(ResolveSchedulerThreads(c), 6u);
+  unsetenv("IDF_PARALLEL");
 }
 
 TEST(ClusterTest, StaleVersionNeverServed) {

@@ -1,0 +1,252 @@
+// Stress tests for the parallel stage scheduler (engine/scheduler.h +
+// Cluster::RunStage): sequential/parallel result and accounting parity,
+// concurrent sessions, concurrent queries against one cached indexed table,
+// and task-span parent propagation across pool threads.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/indexed_dataframe.h"
+#include "engine/cluster.h"
+#include "obs/metrics_registry.h"
+#include "obs/trace.h"
+#include "sql/session.h"
+
+namespace idf {
+namespace {
+
+SessionOptions Options(uint32_t scheduler_threads) {
+  SessionOptions opts;
+  opts.cluster.num_workers = 2;
+  opts.cluster.executors_per_worker = 2;
+  opts.cluster.cores_per_executor = 2;
+  opts.cluster.scheduler_threads = scheduler_threads;
+  opts.default_partitions = 4;
+  return opts;
+}
+
+SchemaPtr EventSchema() {
+  return std::make_shared<Schema>(Schema({
+      {"k", TypeId::kInt64, false},
+      {"cat", TypeId::kString, false},
+      {"v", TypeId::kFloat64, true},
+  }));
+}
+
+std::vector<RowVec> EventRows(int n) {
+  std::vector<RowVec> rows;
+  for (int64_t i = 0; i < n; ++i) {
+    rows.push_back({Value::Int64(i % 50),
+                    Value::String(i % 2 == 0 ? "a" : "b"),
+                    Value::Float64(static_cast<double>(i % 17))});
+  }
+  return rows;
+}
+
+SchemaPtr ProbeSchema() {
+  return std::make_shared<Schema>(Schema({
+      {"pk", TypeId::kInt64, false},
+      {"tag", TypeId::kString, false},
+  }));
+}
+
+std::vector<RowVec> ProbeRows() {
+  std::vector<RowVec> rows;
+  for (int64_t i = 0; i < 20; ++i) {
+    rows.push_back({Value::Int64(i * 3 % 60),  // some keys miss
+                    Value::String("t" + std::to_string(i))});
+  }
+  return rows;
+}
+
+struct WorkloadResult {
+  std::vector<std::string> filter_rows;
+  std::vector<std::string> join_rows;
+};
+
+/// The full filter+join workload in a fresh session: create + index the
+/// events table, filter on v, indexed-join against a probe table.
+WorkloadResult RunWorkload(uint32_t scheduler_threads) {
+  Session session(Options(scheduler_threads));
+  DataFrame events =
+      session.CreateTable("events", EventSchema(), EventRows(400)).value();
+  IndexedDataFrame indexed = IndexedDataFrame::Create(events, "k").value();
+  DataFrame probe =
+      session.CreateTable("probe", ProbeSchema(), ProbeRows()).value();
+
+  WorkloadResult out;
+  out.filter_rows = events.Filter(Ge(Col("v"), Lit(9.0)))
+                        .Collect()
+                        .value()
+                        .SortedRowStrings();
+  out.join_rows =
+      indexed.Join(probe, "pk").Collect().value().SortedRowStrings();
+  return out;
+}
+
+uint64_t TasksCounter() {
+  return obs::Registry::Global().GetCounter("engine.tasks").value();
+}
+
+// Parallel execution must be invisible in the results and in the metrics:
+// same rows, same per-op EXPLAIN ANALYZE cardinalities, same exact
+// engine.tasks totals as the sequential scheduler.
+TEST(SchedulerStressTest, ParallelWorkloadMatchesSequential) {
+  const uint64_t t0 = TasksCounter();
+  const WorkloadResult seq = RunWorkload(1);
+  const uint64_t seq_tasks = TasksCounter() - t0;
+
+  const uint64_t t1 = TasksCounter();
+  const WorkloadResult par = RunWorkload(4);
+  const uint64_t par_tasks = TasksCounter() - t1;
+
+  EXPECT_EQ(par.filter_rows, seq.filter_rows);
+  EXPECT_EQ(par.join_rows, seq.join_rows);
+  EXPECT_EQ(par_tasks, seq_tasks);
+  EXPECT_GT(seq_tasks, 0u);
+}
+
+TEST(SchedulerStressTest, ExplainAnalyzeCardinalitiesMatchSequential) {
+  auto profile = [](uint32_t threads) {
+    Session session(Options(threads));
+    DataFrame events =
+        session.CreateTable("events", EventSchema(), EventRows(400)).value();
+    IndexedDataFrame indexed = IndexedDataFrame::Create(events, "k").value();
+    DataFrame probe =
+        session.CreateTable("probe", ProbeSchema(), ProbeRows()).value();
+    QueryMetrics metrics;
+    metrics.op_profile =
+        std::make_shared<std::map<const void*, OpProfile>>();
+    (void)indexed.Join(probe, "pk").Collect(&metrics).value();
+    // Addresses differ across runs; compare (label, rows, bytes) sorted.
+    std::vector<std::string> ops;
+    for (const auto& [node, prof] : *metrics.op_profile) {
+      ops.push_back(prof.label + "|" + std::to_string(prof.rows_out) + "|" +
+                    std::to_string(prof.bytes_out) + "|" +
+                    std::to_string(prof.inclusive.index_probes) + "|" +
+                    std::to_string(prof.inclusive.index_hits));
+    }
+    std::sort(ops.begin(), ops.end());
+    return ops;
+  };
+  EXPECT_EQ(profile(4), profile(1));
+}
+
+// Two sessions (own clusters, own pools) running the same filter+join
+// workload from two host threads: identical results, and the global
+// engine.tasks counter advances by exactly twice one workload's tasks.
+TEST(SchedulerStressTest, ConcurrentSessionsExactTaskAccounting) {
+  const uint64_t t0 = TasksCounter();
+  const WorkloadResult expected = RunWorkload(1);
+  const uint64_t one_run = TasksCounter() - t0;
+  ASSERT_GT(one_run, 0u);
+
+  const uint64_t before = TasksCounter();
+  WorkloadResult a, b;
+  std::thread ta([&] { a = RunWorkload(4); });
+  std::thread tb([&] { b = RunWorkload(4); });
+  ta.join();
+  tb.join();
+  EXPECT_EQ(a.filter_rows, expected.filter_rows);
+  EXPECT_EQ(a.join_rows, expected.join_rows);
+  EXPECT_EQ(b.filter_rows, expected.filter_rows);
+  EXPECT_EQ(b.join_rows, expected.join_rows);
+  EXPECT_EQ(TasksCounter() - before, 2 * one_run);
+}
+
+// Two threads issuing queries against the SAME session and the SAME cached
+// indexed table: concurrent stages interleave on one cluster (shared block
+// manager, shuffle service, DES clocks) without corrupting results.
+TEST(SchedulerStressTest, ConcurrentQueriesOnSharedCachedIndexedTable) {
+  Session session(Options(4));
+  DataFrame events =
+      session.CreateTable("events", EventSchema(), EventRows(400)).value();
+  IndexedDataFrame indexed = IndexedDataFrame::Create(events, "k").value();
+  DataFrame probe =
+      session.CreateTable("probe", ProbeSchema(), ProbeRows()).value();
+  DataFrame filter_q = events.Filter(Ge(Col("v"), Lit(9.0)));
+  DataFrame join_q = indexed.Join(probe, "pk");
+
+  const std::vector<std::string> expected_filter =
+      filter_q.Collect().value().SortedRowStrings();
+  const std::vector<std::string> expected_join =
+      join_q.Collect().value().SortedRowStrings();
+
+  constexpr int kIters = 8;
+  std::atomic<int> mismatches{0};
+  auto worker = [&] {
+    for (int i = 0; i < kIters; ++i) {
+      if (filter_q.Collect().value().SortedRowStrings() != expected_filter) {
+        mismatches++;
+      }
+      if (join_q.Collect().value().SortedRowStrings() != expected_join) {
+        mismatches++;
+      }
+    }
+  };
+  const uint64_t before = TasksCounter();
+  std::thread ta(worker);
+  std::thread tb(worker);
+  ta.join();
+  tb.join();
+  EXPECT_EQ(mismatches.load(), 0);
+  // Exact accounting: every iteration runs the same deterministic stages.
+  const uint64_t t2 = TasksCounter();
+  (void)filter_q.Collect().value();
+  (void)join_q.Collect().value();
+  const uint64_t per_iter = TasksCounter() - t2;
+  EXPECT_EQ(t2 - before, 2ull * kIters * per_iter);
+}
+
+// Task spans created on pool threads must still nest under the stage span
+// that lives on the driver's stack.
+TEST(SchedulerStressTest, TaskSpansNestUnderStageAcrossThreads) {
+  obs::Tracer& tracer = obs::Tracer::Global();
+  tracer.SetEnabled(true);
+  tracer.Clear();
+  ClusterConfig config;
+  config.num_workers = 2;
+  config.executors_per_worker = 2;
+  config.cores_per_executor = 2;
+  config.scheduler_threads = 4;
+  Cluster cluster(config);
+  StageSpec stage;
+  stage.name = "traced-stage";
+  for (int i = 0; i < 8; ++i) {
+    stage.tasks.push_back(TaskSpec{kAnyExecutor, {}, 0, [](TaskContext&) {
+                                     std::this_thread::sleep_for(
+                                         std::chrono::milliseconds(1));
+                                     return Status::OK();
+                                   }});
+  }
+  ASSERT_TRUE(cluster.RunStage(stage).ok());
+  tracer.SetEnabled(false);
+  const std::vector<obs::TraceEvent> events = tracer.Snapshot();
+  uint64_t stage_id = 0;
+  for (const obs::TraceEvent& ev : events) {
+    if (std::string(ev.category) == "stage" && ev.name == "traced-stage") {
+      stage_id = ev.span_id;
+    }
+  }
+  ASSERT_NE(stage_id, 0u);
+  int task_events = 0;
+  for (const obs::TraceEvent& ev : events) {
+    if (std::string(ev.category) == "task" &&
+        ev.name.rfind("traced-stage #", 0) == 0) {
+      EXPECT_EQ(ev.parent_id, stage_id) << ev.name;
+      ++task_events;
+    }
+  }
+  EXPECT_EQ(task_events, 8);
+  tracer.Clear();
+}
+
+}  // namespace
+}  // namespace idf

@@ -147,13 +147,37 @@ TEST(SqlExecTest, FilterLiteralOnLeftMirrorsComparison) {
   EXPECT_EQ(result->rows.size(), 3u);
 }
 
-TEST(SqlExecTest, FilterStringGenericPath) {
+TEST(SqlExecTest, FilterStringEqualityVectorizedPath) {
   Session session(SmallOptions());
   auto df = *session.CreateTable("people", PeopleSchema(), PeopleRows());
   auto result = df.Filter(Eq(Col("name"), Lit("eve"))).Collect();
   ASSERT_TRUE(result.ok());
   ASSERT_EQ(result->rows.size(), 1u);
   EXPECT_EQ(result->rows[0][0], Value::Int64(4));
+
+  auto inverse = df.Filter(Ne(Col("name"), Lit("eve"))).Collect();
+  ASSERT_TRUE(inverse.ok());
+  EXPECT_EQ(inverse->rows.size(), 9u);
+}
+
+TEST(SqlExecTest, FilterStringVectorizedSkipsNullsLikeGenericPath) {
+  Session session(SmallOptions());
+  auto rows = PeopleRows();
+  rows.push_back({Value::Int64(10), Value::Null(TypeId::kString),
+                  Value::Int32(30), Value::Float64(5.0)});
+  auto df = *session.CreateTable("people_n", PeopleSchema(), rows);
+  // The vectorized Eq path and the generic row-wise path (forced by the
+  // ordering comparison, which only the generic path handles) must agree:
+  // a null name matches neither = nor !=.
+  auto eq = df.Filter(Eq(Col("name"), Lit("eve"))).Collect();
+  ASSERT_TRUE(eq.ok());
+  EXPECT_EQ(eq->rows.size(), 1u);
+  auto ne = df.Filter(Ne(Col("name"), Lit("eve"))).Collect();
+  ASSERT_TRUE(ne.ok());
+  EXPECT_EQ(ne->rows.size(), 9u);  // 10 non-null names minus "eve"
+  auto generic = df.Filter(Lt(Col("name"), Lit("eve"))).Collect();
+  ASSERT_TRUE(generic.ok());
+  EXPECT_EQ(generic->rows.size(), 4u);  // ann, bob, cat, dan
 }
 
 TEST(SqlExecTest, FilterCompoundPredicate) {

@@ -2,15 +2,20 @@
 # Smoke check: configure, build, and run the test suite.
 #
 #   tools/check.sh                 # plain RelWithDebInfo build in build/
-#   IDF_SANITIZE=thread tools/check.sh   # TSan build in build-tsan/
-#   IDF_SANITIZE=address tools/check.sh  # ASan+UBSan build in build-asan/
+#   tools/check.sh thread          # TSan build in build-tsan/
+#   tools/check.sh address         # ASan+UBSan build in build-asan/
+#   IDF_SANITIZE=thread tools/check.sh   # same as `tools/check.sh thread`
 #
-# Extra args are passed through to ctest (e.g. tools/check.sh -R Obs).
+# Remaining args are passed through to ctest (e.g. tools/check.sh -R Obs,
+# or tools/check.sh thread -R "Cluster|Scheduler").
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 SANITIZE="${IDF_SANITIZE:-}"
+case "${1:-}" in
+  thread|address) SANITIZE="$1"; shift ;;
+esac
 case "$SANITIZE" in
   "")       BUILD_DIR=build ;;
   thread)   BUILD_DIR=build-tsan ;;
