@@ -1,5 +1,6 @@
 #include "core/indexed_agg.h"
 
+#include "mem/governor.h"
 #include "sql/agg_internal.h"
 #include "sql/session.h"
 
@@ -33,6 +34,8 @@ Result<TableHandle> RowAggExec::ExecuteImpl(Session& session,
         [&, p](TaskContext& ctx) -> Status {
           IDF_ASSIGN_OR_RETURN(std::shared_ptr<const IndexedPartition> part,
                                rdd->GetPartition(p, indexed_->version(), ctx));
+          // Pin the partition's batches for the whole aggregation scan.
+          mem::AccessScope scan_scope;
           const RowLayout& layout = part->layout();
           ctx.metrics().rows_read += part->num_rows();
 

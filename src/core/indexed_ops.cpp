@@ -1,6 +1,7 @@
 #include "core/indexed_ops.h"
 
 #include "common/timer.h"
+#include "mem/governor.h"
 #include "sql/session.h"
 
 namespace idf {
@@ -92,6 +93,10 @@ Result<TableHandle> IndexedJoinExec::ExecuteImpl(Session& session,
                              ColumnarChunk& out) -> Status {
     IDF_ASSIGN_OR_RETURN(std::shared_ptr<const IndexedPartition> part,
                          rdd->GetPartition(p, version, ctx));
+    // Pin every batch this probe touches for the whole task: under a memory
+    // budget the governor must not evict a batch between two probes of the
+    // same partition (each chain walk would otherwise re-fault it).
+    mem::AccessScope probe_scope;
     const RowLayout& indexed_layout = part->layout();
     for (const uint8_t* prow : probe_rows) {
       if (probe_layout.IsNull(prow, probe_key)) continue;
@@ -256,6 +261,7 @@ Result<TableHandle> IndexLookupExec::ExecuteImpl(Session& session,
       [&](TaskContext& ctx) -> Status {
         IDF_ASSIGN_OR_RETURN(std::shared_ptr<const IndexedPartition> part,
                              rdd->GetPartition(p, indexed_->version(), ctx));
+        mem::AccessScope lookup_scope;  // pin chain batches for the lookup
         const RowLayout& layout = part->layout();
         ++ctx.metrics().index_probes;
 

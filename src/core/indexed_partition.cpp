@@ -20,6 +20,9 @@ IndexedPartition::IndexedPartition(SchemaPtr schema, size_t key_column,
 
 Status IndexedPartition::InsertRow(const RowVec& row) {
   IDF_RETURN_IF_ERROR(ValidateRow(layout_.schema(), row));
+  // The append may chase a back-pointer into an older (possibly spilled)
+  // batch; keep everything it touches pinned for the duration.
+  mem::AccessScope scope;
   if (row[key_column_].is_null()) {
     // Unindexed storage: reachable by scans, invisible to lookups.
     IDF_RETURN_IF_ERROR(
@@ -38,6 +41,7 @@ Status IndexedPartition::InsertRow(const RowVec& row) {
 }
 
 Status IndexedPartition::InsertEncoded(const uint8_t* row, uint32_t len) {
+  mem::AccessScope scope;
   if (layout_.IsNull(row, key_column_)) {
     IDF_RETURN_IF_ERROR(
         store_.AppendEncoded(row, len, PackedRowPtr::Null()).status());
@@ -57,6 +61,8 @@ size_t IndexedPartition::ForEachRowOfKey(
     uint64_t key_code, const std::function<void(const uint8_t*)>& fn) const {
   const std::optional<uint64_t> head = index_.Lookup(key_code);
   if (!head.has_value()) return 0;
+  // The chain can cross many batches; pin each one until the walk is done.
+  mem::AccessScope scope;
   size_t visited = 0;
   PackedRowPtr ptr = PackedRowPtr::FromBits(*head);
   while (!ptr.is_null()) {
@@ -71,6 +77,7 @@ size_t IndexedPartition::ForEachRowOfKey(
 std::vector<RowVec> IndexedPartition::LookupRows(const Value& key) const {
   std::vector<RowVec> rows;
   if (key.is_null()) return rows;
+  mem::AccessScope scope;
   const bool verify = KeyCodeNeedsVerify(key.type());
   ForEachRowOfKey(IndexKeyCode(key), [&](const uint8_t* row) {
     if (verify && !(layout_.GetValue(row, key_column_) == key)) return;
@@ -82,6 +89,9 @@ std::vector<RowVec> IndexedPartition::LookupRows(const Value& key) const {
 void IndexedPartition::ForEachRow(
     const std::function<void(const uint8_t*)>& fn) const {
   for (uint32_t b = 0; b < store_.num_batches(); ++b) {
+    // One scope per batch: a full scan's working set is the current batch,
+    // not the whole partition — earlier batches may be evicted behind us.
+    mem::AccessScope scope;
     const std::shared_ptr<RowBatch> batch = store_.batch(b);
     const uint8_t* cursor = batch->data();
     const uint8_t* end = batch->data() + batch->used();

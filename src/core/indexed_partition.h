@@ -51,6 +51,19 @@ class IndexedPartition final : public Block {
   /// sealing would otherwise force a full-size batch per tiny append).
   void ReserveHint(uint64_t bytes) { store_.ReserveHint(bytes); }
 
+  /// Tags this partition's row batches for the memory governor's salvage
+  /// catalog, enabling recovery from spill files after an executor loss
+  /// (see PartitionStore::SetSpillTag).
+  void SetSpillTag(uint64_t owner, uint32_t shard) {
+    store_.SetSpillTag(owner, shard);
+  }
+
+  /// Declares this version fully built: seals the open tail batch so the
+  /// whole partition is evictable under memory pressure. Every later write
+  /// goes through Snapshot() (which would seal the tail anyway), so sealing
+  /// here costs nothing and lets the governor spill freshly built bases.
+  void SealStorage() { store_.SealTail(); }
+
   // ---- reads ------------------------------------------------------------
 
   /// Walks the backward chain of `key_code`, newest to oldest, invoking `fn`

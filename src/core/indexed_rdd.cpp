@@ -1,9 +1,55 @@
 #include "core/indexed_rdd.h"
 
+#include <fstream>
+
 #include "common/logging.h"
+#include "mem/governor.h"
 #include "sql/physical.h"
 
 namespace idf {
+
+namespace {
+
+/// Replays one salvaged spill segment into `target`: the file holds the
+/// batch's verbatim self-delimiting rows, and InsertEncoded re-derives the
+/// index entries and back-pointer chains.
+Status ReplaySalvageSegment(const mem::SalvageSegment& segment,
+                            IndexedPartition& target) {
+  std::ifstream in(segment.path, std::ios::binary);
+  if (!in) {
+    return Status::Unavailable("cannot open salvaged spill file '" +
+                               segment.path + "'");
+  }
+  std::vector<uint8_t> bytes(segment.bytes);
+  in.read(reinterpret_cast<char*>(bytes.data()),
+          static_cast<std::streamsize>(bytes.size()));
+  if (!in || in.gcount() != static_cast<std::streamsize>(bytes.size())) {
+    return Status::Unavailable("short read from salvaged spill file '" +
+                               segment.path + "'");
+  }
+  uint64_t rows = 0;
+  size_t cursor = 0;
+  while (cursor < bytes.size()) {
+    const uint32_t size = RowLayout::RowSize(bytes.data() + cursor);
+    if (size < 16 || cursor + size > bytes.size()) {
+      return Status::Internal("corrupt salvaged spill file '" + segment.path +
+                              "'");
+    }
+    IDF_RETURN_IF_ERROR(target.InsertEncoded(bytes.data() + cursor, size));
+    cursor += size;
+    ++rows;
+  }
+  if (rows != segment.rows) {
+    return Status::Internal("salvaged spill file row count mismatch");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+IndexedRdd::~IndexedRdd() {
+  mem::MemoryGovernor::Global().DropSalvage(rdd_id_);
+}
 
 IndexedRdd::IndexedRdd(Session& session, TableHandle base, size_t key_column,
                        uint32_t num_partitions, uint32_t batch_capacity)
@@ -189,6 +235,9 @@ Status IndexedRdd::BuildBase(QueryMetrics& metrics) {
           const std::vector<const uint8_t*>& rows) -> Status {
         auto part = std::make_shared<IndexedPartition>(schema_, key_column_,
                                                        batch_capacity_);
+        // Version-0 batches are salvageable: if they spill, recovery can
+        // reload the spill files instead of re-routing the base table.
+        part->SetSpillTag(rdd_id_, partition);
         uint64_t total_bytes = 0;
         for (const uint8_t* row : rows) total_bytes += RowLayout::RowSize(row);
         part->ReserveHint(total_bytes);
@@ -198,6 +247,7 @@ Status IndexedRdd::BuildBase(QueryMetrics& metrics) {
         }
         total_rows += part->num_rows();
         ctx.metrics().rows_written += part->num_rows();
+        part->SealStorage();  // built: evictable from here on
         ctx.cluster().blocks().Put(BlockId{rdd_id_, partition, 0},
                                    ctx.executor(), part);
         return Status::OK();
@@ -249,6 +299,7 @@ Result<uint64_t> IndexedRdd::Append(uint64_t parent_version,
         ctx.metrics().batch_copies += next->cow_batch_opens();
         appended += routed.size();
         ctx.metrics().rows_written += routed.size();
+        next->SealStorage();  // built: evictable from here on
         ctx.cluster().blocks().Put(BlockId{rdd_id_, partition, new_version},
                                    ctx.executor(), std::move(next));
         return Status::OK();
@@ -288,7 +339,8 @@ std::vector<uint64_t> IndexedRdd::Versions() const {
 Status IndexedRdd::InsertRoutedRows(const TableHandle& table,
                                     uint32_t partition,
                                     IndexedPartition& target,
-                                    TaskContext& ctx) const {
+                                    TaskContext& ctx,
+                                    uint64_t skip_rows) const {
   RowLayout layout(schema_);
   std::vector<uint8_t> scratch;
   for (uint32_t p = 0; p < table.num_partitions; ++p) {
@@ -298,6 +350,10 @@ Status IndexedRdd::InsertRoutedRows(const TableHandle& table,
       const uint32_t t =
           key_col.IsNull(i) ? 0 : PartitionOf(key_col.KeyCodeAt(i));
       if (t != partition) continue;
+      if (skip_rows > 0) {
+        --skip_rows;
+        continue;
+      }
       chunk->EncodeRowTo(layout, i, scratch);
       IDF_RETURN_IF_ERROR(target.InsertEncoded(
           scratch.data(), static_cast<uint32_t>(scratch.size())));
@@ -337,11 +393,39 @@ Result<BlockPtr> IndexedRdd::Recompute(uint32_t partition, uint64_t version,
   } else {
     part = std::make_shared<IndexedPartition>(schema_, key_column_,
                                               batch_capacity_);
-    IDF_RETURN_IF_ERROR(InsertRoutedRows(base_, partition, *part, ctx));
+    part->SetSpillTag(rdd_id_, partition);
+    // Before re-routing the base table, check the governor's salvage
+    // catalog: batches of the lost partition that were spilled to local
+    // disk survive the block loss, and replaying their files is a
+    // sequential read instead of a full base-table scan. Only a contiguous
+    // prefix is usable — routing order is deterministic, so after reloading
+    // the first M routed rows from spill we resume the re-route at row M.
+    uint64_t salvaged_rows = 0;
+    uint64_t salvaged_bytes = 0;
+    const std::vector<mem::SalvageSegment> segments =
+        mem::MemoryGovernor::Global().SalvagePrefix(rdd_id_, partition);
+    for (const mem::SalvageSegment& segment : segments) {
+      salvaged_bytes += segment.bytes;
+    }
+    part->ReserveHint(salvaged_bytes);
+    for (const mem::SalvageSegment& segment : segments) {
+      IDF_RETURN_IF_ERROR(ReplaySalvageSegment(segment, *part));
+      salvaged_rows += segment.rows;
+    }
+    if (!segments.empty()) {
+      IDF_LOG_INFO("salvaged %llu rows of rdd %llu partition %u from %zu "
+                   "spill files",
+                   static_cast<unsigned long long>(salvaged_rows),
+                   static_cast<unsigned long long>(rdd_id_), partition,
+                   segments.size());
+    }
+    IDF_RETURN_IF_ERROR(
+        InsertRoutedRows(base_, partition, *part, ctx, salvaged_rows));
   }
   for (const TableHandle& append : appends) {
     IDF_RETURN_IF_ERROR(InsertRoutedRows(append, partition, *part, ctx));
   }
+  part->SealStorage();  // rebuilt: evictable from here on
   return BlockPtr(part);
 }
 
@@ -363,6 +447,8 @@ Result<TableHandle> IndexedDataset::ScanAsColumnar(
                                rdd_->GetPartition(p, version_, ctx));
           // Row-to-columnar conversion: the real cost of running regular
           // operators over the row-wise indexed representation (Fig. 8).
+          // The scan scope pins each batch once for the whole conversion.
+          mem::AccessScope scan_scope;
           ChunkBuilder builder(rdd_->schema());
           const RowLayout& layout = part->layout();
           part->ForEachRow([&](const uint8_t* row) {

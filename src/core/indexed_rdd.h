@@ -51,6 +51,10 @@ class IndexedRdd : public std::enable_shared_from_this<IndexedRdd> {
       uint32_t num_partitions, uint32_t batch_capacity,
       PartitionLoader loader, QueryMetrics& metrics);
 
+  /// Drops this RDD's spill-salvage catalog entries (and with them the last
+  /// references to orphaned spill files).
+  ~IndexedRdd();
+
   uint64_t rdd_id() const { return rdd_id_; }
   const SchemaPtr& schema() const { return schema_; }
   size_t key_column() const { return key_column_; }
@@ -107,8 +111,12 @@ class IndexedRdd : public std::enable_shared_from_this<IndexedRdd> {
 
   /// Inserts every row of `table` that routes to `partition` (driver of the
   /// recompute path; scans the full table like Spark's re-shuffle would).
+  /// The first `skip_rows` routed rows are skipped — routing order is
+  /// deterministic, so recovery that salvaged the first M rows from spill
+  /// files resumes the insert exactly where those left off.
   Status InsertRoutedRows(const TableHandle& table, uint32_t partition,
-                          IndexedPartition& target, TaskContext& ctx) const;
+                          IndexedPartition& target, TaskContext& ctx,
+                          uint64_t skip_rows = 0) const;
 
   Session* session_;
   uint64_t rdd_id_;

@@ -131,6 +131,7 @@ Result<std::shared_ptr<IndexedPartition>> LoadPartition(
     ++rows;
   }
   if (rows != num_rows) return Corrupt(path, "row count mismatch");
+  partition->SealStorage();  // loaded: evictable from here on
   return partition;
 }
 

@@ -1,11 +1,13 @@
 #include "engine/cluster.h"
 
 #include <atomic>
+#include <cstdlib>
 #include <future>
 
 #include "common/logging.h"
 #include "common/timer.h"
 #include "engine/scheduler.h"
+#include "mem/governor.h"
 #include "obs/metrics_registry.h"
 #include "obs/trace.h"
 
@@ -65,6 +67,24 @@ Cluster::Cluster(ClusterConfig config)
       alive_(config.total_executors(), true) {
   IDF_CHECK_OK(config_.Validate());
   scheduler_threads_ = ResolveSchedulerThreads(config_);
+
+  // Engage the memory governor if a budget is configured. Environment
+  // overrides win so a budget can be imposed on any binary without code
+  // changes (IDF_MEMORY_BUDGET=256m ./sql_test).
+  uint64_t budget = config_.memory_budget_bytes;
+  if (const char* env = std::getenv("IDF_MEMORY_BUDGET")) {
+    Result<uint64_t> parsed = mem::ParseByteSize(env);
+    if (parsed.ok()) {
+      budget = *parsed;
+    } else {
+      IDF_LOG_WARN("ignoring unparsable IDF_MEMORY_BUDGET='%s'", env);
+    }
+  }
+  std::string spill_dir = config_.spill_dir;
+  if (const char* env = std::getenv("IDF_SPILL_DIR")) spill_dir = env;
+  if (budget > 0 || !spill_dir.empty()) {
+    mem::MemoryGovernor::Global().Configure(budget, spill_dir);
+  }
 }
 
 ThreadPool& Cluster::pool() {
@@ -86,9 +106,14 @@ void Cluster::ExecuteTask(const StageSpec& stage, uint32_t index,
   TaskContext ctx(this, executor);
   const bool was_in_task = t_in_stage_task;
   t_in_stage_task = true;
+  // Attribute mem.* events (evictions, reload faults) the body triggers to
+  // this simulated executor.
+  const int32_t prev_executor = mem::MemoryGovernor::CurrentExecutor();
+  mem::MemoryGovernor::SetCurrentExecutor(static_cast<int32_t>(executor));
   Stopwatch timer;
   out.status = stage.tasks[index].body(ctx);
   out.elapsed = timer.ElapsedSeconds();
+  mem::MemoryGovernor::SetCurrentExecutor(prev_executor);
   t_in_stage_task = was_in_task;
   out.ran = true;
   em.tasks.Increment();

@@ -48,6 +48,17 @@ struct ClusterConfig {
   /// Fig. 4 shows executors spanning sockets lose tens of percent.
   double numa_remote_penalty = 0.35;
 
+  /// Process-wide budget for governed row-batch memory (src/mem/governor.h).
+  /// 0 = unbounded (the paper's all-in-memory configuration). When exceeded,
+  /// sealed row batches spill to `spill_dir` and fault back in on access.
+  /// The IDF_MEMORY_BUDGET environment variable ("256m", "2g", plain bytes)
+  /// overrides this.
+  uint64_t memory_budget_bytes = 0;
+
+  /// Spill directory for evicted batches. Empty = <tmp>/idf-spill-<pid>.
+  /// The IDF_SPILL_DIR environment variable overrides this.
+  std::string spill_dir;
+
   NetworkConfig network;
 
   uint32_t total_executors() const { return num_workers * executors_per_worker; }

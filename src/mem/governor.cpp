@@ -1,0 +1,437 @@
+#include "mem/governor.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <filesystem>
+
+#include "common/logging.h"
+#include "obs/metrics_registry.h"
+#include "obs/trace.h"
+
+namespace idf::mem {
+
+namespace {
+
+/// mem.* metric handles, resolved once (see obs/metrics_registry.h).
+struct MemMetrics {
+  obs::Gauge& resident = obs::Registry::Global().GetGauge("mem.resident_bytes");
+  obs::Gauge& spilled = obs::Registry::Global().GetGauge("mem.spilled_bytes");
+  obs::Gauge& budget = obs::Registry::Global().GetGauge("mem.budget_bytes");
+  obs::Counter& evictions = obs::Registry::Global().GetCounter("mem.evictions");
+  obs::Counter& reload_faults =
+      obs::Registry::Global().GetCounter("mem.reload_faults");
+  obs::Counter& pin_blocks =
+      obs::Registry::Global().GetCounter("mem.pin_blocks");
+  obs::Counter& spill_write_bytes =
+      obs::Registry::Global().GetCounter("mem.spill.write_bytes");
+  obs::Counter& reload_read_bytes =
+      obs::Registry::Global().GetCounter("mem.reload.read_bytes");
+  obs::Counter& salvaged_segments =
+      obs::Registry::Global().GetCounter("mem.salvage.segments");
+
+  static MemMetrics& Get() {
+    static MemMetrics* metrics = new MemMetrics();
+    return *metrics;
+  }
+};
+
+thread_local AccessScope* t_current_scope = nullptr;
+thread_local int32_t t_current_executor = -1;
+
+}  // namespace
+
+std::atomic<bool> MemoryGovernor::engaged_{false};
+
+// ---- SpillFile --------------------------------------------------------------
+
+SpillFile::~SpillFile() {
+  std::error_code ec;
+  std::filesystem::remove(path_, ec);  // best effort
+}
+
+// ---- Evictable --------------------------------------------------------------
+
+Evictable::~Evictable() {
+  // The most-derived destructor must have retired the payload already; an
+  // entry still registered here would let the governor call pure-virtual
+  // payload hooks on a half-destroyed object.
+  IDF_CHECK_MSG(!registered_, "Evictable destroyed without retiring");
+}
+
+void Evictable::SealForGovernor(uint64_t rows) {
+  if (sealed_.exchange(true, std::memory_order_acq_rel)) return;
+  rows_ = rows;
+  MemoryGovernor::Global().OnSealed(this);
+}
+
+void Evictable::RetireFromGovernor() {
+  MemoryGovernor::Global().OnRetired(this);
+}
+
+void Evictable::AccountAllocated(uint64_t bytes) {
+  MemoryGovernor::Global().OnAllocated(this, bytes);
+}
+
+// ---- MemoryGovernor ---------------------------------------------------------
+
+MemoryGovernor& MemoryGovernor::Global() {
+  static MemoryGovernor* governor = new MemoryGovernor();
+  return *governor;
+}
+
+void MemoryGovernor::Configure(uint64_t budget_bytes,
+                               const std::string& spill_dir) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!spill_dir.empty()) spill_dir_ = spill_dir;
+    budget_.store(budget_bytes, std::memory_order_relaxed);
+    if (budget_bytes > 0) engaged_.store(true, std::memory_order_relaxed);
+    MemMetrics::Get().budget.Set(static_cast<double>(budget_bytes));
+  }
+  if (budget_bytes > 0) EnforceBudget();
+}
+
+std::string MemoryGovernor::spill_dir() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return SpillDirLocked();
+}
+
+const std::string& MemoryGovernor::SpillDirLocked() {
+  if (spill_dir_.empty()) {
+    std::error_code ec;
+    std::filesystem::path dir =
+        std::filesystem::temp_directory_path(ec) /
+        ("idf-spill-" + std::to_string(::getpid()));
+    spill_dir_ = dir.string();
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(spill_dir_, ec);
+  return spill_dir_;
+}
+
+uint64_t MemoryGovernor::NewInstanceId() {
+  static std::atomic<uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+void MemoryGovernor::SetCurrentExecutor(int32_t executor) {
+  t_current_executor = executor;
+}
+
+int32_t MemoryGovernor::CurrentExecutor() { return t_current_executor; }
+
+void MemoryGovernor::OnAllocated(Evictable* e, uint64_t bytes) {
+  (void)e;
+  resident_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+  MemMetrics::Get().resident.Set(static_cast<double>(resident_bytes()));
+  const uint64_t budget = budget_.load(std::memory_order_relaxed);
+  if (budget > 0 && resident_bytes() > budget) EnforceBudget();
+}
+
+void MemoryGovernor::OnSealed(Evictable* e) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!e->registered_) {
+      e->registered_ = true;
+      registry_.push_back(e);
+    }
+  }
+  const uint64_t budget = budget_.load(std::memory_order_relaxed);
+  if (budget > 0 && resident_bytes() > budget) EnforceBudget();
+}
+
+void MemoryGovernor::OnRetired(Evictable* e) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (e->registered_) {
+    registry_.erase(std::remove(registry_.begin(), registry_.end(), e),
+                    registry_.end());
+    e->registered_ = false;
+  }
+  // Final accounting: a resident payload frees RAM; a spill file may live
+  // on in the salvage catalog (shared ownership), but this payload's claim
+  // on the spilled-byte gauge ends here.
+  if (e->state_.load(std::memory_order_seq_cst) == Evictable::kResident) {
+    resident_bytes_.fetch_sub(e->PayloadBytes(), std::memory_order_relaxed);
+  } else {
+    spilled_bytes_.fetch_sub(e->spill_bytes_, std::memory_order_relaxed);
+  }
+  e->spill_file_.reset();
+  MemMetrics& mm = MemMetrics::Get();
+  mm.resident.Set(static_cast<double>(resident_bytes()));
+  mm.spilled.Set(static_cast<double>(spilled_bytes()));
+}
+
+void MemoryGovernor::EnforceBudget() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  EnforceBudgetLocked();
+}
+
+void MemoryGovernor::EnforceBudgetLocked() {
+  const uint64_t budget = budget_.load(std::memory_order_relaxed);
+  if (budget == 0) return;
+  MemMetrics& mm = MemMetrics::Get();
+  bool blocked = false;
+  while (resident_bytes() > budget) {
+    // Cost-aware LRU: oldest last-access first; among candidates of the
+    // same age generation, prefer payloads that already have a spill file
+    // (reload cost is a read with no write). Pinned payloads are skipped —
+    // that is the "weighted by pin count" degenerate case: a pin makes the
+    // eviction cost infinite for as long as it is held.
+    Evictable* victim = nullptr;
+    uint64_t best_age = 0;
+    const uint64_t now = clock_.load(std::memory_order_relaxed);
+    for (Evictable* e : registry_) {
+      if (e->state_.load(std::memory_order_seq_cst) != Evictable::kResident) {
+        continue;
+      }
+      if (e->pins_.load(std::memory_order_seq_cst) > 0) continue;
+      const uint64_t last = e->last_access_.load(std::memory_order_relaxed);
+      uint64_t age = now - std::min(now, last) + 1;
+      if (e->spill_file_ != nullptr) age *= 2;  // reload is cheap: read-only
+      if (victim == nullptr || age > best_age) {
+        victim = e;
+        best_age = age;
+      }
+    }
+    if (victim == nullptr) {
+      // Everything evictable is pinned (or already out): the budget is
+      // temporarily overcommitted by the live working set.
+      mm.pin_blocks.Increment();
+      blocked = true;
+      break;
+    }
+    if (!EvictLocked(victim)) break;
+  }
+  // Warn once per overcommit episode, not per enforcement call — a tight
+  // budget triggers enforcement on every fault, which would flood the log.
+  if (blocked && !warned_overcommit_) {
+    warned_overcommit_ = true;
+    IDF_LOG_WARN("memory budget overcommitted: resident=%llu budget=%llu "
+                 "(all evictable payloads pinned)",
+                 static_cast<unsigned long long>(resident_bytes()),
+                 static_cast<unsigned long long>(budget));
+  } else if (!blocked) {
+    warned_overcommit_ = false;
+  }
+}
+
+bool MemoryGovernor::EvictLocked(Evictable* victim) {
+  MemMetrics& mm = MemMetrics::Get();
+  // Dekker handshake with concurrent pinners (see header).
+  victim->state_.store(Evictable::kEvicting, std::memory_order_seq_cst);
+  if (victim->pins_.load(std::memory_order_seq_cst) > 0) {
+    victim->state_.store(Evictable::kResident, std::memory_order_seq_cst);
+    mm.pin_blocks.Increment();
+    return true;  // not an error; the enforcement loop picks another victim
+  }
+  if (victim->spill_file_ == nullptr) {
+    obs::Span span("mem", "spill");
+    const std::string path = SpillDirLocked() + "/seg-" +
+                             std::to_string(next_spill_file_++) + ".spill";
+    Result<uint64_t> written = victim->SpillPayload(path);
+    if (!written.ok()) {
+      victim->state_.store(Evictable::kResident, std::memory_order_seq_cst);
+      IDF_LOG_WARN("spill failed, keeping payload resident: %s",
+                   written.status().message().c_str());
+      return false;
+    }
+    victim->spill_bytes_ = *written;
+    victim->spill_file_ = std::make_shared<SpillFile>(path);
+    span.AddArgInt("bytes", *written);
+    mm.spill_write_bytes.Add(*written);
+    // Salvageable payloads register with the catalog so recovery can read
+    // them back even after the owning block is dropped.
+    if (victim->identity_.salvageable()) {
+      std::lock_guard<std::mutex> lock(catalog_mutex_);
+      auto& entries =
+          catalog_[CatalogKey{victim->identity_.owner,
+                              victim->identity_.shard}];
+      entries.push_back(CatalogEntry{
+          victim->identity_.instance,
+          SalvageSegment{victim->identity_.index, victim->rows_,
+                         victim->spill_bytes_, path, victim->spill_file_}});
+    }
+  }
+  // Sealed payloads are immutable, so the spill file stays valid forever: a
+  // re-eviction after a reload frees the buffer without rewriting the file.
+  const uint64_t bytes = victim->PayloadBytes();
+  victim->ReleasePayload();
+  victim->state_.store(Evictable::kEvicted, std::memory_order_seq_cst);
+  resident_bytes_.fetch_sub(bytes, std::memory_order_relaxed);
+  spilled_bytes_.fetch_add(victim->spill_bytes_, std::memory_order_relaxed);
+  mm.evictions.Increment();
+  mm.resident.Set(static_cast<double>(resident_bytes()));
+  mm.spilled.Set(static_cast<double>(spilled_bytes()));
+  if (t_current_executor >= 0) {
+    obs::Registry::Global()
+        .GetCounter(obs::TaggedName(
+            "mem.evictions",
+            {{"executor", std::to_string(t_current_executor)}}))
+        .Increment();
+  }
+  return true;
+}
+
+Status MemoryGovernor::FaultIn(Evictable* e) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (e->state_.load(std::memory_order_seq_cst) == Evictable::kResident) {
+    return Status::OK();  // raced with another reloader (or evict aborted)
+  }
+  obs::Span span("mem", "reload");
+  IDF_CHECK_MSG(e->spill_file_ != nullptr, "evicted payload has no spill file");
+  IDF_RETURN_IF_ERROR(e->ReloadPayload(e->spill_file_->path()));
+  e->state_.store(Evictable::kResident, std::memory_order_seq_cst);
+  const uint64_t bytes = e->PayloadBytes();
+  resident_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+  spilled_bytes_.fetch_sub(e->spill_bytes_, std::memory_order_relaxed);
+  MemMetrics& mm = MemMetrics::Get();
+  mm.reload_faults.Increment();
+  mm.reload_read_bytes.Add(e->spill_bytes_);
+  mm.resident.Set(static_cast<double>(resident_bytes()));
+  mm.spilled.Set(static_cast<double>(spilled_bytes()));
+  span.AddArgInt("bytes", e->spill_bytes_);
+  if (t_current_executor >= 0) {
+    obs::Registry::Global()
+        .GetCounter(obs::TaggedName(
+            "mem.reload_faults",
+            {{"executor", std::to_string(t_current_executor)}}))
+        .Increment();
+  }
+  // Reloading may push residency over budget; the caller holds a pin on
+  // `e`, so enforcement will pick other victims.
+  EnforceBudgetLocked();
+  return Status::OK();
+}
+
+std::vector<SalvageSegment> MemoryGovernor::SalvagePrefix(uint64_t owner,
+                                                          uint32_t shard) {
+  std::lock_guard<std::mutex> lock(catalog_mutex_);
+  auto it = catalog_.find(CatalogKey{owner, shard});
+  if (it == catalog_.end()) return {};
+  // Group by store instance; different incarnations (original build vs. a
+  // recompute) may slice the same rows into different batch boundaries, so
+  // segments must never be mixed across instances.
+  std::map<uint64_t, std::map<uint32_t, const SalvageSegment*>> by_instance;
+  for (const CatalogEntry& entry : it->second) {
+    by_instance[entry.instance].emplace(entry.segment.index, &entry.segment);
+  }
+  std::vector<SalvageSegment> best;
+  uint64_t best_rows = 0;
+  for (const auto& [instance, segments] : by_instance) {
+    std::vector<SalvageSegment> prefix;
+    uint64_t rows = 0;
+    uint32_t expect = 0;
+    for (const auto& [index, segment] : segments) {
+      if (index != expect) break;  // gap: prefix ends
+      prefix.push_back(*segment);
+      rows += segment->rows;
+      ++expect;
+    }
+    if (rows > best_rows) {
+      best_rows = rows;
+      best = std::move(prefix);
+    }
+  }
+  MemMetrics::Get().salvaged_segments.Add(best.size());
+  return best;
+}
+
+void MemoryGovernor::DropSalvage(uint64_t owner) {
+  std::lock_guard<std::mutex> lock(catalog_mutex_);
+  for (auto it = catalog_.begin(); it != catalog_.end();) {
+    if (it->first.owner == owner) {
+      it = catalog_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+// ---- AccessScope ------------------------------------------------------------
+
+AccessScope::AccessScope() {
+  if (t_current_scope != nullptr) return;  // nested: inert
+  static std::atomic<uint64_t> next_id{1};
+  id_ = next_id.fetch_add(1, std::memory_order_relaxed);
+  owner_ = true;
+  t_current_scope = this;
+}
+
+AccessScope::~AccessScope() {
+  if (!owner_) return;
+  t_current_scope = nullptr;
+  for (Evictable* e : pinned_) {
+    e->pins_.fetch_sub(1, std::memory_order_seq_cst);
+  }
+}
+
+void AccessScope::PinSlow(Evictable* e) {
+  MemoryGovernor& governor = MemoryGovernor::Global();
+  AccessScope* scope = t_current_scope;
+  if (scope != nullptr &&
+      e->scope_hint_.load(std::memory_order_relaxed) == scope->id_) {
+    return;  // already pinned by this scope; still pinned, still resident
+  }
+  e->last_access_.store(
+      governor.clock_.fetch_add(1, std::memory_order_relaxed),
+      std::memory_order_relaxed);
+  if (scope == nullptr) {
+    // Unpinned access: fault in if needed. Safe only without a concurrent
+    // evictor (single-threaded callers); engine paths always hold a scope.
+    if (e->state_.load(std::memory_order_seq_cst) != Evictable::kResident) {
+      IDF_CHECK_OK(governor.FaultIn(e));
+    }
+    return;
+  }
+  e->pins_.fetch_add(1, std::memory_order_seq_cst);
+  scope->pinned_.push_back(e);
+  e->scope_hint_.store(scope->id_, std::memory_order_relaxed);
+  if (e->state_.load(std::memory_order_seq_cst) != Evictable::kResident) {
+    IDF_CHECK_OK(governor.FaultIn(e));
+  }
+}
+
+// ---- ScopedBudget -----------------------------------------------------------
+
+ScopedBudget::ScopedBudget(uint64_t budget_bytes, const std::string& spill_dir)
+    : previous_(MemoryGovernor::Global().budget_bytes()) {
+  MemoryGovernor::Global().Configure(budget_bytes, spill_dir);
+}
+
+ScopedBudget::~ScopedBudget() {
+  MemoryGovernor::Global().Configure(previous_);
+}
+
+// ---- ParseByteSize ----------------------------------------------------------
+
+Result<uint64_t> ParseByteSize(const std::string& text) {
+  if (text.empty()) return Status::InvalidArgument("empty byte size");
+  size_t pos = 0;
+  unsigned long long value = 0;
+  try {
+    value = std::stoull(text, &pos);
+  } catch (const std::exception&) {
+    return Status::InvalidArgument("bad byte size '" + text + "'");
+  }
+  uint64_t multiplier = 1;
+  if (pos < text.size()) {
+    std::string suffix = text.substr(pos);
+    while (!suffix.empty() && suffix.back() == 'b') suffix.pop_back();
+    if (suffix.size() == 1) {
+      switch (std::tolower(static_cast<unsigned char>(suffix[0]))) {
+        case 'k': multiplier = 1ull << 10; break;
+        case 'm': multiplier = 1ull << 20; break;
+        case 'g': multiplier = 1ull << 30; break;
+        default: return Status::InvalidArgument("bad byte size '" + text + "'");
+      }
+    } else if (!suffix.empty()) {
+      return Status::InvalidArgument("bad byte size '" + text + "'");
+    }
+  }
+  return static_cast<uint64_t>(value) * multiplier;
+}
+
+}  // namespace idf::mem

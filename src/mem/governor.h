@@ -1,0 +1,307 @@
+// Memory governor: budgeted caching with batch-granular eviction and
+// transparent spill/reload.
+//
+// The paper's Indexed DataFrame keeps everything in memory but notes the
+// representation "could easily extend to store data out-of-core" (§III-C).
+// This subsystem is that extension's control plane: a process-wide
+// MemoryGovernor with a configurable byte budget tracks every governed
+// allocation (row batches register through storage-layer hooks), and when
+// the budget is exceeded it evicts *sealed* payloads — cost-aware LRU:
+// oldest last access first, already-spilled payloads preferred because
+// their reload cost is a read with no write — by spilling them to a spill
+// directory and freeing the in-memory buffer. The owning object survives
+// as a disk-backed stub; the next access faults the payload back in.
+//
+// Pinning: readers open an AccessScope (RAII, thread-local) around an
+// operation — a scan, an indexed join probe, an append that chases a
+// back-pointer — and every payload touched through the scope is pinned
+// until the scope closes. Pinned payloads are never evicted mid-operation.
+// Unsealed payloads (the open tail batch of a live version) are never
+// registered and therefore never evicted.
+//
+// COW interplay: a sealed batch shared by N snapshot versions is one
+// Evictable — it spills once, reloads once, and every sharer sees the
+// reloaded buffer (§III-E sharing is by pointer, not by copy).
+//
+// Concurrency protocol (reader vs. evictor, Dekker-style):
+//   reader:  pins_.fetch_add(seq_cst); load state_ (seq_cst);
+//            resident  -> read the buffer,
+//            otherwise -> lock the governor, reload, mark resident.
+//   evictor: (governor lock held) store state_ = kEvicting (seq_cst);
+//            load pins_ (seq_cst); nonzero -> roll back to kResident and
+//            skip the victim, zero -> spill + free, state_ = kEvicted.
+// Sequential consistency guarantees at least one side observes the other:
+// either the evictor sees the pin and aborts, or the reader sees the
+// eviction and takes the reload path (which waits on the governor lock
+// until the transition completes).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace idf::mem {
+
+class MemoryGovernor;
+class AccessScope;
+
+/// A spill file on disk, removed when the last owner lets go. Both the
+/// evicted payload and the salvage catalog (fault-tolerance) co-own files,
+/// so a dropped block's spill survives for recovery.
+class SpillFile {
+ public:
+  explicit SpillFile(std::string path) : path_(std::move(path)) {}
+  ~SpillFile();
+  SpillFile(const SpillFile&) = delete;
+  SpillFile& operator=(const SpillFile&) = delete;
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+/// Identity of a governed payload inside a replayable store, used by the
+/// salvage catalog: a spilled batch of (owner rdd, shard partition) at
+/// position `index` within store instance `instance`. Recovery can reload
+/// a contiguous index prefix of one instance instead of recomputing it.
+struct SpillIdentity {
+  uint64_t owner = 0;     // e.g. rdd id; 0 = anonymous (not salvageable)
+  uint32_t shard = 0;     // e.g. partition number
+  uint64_t instance = 0;  // store incarnation (recomputes get a fresh one)
+  uint32_t index = 0;     // position within the store, dense from 0
+
+  bool salvageable() const { return owner != 0; }
+};
+
+/// Base class for anything the governor may evict. Storage objects (row
+/// batches) derive from it, implement the payload I/O, and call
+/// SealForGovernor() once the payload is immutable and RetireFromGovernor()
+/// first thing in their destructor.
+class Evictable {
+ public:
+  virtual ~Evictable();
+  Evictable(const Evictable&) = delete;
+  Evictable& operator=(const Evictable&) = delete;
+
+  bool resident() const {
+    return state_.load(std::memory_order_acquire) == kResident;
+  }
+  bool sealed_for_governor() const {
+    return sealed_.load(std::memory_order_acquire);
+  }
+
+ protected:
+  Evictable() = default;
+
+  /// Declares the payload immutable and evictable from now on. Idempotent.
+  /// `rows` is the logical unit count recorded in the salvage catalog.
+  void SealForGovernor(uint64_t rows);
+
+  /// Must be the first statement of the most-derived destructor: blocks
+  /// until any in-flight eviction of this payload finishes, then removes it
+  /// from the governor. (The base-class destructor is too late — the
+  /// derived payload vtable entries are already gone by then.)
+  void RetireFromGovernor();
+
+  /// Accounting hooks for the payload buffer's lifetime.
+  void AccountAllocated(uint64_t bytes);
+
+  void SetSpillIdentity(const SpillIdentity& id) { identity_ = id; }
+  const SpillIdentity& spill_identity() const { return identity_; }
+
+ private:
+  friend class MemoryGovernor;
+  friend class AccessScope;
+
+  enum State : int { kResident = 0, kEvicting = 1, kEvicted = 2 };
+
+  /// Writes the payload to `path`; returns bytes written. Called by the
+  /// governor with its lock held and pins_ == 0.
+  virtual Result<uint64_t> SpillPayload(const std::string& path) = 0;
+  /// Frees the in-memory buffer (the payload survives on disk). Called by
+  /// the governor after a successful spill, lock held, pins_ == 0.
+  virtual void ReleasePayload() = 0;
+  /// Restores the payload from a file SpillPayload wrote earlier. Must not
+  /// call AccountAllocated — the governor does the reload accounting.
+  virtual Status ReloadPayload(const std::string& path) = 0;
+  /// Bytes of RAM the resident payload occupies (freed by eviction).
+  virtual uint64_t PayloadBytes() const = 0;
+
+  mutable std::atomic<int> state_{kResident};
+  mutable std::atomic<uint32_t> pins_{0};
+  mutable std::atomic<uint64_t> last_access_{0};
+  // Last AccessScope that pinned this payload — lets the scope skip
+  // re-pinning on every row of a batch it already holds.
+  mutable std::atomic<uint64_t> scope_hint_{0};
+  std::atomic<bool> sealed_{false};
+
+  SpillIdentity identity_;
+  uint64_t rows_ = 0;              // set at seal
+  uint64_t spill_bytes_ = 0;       // set at first spill
+  std::shared_ptr<SpillFile> spill_file_;  // immutable payload: write once
+  bool registered_ = false;        // guarded by the governor mutex
+};
+
+/// One salvageable spill segment: `rows` rows of payload at `path`.
+struct SalvageSegment {
+  uint32_t index = 0;
+  uint64_t rows = 0;
+  uint64_t bytes = 0;
+  std::string path;
+  std::shared_ptr<SpillFile> file;  // keeps the file alive while held
+};
+
+class MemoryGovernor {
+ public:
+  /// The process-wide governor (leaky singleton, like obs::Registry).
+  static MemoryGovernor& Global();
+
+  /// (Re)configures budget and spill directory. budget_bytes == 0 disables
+  /// eviction (the governor still accounts). An empty spill_dir keeps the
+  /// current one (default: <tmp>/idf-spill-<pid>). Shrinking the budget
+  /// below current residency evicts immediately.
+  void Configure(uint64_t budget_bytes, const std::string& spill_dir = "");
+
+  uint64_t budget_bytes() const {
+    return budget_.load(std::memory_order_relaxed);
+  }
+  std::string spill_dir();
+
+  /// True once a budget has ever been set in this process. Sticky: spilled
+  /// payloads may outlive a later Configure(0), so access paths keep
+  /// checking until process exit.
+  static bool Engaged() {
+    return engaged_.load(std::memory_order_relaxed);
+  }
+
+  uint64_t resident_bytes() const {
+    return resident_bytes_.load(std::memory_order_relaxed);
+  }
+  uint64_t spilled_bytes() const {
+    return spilled_bytes_.load(std::memory_order_relaxed);
+  }
+
+  /// Evicts cost-ranked victims until resident_bytes() <= budget or no
+  /// eviction candidate remains unpinned. Called from allocation and reload
+  /// paths; callable directly (tests, benches).
+  void EnforceBudget();
+
+  // ---- salvage catalog (fault tolerance) --------------------------------
+
+  /// Longest contiguous index prefix (0..k-1) of spilled segments for one
+  /// (owner, shard), all from the same store instance — the instance with
+  /// the most salvageable rows wins. Segments co-own their files, so they
+  /// stay readable even after the owning blocks were dropped.
+  std::vector<SalvageSegment> SalvagePrefix(uint64_t owner, uint32_t shard);
+
+  /// Drops every catalog entry of `owner` (e.g. when an RDD dies).
+  void DropSalvage(uint64_t owner);
+
+  /// Fresh store-instance id for SpillIdentity.
+  static uint64_t NewInstanceId();
+
+  /// Executor attribution for mem.* metrics: tasks set this around their
+  /// body so evictions/reloads they trigger are tagged per executor.
+  static void SetCurrentExecutor(int32_t executor);
+  static int32_t CurrentExecutor();
+
+  // ---- hooks used by Evictable / AccessScope ----------------------------
+
+  void OnAllocated(Evictable* e, uint64_t bytes);
+  void OnSealed(Evictable* e);
+  void OnRetired(Evictable* e);
+
+  /// Slow path of AccessScope::Pin: the payload is (or may be) evicted.
+  /// Reloads it under the governor lock. The caller already holds a pin.
+  Status FaultIn(Evictable* e);
+
+ private:
+  friend class AccessScope;
+
+  MemoryGovernor() = default;
+
+  void EnforceBudgetLocked();
+  bool EvictLocked(Evictable* victim);
+  const std::string& SpillDirLocked();
+
+  static std::atomic<bool> engaged_;
+
+  std::mutex mutex_;
+  std::vector<Evictable*> registry_;  // sealed payloads, insertion order
+  std::string spill_dir_;             // resolved lazily
+  uint64_t next_spill_file_ = 0;
+  bool warned_overcommit_ = false;    // guarded by mutex_
+
+  std::atomic<uint64_t> budget_{0};
+  std::atomic<uint64_t> resident_bytes_{0};
+  std::atomic<uint64_t> spilled_bytes_{0};
+  std::atomic<uint64_t> clock_{1};  // LRU tick, bumped per pin
+
+  struct CatalogKey {
+    uint64_t owner;
+    uint32_t shard;
+    bool operator<(const CatalogKey& o) const {
+      return owner != o.owner ? owner < o.owner : shard < o.shard;
+    }
+  };
+  struct CatalogEntry {
+    uint64_t instance;
+    SalvageSegment segment;
+  };
+  std::mutex catalog_mutex_;
+  std::map<CatalogKey, std::vector<CatalogEntry>> catalog_;
+};
+
+/// RAII pin scope. The outermost scope on a thread collects every payload
+/// pinned through it and releases them all when it closes; nested scopes
+/// are inert (pins accumulate in the outermost one, so an operator-level
+/// scope keeps its working set pinned across helper calls). Construction
+/// is a thread-local check plus one branch when the governor has never
+/// been engaged.
+class AccessScope {
+ public:
+  AccessScope();
+  ~AccessScope();
+  AccessScope(const AccessScope&) = delete;
+  AccessScope& operator=(const AccessScope&) = delete;
+
+  /// Pins `e` into the innermost active scope (fault-in if evicted) and
+  /// touches its LRU clock. Without an active scope the payload is still
+  /// faulted in and touched, but not pinned — safe only single-threaded.
+  /// No-op until the governor is first engaged.
+  static void Pin(Evictable* e) {
+    if (!MemoryGovernor::Engaged()) return;
+    PinSlow(e);
+  }
+
+ private:
+  static void PinSlow(Evictable* e);
+
+  bool owner_ = false;
+  uint64_t id_ = 0;
+  std::vector<Evictable*> pinned_;
+};
+
+/// Test/bench helper: sets a budget (and optionally a spill dir) for the
+/// enclosing scope and restores the previous budget on exit.
+class ScopedBudget {
+ public:
+  explicit ScopedBudget(uint64_t budget_bytes,
+                        const std::string& spill_dir = "");
+  ~ScopedBudget();
+
+ private:
+  uint64_t previous_;
+};
+
+/// Parses "256m" / "1g" / "4096" style byte sizes (suffixes k/m/g, case-
+/// insensitive). Returns InvalidArgument on garbage.
+Result<uint64_t> ParseByteSize(const std::string& text);
+
+}  // namespace idf::mem

@@ -46,7 +46,10 @@ PartitionStore PartitionStore::Snapshot() {
   snap.allocated_bytes_ = allocated_bytes_;
   snap.tail_ = tail_;
   // The tail is now shared and therefore sealed for both versions: each
-  // side's next append opens a fresh (hint-sized) batch of its own.
+  // side's next append opens a fresh (hint-sized) batch of its own. Sealing
+  // also hands the batch to the memory governor — from here on it may be
+  // spilled under memory pressure (it is shared, so it spills once).
+  if (tail_ != nullptr) tail_->Seal();
   snap.tail_exclusive_ = false;
   tail_exclusive_ = false;
   StorageMetrics::Get().snapshots.Increment();
@@ -76,7 +79,14 @@ Result<std::shared_ptr<RowBatch>> PartitionStore::WritableTail(uint32_t len) {
         next_batch_hint_, len, batch_capacity_));
     next_batch_hint_ -= std::min<uint64_t>(next_batch_hint_, capacity);
   }
+  // The outgoing tail will never be written again — it becomes immutable
+  // here, which is exactly when the governor may start evicting it.
+  if (tail_ != nullptr && tail_exclusive_) tail_->Seal();
   tail_ = RowBatch::Create(capacity);
+  if (spill_owner_ != 0) {
+    tail_->SetSpillIdentity(
+        {spill_owner_, spill_shard_, spill_instance_, num_batches_});
+  }
   allocated_bytes_ += capacity;
   sm.batches_opened.Increment();
   sm.batch_bytes.Add(capacity);
@@ -131,6 +141,9 @@ const uint8_t* PartitionStore::RowAt(PackedRowPtr ptr) const {
   IDF_CHECK_MSG(ptr.batch() < flat_.size(),
                 "dangling batch index in packed pointer");
   const RowBatch& batch = *flat_[ptr.batch()];
+  // Pin + fault-in if the batch was spilled; a single predicted branch when
+  // no memory budget has ever been engaged.
+  batch.EnsureReadable();
   IDF_CHECK(batch.used() > ptr.offset());
   return batch.data() + ptr.offset();
 }
@@ -138,7 +151,17 @@ const uint8_t* PartitionStore::RowAt(PackedRowPtr ptr) const {
 std::shared_ptr<RowBatch> PartitionStore::batch(uint32_t index) const {
   auto found = directory_.Lookup(index);
   IDF_CHECK_MSG(found.has_value(), "batch index out of range");
+  (*found)->EnsureReadable();
   return *found;
+}
+
+void PartitionStore::SetSpillTag(uint64_t owner, uint32_t shard) {
+  spill_owner_ = owner;
+  spill_shard_ = shard;
+  spill_instance_ = mem::MemoryGovernor::NewInstanceId();
+  for (uint32_t i = 0; i < num_batches_; ++i) {
+    flat_[i]->SetSpillIdentity({spill_owner_, spill_shard_, spill_instance_, i});
+  }
 }
 
 }  // namespace idf

@@ -83,6 +83,27 @@ class PartitionStore {
   /// Fig. 9). Full-batch opens and first-ever batches are not counted.
   uint64_t cow_batch_opens() const { return cow_batch_opens_; }
 
+  /// Seals the open tail batch, making it immutable and therefore evictable
+  /// by the memory governor. Called when a version finishes building (base
+  /// shuffle, append, recompute, load): the finished version is never
+  /// written again — every subsequent write snapshots first — so without
+  /// this a freshly built partition would hold one unsealed (unevictable)
+  /// tail per partition forever. Idempotent; the next append to *this*
+  /// store (which never happens in practice) would open a fresh batch.
+  void SealTail() {
+    if (tail_ != nullptr) tail_->Seal();
+    tail_exclusive_ = false;
+  }
+
+  /// Registers this store's batches with the memory governor's salvage
+  /// catalog: batch i is tagged SpillIdentity{owner, shard, instance, i}, so
+  /// if it spills, the spill file can seed recovery of (owner, shard) after
+  /// an executor loss. Applied retroactively to existing batches and to every
+  /// batch opened later. Snapshots deliberately do NOT inherit the tag:
+  /// divergent-version batches are not part of the base contiguous prefix
+  /// that recovery replays.
+  void SetSpillTag(uint64_t owner, uint32_t shard);
+
  private:
   /// Ensures the tail batch is exclusively owned and has room for `len`
   /// bytes; allocates/COWs as needed. Returns the writable tail.
@@ -104,6 +125,9 @@ class PartitionStore {
   uint64_t allocated_bytes_ = 0;
   uint64_t next_batch_hint_ = 0;
   uint64_t cow_batch_opens_ = 0;
+  uint64_t spill_owner_ = 0;  // 0 = batches are not salvage-tagged
+  uint32_t spill_shard_ = 0;
+  uint64_t spill_instance_ = 0;
   std::shared_ptr<RowBatch> tail_;  // == directory_[num_batches_-1]
   bool tail_exclusive_ = false;     // false after a snapshot (tail sealed)
 };

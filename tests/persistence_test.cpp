@@ -8,6 +8,8 @@
 #include <fstream>
 
 #include "core/persistence.h"
+#include "mem/governor.h"
+#include "obs/metrics_registry.h"
 #include "workload/snb.h"
 
 namespace idf {
@@ -218,6 +220,70 @@ TEST_F(PersistenceTest, LoadFromDirectoryWithoutManifestFails) {
   Session session(SmallOptions());
   EXPECT_EQ(LoadIndexedDataFrame(session, Path("empty")).status().code(),
             StatusCode::kNotFound);
+}
+
+// ---- eviction interplay (src/mem/governor.h) -------------------------------
+
+TEST_F(PersistenceTest, SaveLoadRoundTripsWhileBatchesEvicted) {
+  IndexedPartition part(MixedSchema(), 0, 16 << 10);
+  for (int64_t i = 0; i < 2000; ++i) {
+    IDF_CHECK_OK(part.InsertRow({Value::Int64(i % 100),
+                                 Value::String("n" + std::to_string(i)),
+                                 Value::Float64(i * 0.5)}));
+  }
+  part.Snapshot();  // seal the tail so every batch is evictable
+
+  // Save under a 1-byte budget: SavePartition's scan faults each spilled
+  // batch back in, so the file must be identical to an unbounded save.
+  mem::ScopedBudget tight(1);
+  EXPECT_GT(obs::Registry::Global().GetCounter("mem.evictions").value(), 0u);
+  IDF_CHECK_OK(SavePartition(part, Path("p.bin")));
+
+  auto loaded = LoadPartition(Path("p.bin"));
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ((*loaded)->num_rows(), 2000u);
+  for (int64_t k = 0; k < 100; k += 7) {
+    auto original = part.LookupRows(Value::Int64(k));
+    auto restored = (*loaded)->LookupRows(Value::Int64(k));
+    ASSERT_EQ(restored.size(), original.size()) << k;
+    for (size_t i = 0; i < original.size(); ++i) {
+      EXPECT_EQ(restored[i], original[i]);
+    }
+  }
+}
+
+TEST_F(PersistenceTest, AppendsAfterEvictionMatchUnboundedRun) {
+  // Two identical partitions; one lives under a tight budget with appends
+  // landing after its earlier batches were spilled. Results must match the
+  // unbounded twin exactly.
+  auto build = [](IndexedPartition& part, int64_t from, int64_t to) {
+    for (int64_t i = from; i < to; ++i) {
+      IDF_CHECK_OK(part.InsertRow({Value::Int64(i % 50),
+                                   Value::String("v" + std::to_string(i)),
+                                   Value::Float64(i)}));
+    }
+  };
+  IndexedPartition unbounded(MixedSchema(), 0, 16 << 10);
+  build(unbounded, 0, 1500);
+  build(unbounded, 1500, 2000);
+
+  IndexedPartition budgeted(MixedSchema(), 0, 16 << 10);
+  build(budgeted, 0, 1500);
+  budgeted.Snapshot();  // seal, making the first 1500 rows evictable
+  {
+    mem::ScopedBudget tight(1);
+    // Appends chase back-pointers into evicted batches: each insert must
+    // transparently fault the chain head's batch back in.
+    build(budgeted, 1500, 2000);
+    for (int64_t k = 0; k < 50; ++k) {
+      auto expected = unbounded.LookupRows(Value::Int64(k));
+      auto actual = budgeted.LookupRows(Value::Int64(k));
+      ASSERT_EQ(actual.size(), expected.size()) << k;
+      for (size_t i = 0; i < expected.size(); ++i) {
+        EXPECT_EQ(actual[i], expected[i]);
+      }
+    }
+  }
 }
 
 }  // namespace
