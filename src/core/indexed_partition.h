@@ -58,6 +58,10 @@ class IndexedPartition final : public Block {
     store_.SetSpillTag(owner, shard);
   }
 
+  /// Ends salvage-tagging: rows inserted after this call never enter the
+  /// salvage catalog (see PartitionStore::ClearSpillTag).
+  void ClearSpillTag() { store_.ClearSpillTag(); }
+
   /// Declares this version fully built: seals the open tail batch so the
   /// whole partition is evictable under memory pressure. Every later write
   /// goes through Snapshot() (which would seal the tail anyway), so sealing

@@ -421,6 +421,11 @@ Result<BlockPtr> IndexedRdd::Recompute(uint32_t partition, uint64_t version,
     }
     IDF_RETURN_IF_ERROR(
         InsertRoutedRows(base_, partition, *part, ctx, salvaged_rows));
+    // The append replay below writes into this same store. Salvage maps a
+    // catalog prefix 1:1 onto base routing order, so batches holding append
+    // rows (or a base/append mix in the tail) must never register: seal the
+    // base-only tail and stop tagging before the first append row lands.
+    part->ClearSpillTag();
   }
   for (const TableHandle& append : appends) {
     IDF_RETURN_IF_ERROR(InsertRoutedRows(append, partition, *part, ctx));

@@ -111,7 +111,15 @@ void Cluster::ExecuteTask(const StageSpec& stage, uint32_t index,
   const int32_t prev_executor = mem::MemoryGovernor::CurrentExecutor();
   mem::MemoryGovernor::SetCurrentExecutor(static_cast<int32_t>(executor));
   Stopwatch timer;
-  out.status = stage.tasks[index].body(ctx);
+  try {
+    out.status = stage.tasks[index].body(ctx);
+  } catch (const mem::ReloadFault& fault) {
+    // A spilled batch could not be reloaded (spill file lost, disk error).
+    // Pointer-returning read paths have no Status channel, so the failure
+    // unwinds to here; fail the task with its kUnavailable status — the
+    // same class as a lost block — instead of crashing the process.
+    out.status = fault.status();
+  }
   out.elapsed = timer.ElapsedSeconds();
   mem::MemoryGovernor::SetCurrentExecutor(prev_executor);
   t_in_stage_task = was_in_task;

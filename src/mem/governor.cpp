@@ -150,6 +150,11 @@ void MemoryGovernor::OnRetired(Evictable* e) {
                     registry_.end());
     e->registered_ = false;
   }
+  // Scrub transient pins on the dying payload so no thread's slot dangles
+  // into freed memory (the pin itself dies with the object).
+  for (auto& [tid, pinned] : transient_pins_) {
+    if (pinned == e) pinned = nullptr;
+  }
   // Final accounting: a resident payload frees RAM; a spill file may live
   // on in the salvage catalog (shared ownership), but this payload's claim
   // on the spilled-byte gauge ends here.
@@ -306,6 +311,18 @@ Status MemoryGovernor::FaultIn(Evictable* e) {
   return Status::OK();
 }
 
+void MemoryGovernor::TransientPin(Evictable* e) {
+  // The mutex serializes this with EvictLocked and OnRetired: a non-null
+  // slot always points at a live payload, and the new pin is visible to
+  // any evictor before it can pick a victim.
+  std::lock_guard<std::mutex> lock(mutex_);
+  Evictable*& slot = transient_pins_[std::this_thread::get_id()];
+  if (slot == e) return;
+  if (slot != nullptr) slot->pins_.fetch_sub(1, std::memory_order_seq_cst);
+  e->pins_.fetch_add(1, std::memory_order_seq_cst);
+  slot = e;
+}
+
 std::vector<SalvageSegment> MemoryGovernor::SalvagePrefix(uint64_t owner,
                                                           uint32_t shard) {
   std::lock_guard<std::mutex> lock(catalog_mutex_);
@@ -379,10 +396,14 @@ void AccessScope::PinSlow(Evictable* e) {
       governor.clock_.fetch_add(1, std::memory_order_relaxed),
       std::memory_order_relaxed);
   if (scope == nullptr) {
-    // Unpinned access: fault in if needed. Safe only without a concurrent
-    // evictor (single-threaded callers); engine paths always hold a scope.
+    // No scope: take a transient pin — released by this thread's next
+    // scope-less pin — so the payload cannot be evicted (by a concurrent
+    // enforcer, or a same-thread allocation pushing over budget) while the
+    // caller still holds the pointer it is about to read.
+    governor.TransientPin(e);
     if (e->state_.load(std::memory_order_seq_cst) != Evictable::kResident) {
-      IDF_CHECK_OK(governor.FaultIn(e));
+      Status reloaded = governor.FaultIn(e);
+      if (!reloaded.ok()) throw ReloadFault(std::move(reloaded));
     }
     return;
   }
@@ -390,7 +411,8 @@ void AccessScope::PinSlow(Evictable* e) {
   scope->pinned_.push_back(e);
   e->scope_hint_.store(scope->id_, std::memory_order_relaxed);
   if (e->state_.load(std::memory_order_seq_cst) != Evictable::kResident) {
-    IDF_CHECK_OK(governor.FaultIn(e));
+    Status reloaded = governor.FaultIn(e);
+    if (!reloaded.ok()) throw ReloadFault(std::move(reloaded));
   }
 }
 
@@ -409,6 +431,11 @@ ScopedBudget::~ScopedBudget() {
 
 Result<uint64_t> ParseByteSize(const std::string& text) {
   if (text.empty()) return Status::InvalidArgument("empty byte size");
+  // std::stoull accepts a leading '-' and wraps ("-1" -> UINT64_MAX), and
+  // skips whitespace / accepts '+'; a byte size must start with a digit.
+  if (!std::isdigit(static_cast<unsigned char>(text[0]))) {
+    return Status::InvalidArgument("bad byte size '" + text + "'");
+  }
   size_t pos = 0;
   unsigned long long value = 0;
   try {

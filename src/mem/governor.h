@@ -38,10 +38,12 @@
 
 #include <atomic>
 #include <cstdint>
+#include <exception>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/status.h"
@@ -64,6 +66,25 @@ class SpillFile {
 
  private:
   std::string path_;
+};
+
+/// Thrown by AccessScope::Pin when a spilled payload cannot be reloaded
+/// (spill file removed by tmp cleanup, disk error). Pointer-returning read
+/// paths (e.g. PartitionStore::RowAt) have no Status channel, so the failure
+/// unwinds as an exception; Cluster::ExecuteTask catches it at the task
+/// boundary and turns it into a kUnavailable task status — a clean stage
+/// failure the driver can react to — instead of aborting the process.
+class ReloadFault : public std::exception {
+ public:
+  explicit ReloadFault(Status status)
+      : status_(std::move(status)),
+        message_("reload fault: " + status_.ToString()) {}
+  const Status& status() const { return status_; }
+  const char* what() const noexcept override { return message_.c_str(); }
+
+ private:
+  Status status_;
+  std::string message_;
 };
 
 /// Identity of a governed payload inside a replayable store, used by the
@@ -230,10 +251,19 @@ class MemoryGovernor {
   bool EvictLocked(Evictable* victim);
   const std::string& SpillDirLocked();
 
+  /// Scope-less pin (see AccessScope::Pin): pins `e` and releases the
+  /// thread's previous transient pin. Serialized with eviction and retire
+  /// by the governor mutex, so the stored pointers never dangle.
+  void TransientPin(Evictable* e);
+
   static std::atomic<bool> engaged_;
 
   std::mutex mutex_;
   std::vector<Evictable*> registry_;  // sealed payloads, insertion order
+  // One transient pin per thread that has ever accessed a payload outside
+  // an AccessScope; a slot is replaced by the thread's next scope-less pin
+  // and scrubbed by OnRetired when its payload dies. Guarded by mutex_.
+  std::map<std::thread::id, Evictable*> transient_pins_;
   std::string spill_dir_;             // resolved lazily
   uint64_t next_spill_file_ = 0;
   bool warned_overcommit_ = false;    // guarded by mutex_
@@ -272,8 +302,11 @@ class AccessScope {
   AccessScope& operator=(const AccessScope&) = delete;
 
   /// Pins `e` into the innermost active scope (fault-in if evicted) and
-  /// touches its LRU clock. Without an active scope the payload is still
-  /// faulted in and touched, but not pinned — safe only single-threaded.
+  /// touches its LRU clock. Without an active scope the payload takes a
+  /// *transient* pin — held until the same thread's next scope-less pin —
+  /// so the pointer the caller is about to read cannot be evicted under it
+  /// (not even by a same-thread allocation pushing residency over budget).
+  /// Throws ReloadFault if an evicted payload cannot be reloaded.
   /// No-op until the governor is first engaged.
   static void Pin(Evictable* e) {
     if (!MemoryGovernor::Engaged()) return;

@@ -155,6 +155,11 @@ std::shared_ptr<RowBatch> PartitionStore::batch(uint32_t index) const {
   return *found;
 }
 
+void PartitionStore::ClearSpillTag() {
+  SealTail();
+  spill_owner_ = 0;
+}
+
 void PartitionStore::SetSpillTag(uint64_t owner, uint32_t shard) {
   spill_owner_ = owner;
   spill_shard_ = shard;

@@ -104,6 +104,14 @@ class PartitionStore {
   /// that recovery replays.
   void SetSpillTag(uint64_t owner, uint32_t shard);
 
+  /// Ends salvage-tagging: seals the open tail batch (so every tagged batch
+  /// holds exclusively rows inserted before this call) and leaves batches
+  /// opened from here on untagged. Recompute calls this between re-routing
+  /// the base table and replaying the append chain — the salvage catalog's
+  /// contract is "a contiguous prefix of base routing order", so a batch
+  /// holding replayed append rows must never register in it.
+  void ClearSpillTag();
+
  private:
   /// Ensures the tail batch is exclusively owned and has room for `len`
   /// bytes; allocates/COWs as needed. Returns the writable tail.

@@ -72,6 +72,11 @@ TEST(ParseByteSizeTest, ParsesSuffixes) {
   EXPECT_FALSE(mem::ParseByteSize("").ok());
   EXPECT_FALSE(mem::ParseByteSize("12x").ok());
   EXPECT_FALSE(mem::ParseByteSize("lots").ok());
+  // std::stoull would wrap "-1" to UINT64_MAX; sizes must start with a digit.
+  EXPECT_FALSE(mem::ParseByteSize("-1").ok());
+  EXPECT_FALSE(mem::ParseByteSize("-1g").ok());
+  EXPECT_FALSE(mem::ParseByteSize("+1").ok());
+  EXPECT_FALSE(mem::ParseByteSize(" 1").ok());
 }
 
 TEST(MemGovernorTest, EvictsLeastRecentlyUsedSealedBatch) {
@@ -138,6 +143,24 @@ TEST(MemGovernorTest, PinnedBatchesAreNeverEvicted) {
   }
   mem::ScopedBudget tight(1);
   EXPECT_FALSE(batch->resident());
+}
+
+TEST(MemGovernorTest, ScopelessAccessTakesTransientPin) {
+  // Access without an AccessScope must still protect the pointer the caller
+  // is reading: a transient pin — held until the thread's next scope-less
+  // pin — blocks eviction even when a same-thread allocation pushes
+  // residency over budget between the access and the read.
+  auto batch = PatternBatch(64 << 10, 5);
+  mem::ScopedBudget tight(batch->padded_bytes() + 1);
+  ASSERT_TRUE(batch->resident());
+  batch->EnsureReadable();  // no scope active: takes the transient pin
+  auto other = PatternBatch(64 << 10, 6);  // allocation forces enforcement
+  EXPECT_TRUE(batch->resident());  // data() is still safe to read here
+  // The next scope-less access on this thread hands the pin over.
+  other->EnsureReadable();
+  mem::MemoryGovernor::Global().EnforceBudget();
+  EXPECT_FALSE(batch->resident());
+  EXPECT_TRUE(other->resident());
 }
 
 TEST(MemGovernorTest, ResidentGaugeTracksBudget) {
@@ -330,6 +353,86 @@ TEST(MemSalvageTest, RecoveryReloadsSpilledBatchesAfterExecutorLoss) {
   }
   // At least one lost partition recovered through spilled segments.
   EXPECT_GT(CounterValue("mem.salvage.segments"), salvaged_before);
+}
+
+TEST(MemSalvageTest, RecomputeAfterAppendKeepsSalvageCatalogBaseOnly) {
+  // Recompute replays the append chain into the same store as the re-routed
+  // base rows. Salvage-tagging must stop at the base/append boundary: if
+  // batches holding replayed append rows registered in the catalog, a second
+  // loss of the same partition would salvage them as "base prefix", skip
+  // that many real base rows, and then replay the appends again —
+  // duplicating append rows and dropping base rows.
+  constexpr int64_t kRows = 12000;
+  IndexOptions index_options;
+  index_options.batch_capacity = 16 << 10;
+
+  Session session(ClusterOptions(192 << 10));
+  auto edges = *session.CreateTable("edges", EdgeSchema(), DenseEdges(kRows));
+  // Append rows distinct from every base row, so a duplicated append or a
+  // dropped base row cannot cancel out in the comparison below.
+  std::vector<RowVec> appends;
+  for (int64_t i = 0; i < 2000; ++i) {
+    appends.push_back(Edge(i % 97, (1 << 20) + i, 0.5));
+  }
+  auto extra = *session.CreateTable("extra", EdgeSchema(), appends);
+  auto base = *IndexedDataFrame::Create(edges, "src", index_options);
+  auto appended = *base.AppendRows(extra);
+  ASSERT_GT(CounterValue("mem.evictions"), 0u);
+
+  const std::vector<std::string> expected =
+      appended.AsDataFrame().Collect()->SortedRowStrings();
+
+  // First loss: every lost partition recomputes (base re-route + append
+  // replay); under the budget the rebuilt batches spill, feeding the
+  // salvage catalog with recompute-instance segments.
+  session.cluster().KillExecutor(1);
+  EXPECT_EQ(appended.AsDataFrame().Collect()->SortedRowStrings(), expected);
+  // Drain: spill every sealed batch, so the rebuilt stores' full batch range
+  // — including the base/append boundary — lands in the salvage catalog.
+  { mem::ScopedBudget drain(1); }
+
+  // Second loss, aimed at the executor the first round's recomputed blocks
+  // landed on: recovery now salvages segments that the *first* recompute
+  // spilled. Those must hold base rows only, or the replay double-counts.
+  session.cluster().ReviveExecutor(1);
+  const uint64_t salvaged_before = CounterValue("mem.salvage.segments");
+  session.cluster().KillExecutor(0);
+  session.cluster().KillExecutor(2);
+  session.cluster().KillExecutor(3);
+  EXPECT_EQ(appended.AsDataFrame().Collect()->SortedRowStrings(), expected);
+  EXPECT_GT(CounterValue("mem.salvage.segments"), salvaged_before);
+}
+
+TEST(MemSalvageTest, LostSpillFileFailsTheQueryInsteadOfAborting) {
+  // An external tmp cleaner (or disk fault) removing spill files must not
+  // crash the process: the reload failure unwinds as mem::ReloadFault, the
+  // task boundary converts it to a kUnavailable status, and the query
+  // surfaces the error.
+  constexpr int64_t kRows = 20000;
+  IndexOptions index_options;
+  index_options.batch_capacity = 16 << 10;
+
+  Session session(ClusterOptions(128 << 10));
+  auto edges = *session.CreateTable("edges", EdgeSchema(), DenseEdges(kRows));
+  auto indexed = *IndexedDataFrame::Create(edges, "src", index_options);
+  ASSERT_GT(CounterValue("mem.evictions"), 0u);
+
+  // Truncate every spill file behind the governor's back. (Unlinking is not
+  // enough of a test on POSIX-like semantics anyway; a short read is the
+  // same failure class.)
+  size_t clobbered = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(
+           mem::MemoryGovernor::Global().spill_dir())) {
+    if (entry.path().extension() == ".spill") {
+      std::filesystem::resize_file(entry.path(), 0);
+      ++clobbered;
+    }
+  }
+  ASSERT_GT(clobbered, 0u);
+
+  const auto result = indexed.AsDataFrame().Collect();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kUnavailable);
 }
 
 }  // namespace
