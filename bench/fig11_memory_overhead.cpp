@@ -9,9 +9,17 @@
 // memory governor (src/mem/governor.h) and reports resident vs spilled
 // bytes and reload-fault counts for a fixed lookup workload at each step —
 // the out-of-core extension the paper sketches in §III-C.
+//
+// --columnar mode: engages the governor before the session exists so the
+// vanilla cache's columnar chunks are sealed as budgeted evictables, then
+// sweeps a filter query over the SNB edge table at shrinking budgets. At
+// every step the query result must be byte-identical to the unbudgeted run,
+// and the residency-aware scheduler's hit counters show how many tasks were
+// dispatched onto resident inputs.
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <optional>
 
 #include "bench/bench_util.h"
 #include "core/indexed_dataframe.h"
@@ -63,14 +71,93 @@ void RunBudgetSweep(const IndexedDataFrame& indexed, int64_t max_key) {
   }
 }
 
+/// --columnar sweep: a fixed filter query over the governed columnar cache
+/// at 100% / 50% / 25% of the measured working set. Chunks evict and fault
+/// back column-by-column; the scheduler prefers tasks whose partitions are
+/// still resident. Results must match the unbudgeted baseline exactly.
+void RunColumnarSweep(DataFrame& edges) {
+  mem::MemoryGovernor& gov = mem::MemoryGovernor::Global();
+  obs::Registry& reg = obs::Registry::Global();
+  obs::Counter& faults = reg.GetCounter("mem.reload_faults");
+  obs::Counter& evictions = reg.GetCounter("mem.evictions");
+  obs::Counter& hits = reg.GetCounter("sched.resident_hits");
+  obs::Counter& misses = reg.GetCounter("sched.resident_misses");
+  obs::Counter& tasks = reg.GetCounter("engine.tasks");
+
+  const uint64_t working_set = gov.resident_bytes();
+  ExprPtr predicate = Gt(Col("weight"), Lit(0.5));
+  auto baseline = edges.Filter(predicate).Collect();
+  if (!baseline.ok()) {
+    std::printf("columnar sweep: baseline query failed: %s\n",
+                baseline.status().ToString().c_str());
+    return;
+  }
+  const std::vector<std::string> expected = baseline->SortedRowStrings();
+
+  std::printf("\ncolumnar sweep (working set %.1f MB, filter weight > 0.5, "
+              "%zu matching rows):\n",
+              working_set / 1048576.0, expected.size());
+  std::printf("  %-8s %-12s %-12s %-10s %-8s %-10s %-10s %-9s %s\n", "budget",
+              "resident", "spilled", "evictions", "faults", "res.hits",
+              "res.misses", "hit-rate", "identical");
+  const uint64_t sweep_hits_before = hits.value();
+  const uint64_t sweep_tasks_before = tasks.value();
+  const double fractions[] = {1.0, 0.5, 0.25};
+  for (const double fraction : fractions) {
+    const uint64_t budget =
+        static_cast<uint64_t>(static_cast<double>(working_set) * fraction);
+    const uint64_t faults_before = faults.value();
+    const uint64_t evictions_before = evictions.value();
+    const uint64_t hits_before = hits.value();
+    const uint64_t misses_before = misses.value();
+    const uint64_t tasks_before = tasks.value();
+    mem::ScopedBudget scoped(budget);
+    auto result = edges.Filter(predicate).Collect();
+    const bool identical =
+        result.ok() && result->SortedRowStrings() == expected;
+    const uint64_t hit_delta = hits.value() - hits_before;
+    const uint64_t task_delta = tasks.value() - tasks_before;
+    std::printf("  %5.1f%%   %-12llu %-12llu %-10llu %-8llu %-10llu %-10llu "
+                "%6.1f%%   %s\n",
+                fraction * 100.0,
+                static_cast<unsigned long long>(gov.resident_bytes()),
+                static_cast<unsigned long long>(gov.spilled_bytes()),
+                static_cast<unsigned long long>(evictions.value() -
+                                                evictions_before),
+                static_cast<unsigned long long>(faults.value() - faults_before),
+                static_cast<unsigned long long>(hit_delta),
+                static_cast<unsigned long long>(misses.value() - misses_before),
+                task_delta == 0
+                    ? 0.0
+                    : 100.0 * static_cast<double>(hit_delta) /
+                          static_cast<double>(task_delta),
+                identical ? "yes" : "NO");
+  }
+  const uint64_t sweep_hits = hits.value() - sweep_hits_before;
+  const uint64_t sweep_tasks = tasks.value() - sweep_tasks_before;
+  std::printf("overall resident-dispatch hit rate: %llu/%llu tasks (%.1f%%)\n",
+              static_cast<unsigned long long>(sweep_hits),
+              static_cast<unsigned long long>(sweep_tasks),
+              sweep_tasks == 0 ? 0.0
+                               : 100.0 * static_cast<double>(sweep_hits) /
+                                     static_cast<double>(sweep_tasks));
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   idf::bench::ObsGuard obs(argc, argv);
   bool budget_mode = false;
+  bool columnar_mode = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--budget") == 0) budget_mode = true;
+    if (std::strcmp(argv[i], "--columnar") == 0) columnar_mode = true;
   }
+  // In --columnar mode the governor must be engaged before the session is
+  // built: columnar chunks only register as evictables when sealed while a
+  // budget is active. A huge budget keeps the build itself unconstrained.
+  std::optional<mem::ScopedBudget> engage;
+  if (columnar_mode) engage.emplace(1ull << 40);
   const double scale = bench::ScaleEnv();
   SessionOptions options = bench::PrivateCluster();
   bench::PrintHeader("Fig. 11", "per-partition index memory overhead",
@@ -81,6 +168,11 @@ int main(int argc, char** argv) {
   const SnbConfig snb = SnbConfig::ScaleFactor(2.0 * scale, 64);
   SnbGenerator generator(snb);
   DataFrame edges = generator.Edges(session).value();
+  if (columnar_mode) {
+    RunColumnarSweep(edges);
+    bench::PrintFooter();
+    return 0;
+  }
   IndexOptions index_options;
   index_options.num_partitions = 64;  // as in the paper's figure
   IndexedDataFrame indexed =

@@ -82,7 +82,8 @@ Result<TableHandle> RowAggExec::ExecuteImpl(Session& session,
                                            std::move(buffers[rp]));
           }
           return Status::OK();
-        }});
+        },
+        {{rdd->rdd_id(), p}}});
   }
   IDF_ASSIGN_OR_RETURN(StageMetrics psm, cluster.RunStage(partial_stage));
   metrics.MergeStage(psm);

@@ -125,6 +125,9 @@ Result<TableHandle> IndexedJoinExec::ExecuteImpl(Session& session,
     // each partition then probes only the keys it owns.
     std::vector<std::vector<const uint8_t*>> buckets(P);
     for (uint32_t p = 0; p < probe.num_partitions; ++p) {
+      // Per-chunk pin scope: the row loop reads the chunk many times and
+      // must not re-fault it between rows under a tight budget.
+      mem::AccessScope bucket_scope;
       IDF_ASSIGN_OR_RETURN(ChunkPtr chunk, FetchChunk(driver_ctx, probe, p));
       std::vector<uint8_t> scratch;
       for (size_t i = 0; i < chunk->num_rows(); ++i) {
@@ -155,7 +158,8 @@ Result<TableHandle> IndexedJoinExec::ExecuteImpl(Session& session,
             out->SetRowCount(out->column(0).size());
             sink.Emit(ctx, p, std::move(out));
             return Status::OK();
-          }});
+          },
+          {{rdd->rdd_id(), p}}});
     }
     IDF_ASSIGN_OR_RETURN(StageMetrics sm, cluster.RunStage(stage));
     metrics.MergeStage(sm);
@@ -175,6 +179,8 @@ Result<TableHandle> IndexedJoinExec::ExecuteImpl(Session& session,
         {},
         0,
         [&, p](TaskContext& ctx) -> Status {
+          // `key_vec` is held across per-row encodes of the same chunk.
+          mem::AccessScope scope;
           Result<ChunkPtr> chunk = FetchChunk(ctx, probe, p);
           IDF_RETURN_IF_ERROR(chunk.status());
           const ColumnarChunk& input = **chunk;
@@ -197,7 +203,8 @@ Result<TableHandle> IndexedJoinExec::ExecuteImpl(Session& session,
                                            std::move(buffers[t]));
           }
           return Status::OK();
-        }});
+        },
+        {{probe.rdd_id, p}}});
   }
   IDF_ASSIGN_OR_RETURN(StageMetrics msm, cluster.RunStage(map_stage));
   metrics.MergeStage(msm);
@@ -223,7 +230,8 @@ Result<TableHandle> IndexedJoinExec::ExecuteImpl(Session& session,
           out->SetRowCount(out->column(0).size());
           sink.Emit(ctx, p, std::move(out));
           return Status::OK();
-        }});
+        },
+        {{rdd->rdd_id(), p}}});
   }
   IDF_ASSIGN_OR_RETURN(StageMetrics rsm, cluster.RunStage(reduce_stage));
   metrics.MergeStage(rsm);
@@ -280,7 +288,8 @@ Result<TableHandle> IndexLookupExec::ExecuteImpl(Session& session,
         if (matched > 0) ++ctx.metrics().index_hits;
         sink.Emit(ctx, 0, builder.Finish());
         return Status::OK();
-      }});
+      },
+      {{rdd->rdd_id(), p}}});
   IDF_ASSIGN_OR_RETURN(StageMetrics sm, cluster.RunStage(stage));
   metrics.MergeStage(sm);
   return sink.Finish();

@@ -96,7 +96,8 @@ Result<std::shared_ptr<IndexedRdd>> IndexedRdd::Restore(
           ctx.cluster().blocks().Put(BlockId{rdd->rdd_id_, p, 0},
                                      ctx.executor(), std::move(part));
           return Status::OK();
-        }});
+        },
+        {}});
   }
   IDF_ASSIGN_OR_RETURN(StageMetrics sm, cluster.RunStage(stage));
   metrics.MergeStage(sm);
@@ -173,6 +174,9 @@ Status IndexedRdd::ShuffleToPartitions(
         {},
         0,
         [&, p](TaskContext& ctx) -> Status {
+          // Scope: key_col stays valid across the encode loop even if the
+          // budget enforcer runs while routed buffers allocate.
+          mem::AccessScope scope;
           Result<ChunkPtr> chunk = FetchChunk(ctx, source, p);
           IDF_RETURN_IF_ERROR(chunk.status());
           const ColumnarChunk& input = **chunk;
@@ -197,7 +201,8 @@ Status IndexedRdd::ShuffleToPartitions(
                                            std::move(buffers[t]));
           }
           return Status::OK();
-        }});
+        },
+        {{source.rdd_id, p}}});
   }
   IDF_ASSIGN_OR_RETURN(StageMetrics msm, cluster.RunStage(map_stage));
   metrics.MergeStage(msm);
@@ -219,7 +224,8 @@ Status IndexedRdd::ShuffleToPartitions(
             while (reader.HasNext()) rows.push_back(reader.Next());
           }
           return consume(ctx, t, rows);
-        }});
+        },
+        {{rdd_id_, t}}});
   }
   IDF_ASSIGN_OR_RETURN(StageMetrics rsm, cluster.RunStage(reduce_stage));
   metrics.MergeStage(rsm);
@@ -344,6 +350,9 @@ Status IndexedRdd::InsertRoutedRows(const TableHandle& table,
   RowLayout layout(schema_);
   std::vector<uint8_t> scratch;
   for (uint32_t p = 0; p < table.num_partitions; ++p) {
+    // Per-chunk scope: pins at most one source chunk at a time, so a tight
+    // budget never needs the whole table resident to rebuild one partition.
+    mem::AccessScope chunk_scope;
     IDF_ASSIGN_OR_RETURN(ChunkPtr chunk, FetchChunk(ctx, table, p));
     const ColumnVector& key_col = chunk->column(key_column_);
     for (size_t i = 0; i < chunk->num_rows(); ++i) {
@@ -462,7 +471,8 @@ Result<TableHandle> IndexedDataset::ScanAsColumnar(
           ctx.metrics().rows_read += part->num_rows();
           sink.Emit(ctx, p, builder.Finish());
           return Status::OK();
-        }});
+        },
+        {{rdd_->rdd_id(), p}}});
   }
   IDF_ASSIGN_OR_RETURN(StageMetrics sm, cluster.RunStage(stage));
   metrics.MergeStage(sm);

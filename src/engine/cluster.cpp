@@ -1,8 +1,10 @@
 #include "engine/cluster.h"
 
+#include <algorithm>
 #include <atomic>
 #include <cstdlib>
 #include <future>
+#include <numeric>
 
 #include "common/logging.h"
 #include "common/timer.h"
@@ -22,6 +24,10 @@ struct EngineMetrics {
   obs::Counter& tasks = obs::Registry::Global().GetCounter("engine.tasks");
   obs::Counter& steals =
       obs::Registry::Global().GetCounter("engine.scheduler.steals");
+  obs::Counter& resident_hits =
+      obs::Registry::Global().GetCounter("sched.resident_hits");
+  obs::Counter& resident_misses =
+      obs::Registry::Global().GetCounter("sched.resident_misses");
   obs::Counter& recovered_blocks =
       obs::Registry::Global().GetCounter("engine.recovery.blocks");
   obs::Counter& killed_executors =
@@ -110,6 +116,9 @@ void Cluster::ExecuteTask(const StageSpec& stage, uint32_t index,
   // this simulated executor.
   const int32_t prev_executor = mem::MemoryGovernor::CurrentExecutor();
   mem::MemoryGovernor::SetCurrentExecutor(static_cast<int32_t>(executor));
+  // Test hook: lets a deterministic pressure harness evict batches between
+  // tasks (mem::GovernorHooks::on_task_start). No-op unless hooks installed.
+  mem::MemoryGovernor::NotifyTaskStart();
   Stopwatch timer;
   try {
     out.status = stage.tasks[index].body(ctx);
@@ -181,6 +190,60 @@ Result<StageMetrics> Cluster::RunStage(const StageSpec& stage) {
     lane_of[i] = lane_of_executor[e];
   }
 
+  // Phase 1.5 (driver): residency-preferred dispatch order. One snapshot of
+  // the governor's residency map per stage; tasks whose declared inputs are
+  // fully resident dispatch ahead of tasks that would fault spilled bytes
+  // back in (stable on task index, so the order is deterministic and
+  // collapses to task-index order when residency is moot). Only the *claim*
+  // order changes — executor assignment (above) and the task-index merge
+  // (below) are untouched, so results, metrics totals, and DES accounting
+  // stay identical to a sequential run.
+  std::vector<uint32_t> order(n);
+  std::iota(order.begin(), order.end(), 0u);
+  std::vector<char> resident(n, 1);
+  bool have_residency = false;
+  if (mem::MemoryGovernor::Engaged()) {
+    bool any_inputs = false;
+    for (const TaskSpec& t : stage.tasks) {
+      if (!t.inputs.empty()) {
+        any_inputs = true;
+        break;
+      }
+    }
+    if (any_inputs) {
+      const mem::ResidencyMap residency =
+          mem::MemoryGovernor::Global().ResidencySnapshot();
+      for (size_t i = 0; i < n && !have_residency; ++i) {
+        for (const PartitionInput& in : stage.tasks[i].inputs) {
+          auto it = residency.find({in.rdd, in.partition});
+          if (it != residency.end() && it->second.spilled_bytes > 0) {
+            have_residency = true;
+            break;
+          }
+        }
+      }
+      if (have_residency) {
+        for (size_t i = 0; i < n; ++i) {
+          for (const PartitionInput& in : stage.tasks[i].inputs) {
+            auto it = residency.find({in.rdd, in.partition});
+            if (it != residency.end() && it->second.spilled_bytes > 0) {
+              resident[i] = 0;
+              break;
+            }
+          }
+        }
+        std::stable_sort(
+            order.begin(), order.end(),
+            [&](uint32_t a, uint32_t b) { return resident[a] > resident[b]; });
+      }
+    }
+  }
+  auto prefetch_inputs = [&stage](uint32_t t) {
+    for (const PartitionInput& in : stage.tasks[t].inputs) {
+      mem::MemoryGovernor::Global().PrefetchPartition(in.rdd, in.partition);
+    }
+  };
+
   // Phase 2: execute. Parallel on the pool when the scheduler has threads
   // to spare; in-line sequential otherwise, and always in-line for a stage
   // launched from inside a task body (re-entrancy guard above).
@@ -188,12 +251,20 @@ Result<StageMetrics> Cluster::RunStage(const StageSpec& stage) {
   const uint64_t stage_span_id = stage_span.id();
   const size_t workers = std::min<size_t>(scheduler_threads_, n);
   if (workers <= 1 || t_in_stage_task) {
-    for (uint32_t i = 0; i < n; ++i) {
+    for (size_t k = 0; k < n; ++k) {
+      const uint32_t i = order[k];
+      // Fault the next task's spilled inputs in while this one runs.
+      if (have_residency && k + 1 < n && !resident[order[k + 1]]) {
+        prefetch_inputs(order[k + 1]);
+      }
       ExecuteTask(stage, i, assigned[i], stage_span_id, results[i]);
+      if (have_residency) {
+        (resident[i] ? em.resident_hits : em.resident_misses).Increment();
+      }
       if (!results[i].status.ok()) break;
     }
   } else {
-    TaskLanes lanes(lane_of, alive.size());
+    TaskLanes lanes(lane_of, alive.size(), order);
     std::atomic<bool> cancelled{false};
     std::vector<std::future<void>> done;
     done.reserve(workers);
@@ -201,13 +272,26 @@ Result<StageMetrics> Cluster::RunStage(const StageSpec& stage) {
       done.push_back(pool().Submit([&, w] {
         uint32_t index = 0;
         bool stolen = false;
+        uint32_t next_in_lane = TaskLanes::kNoTask;
         // First error wins: a failure flips `cancelled`, workers stop
         // claiming tasks, and already-running tasks finish undisturbed.
         while (!cancelled.load(std::memory_order_relaxed) &&
-               lanes.Pop(w % alive.size(), &index, &stolen)) {
+               lanes.Pop(w % alive.size(), &index, &stolen, &next_in_lane)) {
           if (stolen) em.steals.Increment();
+          // Per-lane prefetch: the task now at the head of the lane this
+          // claim came from runs next there — fault its spilled inputs in
+          // (bounded by budget headroom, so it can never evict this task's
+          // pins) while the claimed task executes.
+          if (have_residency && next_in_lane != TaskLanes::kNoTask &&
+              !resident[next_in_lane]) {
+            prefetch_inputs(next_in_lane);
+          }
           ExecuteTask(stage, index, assigned[index], stage_span_id,
                       results[index]);
+          if (have_residency) {
+            (resident[index] ? em.resident_hits : em.resident_misses)
+                .Increment();
+          }
           if (!results[index].status.ok()) {
             cancelled.store(true, std::memory_order_relaxed);
           }

@@ -17,19 +17,30 @@ uint32_t ResolveSchedulerThreads(const ClusterConfig& config) {
   return std::max(1u, std::min(config.total_executors(), hw));
 }
 
-TaskLanes::TaskLanes(const std::vector<uint32_t>& lane_of, size_t num_lanes)
+TaskLanes::TaskLanes(const std::vector<uint32_t>& lane_of, size_t num_lanes,
+                     const std::vector<uint32_t>& dispatch_order)
     : lanes_(num_lanes) {
-  for (uint32_t i = 0; i < lane_of.size(); ++i) {
+  if (dispatch_order.empty()) {
+    for (uint32_t i = 0; i < lane_of.size(); ++i) {
+      lanes_[lane_of[i]].push_back(i);
+    }
+    return;
+  }
+  for (uint32_t i : dispatch_order) {
     lanes_[lane_of[i]].push_back(i);
   }
 }
 
-bool TaskLanes::Pop(size_t home, uint32_t* task_index, bool* stolen) {
+bool TaskLanes::Pop(size_t home, uint32_t* task_index, bool* stolen,
+                    uint32_t* next_in_lane) {
   std::lock_guard<std::mutex> lock(mutex_);
   if (home < lanes_.size() && !lanes_[home].empty()) {
     *task_index = lanes_[home].front();
     lanes_[home].pop_front();
     *stolen = false;
+    if (next_in_lane != nullptr) {
+      *next_in_lane = lanes_[home].empty() ? kNoTask : lanes_[home].front();
+    }
     return true;
   }
   // Steal from the most backlogged lane — evens out skew and keeps the
@@ -45,6 +56,9 @@ bool TaskLanes::Pop(size_t home, uint32_t* task_index, bool* stolen) {
   *task_index = lanes_[victim].front();
   lanes_[victim].pop_front();
   *stolen = true;
+  if (next_in_lane != nullptr) {
+    *next_in_lane = lanes_[victim].empty() ? kNoTask : lanes_[victim].front();
+  }
   return true;
 }
 

@@ -55,8 +55,10 @@ struct ClusterConfig {
   /// overrides this.
   uint64_t memory_budget_bytes = 0;
 
-  /// Spill directory for evicted batches. Empty = <tmp>/idf-spill-<pid>.
-  /// The IDF_SPILL_DIR environment variable overrides this.
+  /// Spill directory for evicted batches (an idf-spill-<pid> subdirectory
+  /// is appended, so concurrent processes may share it). Empty =
+  /// <tmp>/idf-spill-<pid>. The IDF_SPILL_DIR environment variable
+  /// overrides this.
   std::string spill_dir;
 
   NetworkConfig network;

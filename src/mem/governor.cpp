@@ -31,6 +31,16 @@ struct MemMetrics {
       obs::Registry::Global().GetCounter("mem.reload.read_bytes");
   obs::Counter& salvaged_segments =
       obs::Registry::Global().GetCounter("mem.salvage.segments");
+  obs::Counter& prefetch_requests =
+      obs::Registry::Global().GetCounter("mem.prefetch.requests");
+  obs::Counter& prefetch_reloads =
+      obs::Registry::Global().GetCounter("mem.prefetch.reloads");
+  obs::Counter& prefetch_read_bytes =
+      obs::Registry::Global().GetCounter("mem.prefetch.read_bytes");
+  obs::Counter& prefetch_skipped =
+      obs::Registry::Global().GetCounter("mem.prefetch.skipped");
+  obs::Counter& prefetch_failures =
+      obs::Registry::Global().GetCounter("mem.prefetch.failures");
 
   static MemMetrics& Get() {
     static MemMetrics* metrics = new MemMetrics();
@@ -86,7 +96,17 @@ void MemoryGovernor::Configure(uint64_t budget_bytes,
                                const std::string& spill_dir) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    if (!spill_dir.empty()) spill_dir_ = spill_dir;
+    if (!spill_dir.empty()) {
+      // A per-process subdirectory: concurrent processes pointed at one
+      // IDF_SPILL_DIR (e.g. parallel ctest sharing $RUNNER_TEMP) must never
+      // see — let alone clobber or truncate — each other's spill files.
+      const std::string pid_subdir = "idf-spill-" + std::to_string(::getpid());
+      if (std::filesystem::path(spill_dir).filename().string() != pid_subdir) {
+        spill_dir_ = (std::filesystem::path(spill_dir) / pid_subdir).string();
+      } else {
+        spill_dir_ = spill_dir;
+      }
+    }
     budget_.store(budget_bytes, std::memory_order_relaxed);
     if (budget_bytes > 0) engaged_.store(true, std::memory_order_relaxed);
     MemMetrics::Get().budget.Set(static_cast<double>(budget_bytes));
@@ -234,7 +254,10 @@ bool MemoryGovernor::EvictLocked(Evictable* victim) {
   }
   if (victim->spill_file_ == nullptr) {
     obs::Span span("mem", "spill");
+    // Pid-qualified so concurrent processes pointed at one IDF_SPILL_DIR
+    // (e.g. parallel ctest under $RUNNER_TEMP) never clobber each other.
     const std::string path = SpillDirLocked() + "/seg-" +
+                             std::to_string(::getpid()) + "-" +
                              std::to_string(next_spill_file_++) + ".spill";
     Result<uint64_t> written = victim->SpillPayload(path);
     if (!written.ok()) {
@@ -287,6 +310,7 @@ Status MemoryGovernor::FaultIn(Evictable* e) {
   }
   obs::Span span("mem", "reload");
   IDF_CHECK_MSG(e->spill_file_ != nullptr, "evicted payload has no spill file");
+  IDF_RETURN_IF_ERROR(RunReloadHook(e->identity_, /*prefetch=*/false));
   IDF_RETURN_IF_ERROR(e->ReloadPayload(e->spill_file_->path()));
   e->state_.store(Evictable::kResident, std::memory_order_seq_cst);
   const uint64_t bytes = e->PayloadBytes();
@@ -321,6 +345,172 @@ void MemoryGovernor::TransientPin(Evictable* e) {
   if (slot != nullptr) slot->pins_.fetch_sub(1, std::memory_order_seq_cst);
   e->pins_.fetch_add(1, std::memory_order_seq_cst);
   slot = e;
+}
+
+ResidencyMap MemoryGovernor::ResidencySnapshot() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ResidencyMap map;
+  for (Evictable* e : registry_) {
+    if (e->identity_.owner == 0) continue;  // anonymous payloads: no key
+    ResidencyInfo& info = map[{e->identity_.owner, e->identity_.shard}];
+    // kEvicting never shows here: eviction runs under the same mutex.
+    if (e->state_.load(std::memory_order_seq_cst) == Evictable::kEvicted) {
+      info.spilled_bytes += e->spill_bytes_;
+    } else {
+      info.resident_bytes += e->PayloadBytes();
+    }
+    info.last_access = std::max(
+        info.last_access, e->last_access_.load(std::memory_order_relaxed));
+  }
+  return map;
+}
+
+size_t MemoryGovernor::EvictPartition(uint64_t owner, uint32_t shard) {
+  // Forced eviction implies out-of-core behavior: readers must start taking
+  // the pin/fault-in path even if no budget was ever configured.
+  engaged_.store(true, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mutex_);
+  size_t evicted = 0;
+  // EvictLocked mutates neither the registry nor our iteration position.
+  for (Evictable* e : registry_) {
+    if (e->identity_.owner != owner || e->identity_.shard != shard) continue;
+    if (e->state_.load(std::memory_order_seq_cst) != Evictable::kResident) {
+      continue;
+    }
+    if (e->pins_.load(std::memory_order_seq_cst) > 0) continue;
+    if (EvictLocked(e) &&
+        e->state_.load(std::memory_order_seq_cst) == Evictable::kEvicted) {
+      ++evicted;
+    }
+  }
+  return evicted;
+}
+
+void MemoryGovernor::SetHooks(GovernorHooks hooks) {
+  MemoryGovernor& g = Global();
+  const bool installed = hooks.on_reload != nullptr ||
+                         hooks.on_task_start != nullptr;
+  std::lock_guard<std::mutex> lock(g.hooks_mutex_);
+  g.hooks_ = installed
+                 ? std::make_shared<const GovernorHooks>(std::move(hooks))
+                 : nullptr;
+  g.reload_ordinal_.store(0, std::memory_order_relaxed);
+  g.hooks_installed_.store(installed, std::memory_order_release);
+}
+
+void MemoryGovernor::NotifyTaskStart() {
+  MemoryGovernor& g = Global();
+  if (!g.hooks_installed_.load(std::memory_order_acquire)) return;
+  std::shared_ptr<const GovernorHooks> hooks;
+  {
+    std::lock_guard<std::mutex> lock(g.hooks_mutex_);
+    hooks = g.hooks_;
+  }
+  if (hooks != nullptr && hooks->on_task_start) hooks->on_task_start();
+}
+
+Status MemoryGovernor::RunReloadHook(const SpillIdentity& id, bool prefetch) {
+  if (!hooks_installed_.load(std::memory_order_acquire)) return Status::OK();
+  std::shared_ptr<const GovernorHooks> hooks;
+  {
+    std::lock_guard<std::mutex> lock(hooks_mutex_);
+    hooks = hooks_;
+  }
+  if (hooks == nullptr || !hooks->on_reload) return Status::OK();
+  const uint64_t ordinal =
+      reload_ordinal_.fetch_add(1, std::memory_order_relaxed) + 1;
+  return hooks->on_reload(id, ordinal, prefetch);
+}
+
+void MemoryGovernor::PrefetchPartition(uint64_t owner, uint32_t shard) {
+  if (!Engaged() || budget_bytes() == 0 || owner == 0) return;
+  MemMetrics::Get().prefetch_requests.Increment();
+  std::lock_guard<std::mutex> lock(prefetch_mutex_);
+  for (const auto& queued : prefetch_queue_) {
+    if (queued.first == owner && queued.second == shard) return;  // coalesce
+  }
+  prefetch_queue_.emplace_back(owner, shard);
+  if (!prefetch_thread_started_) {
+    prefetch_thread_started_ = true;
+    // Detached on purpose: the governor is a leaky singleton, and the
+    // thread parks on prefetch_cv_ whenever the queue is empty.
+    std::thread(&MemoryGovernor::PrefetchLoop, this).detach();
+  }
+  prefetch_cv_.notify_one();
+}
+
+void MemoryGovernor::PrefetchLoop() {
+  for (;;) {
+    std::pair<uint64_t, uint32_t> target;
+    {
+      std::unique_lock<std::mutex> lock(prefetch_mutex_);
+      prefetch_active_ = false;
+      prefetch_idle_cv_.notify_all();
+      prefetch_cv_.wait(lock, [&] { return !prefetch_queue_.empty(); });
+      target = prefetch_queue_.front();
+      prefetch_queue_.pop_front();
+      prefetch_active_ = true;
+    }
+    PrefetchPartitionSync(target.first, target.second);
+  }
+}
+
+void MemoryGovernor::DrainPrefetchForTesting() {
+  std::unique_lock<std::mutex> lock(prefetch_mutex_);
+  prefetch_idle_cv_.wait(
+      lock, [&] { return prefetch_queue_.empty() && !prefetch_active_; });
+}
+
+void MemoryGovernor::PrefetchPartitionSync(uint64_t owner, uint32_t shard) {
+  obs::Span span("mem", "prefetch");
+  span.AddArgInt("owner", static_cast<int64_t>(owner));
+  span.AddArgInt("shard", shard);
+  MemMetrics& mm = MemMetrics::Get();
+  uint64_t reloads = 0;
+  uint64_t bytes = 0;
+  std::lock_guard<std::mutex> lock(mutex_);
+  const uint64_t budget = budget_.load(std::memory_order_relaxed);
+  for (Evictable* e : registry_) {
+    if (e->identity_.owner != owner || e->identity_.shard != shard) continue;
+    if (e->state_.load(std::memory_order_seq_cst) != Evictable::kEvicted) {
+      continue;
+    }
+    // Headroom-only: a reload that would overflow the budget is skipped
+    // rather than letting enforcement evict on the prefetcher's behalf —
+    // prefetch must never push out the running task's working set.
+    if (budget == 0 || resident_bytes() + e->spill_bytes_ > budget) {
+      mm.prefetch_skipped.Increment();
+      continue;
+    }
+    Status loaded = RunReloadHook(e->identity_, /*prefetch=*/true);
+    if (loaded.ok()) loaded = e->ReloadPayload(e->spill_file_->path());
+    if (!loaded.ok()) {
+      // Leave the payload evicted: the demand fault-in path will retry the
+      // read and surface a persistent failure to the task.
+      mm.prefetch_failures.Increment();
+      IDF_LOG_DEBUG("prefetch reload failed (demand path will retry): %s",
+                    loaded.message().c_str());
+      continue;
+    }
+    e->state_.store(Evictable::kResident, std::memory_order_seq_cst);
+    // Freshen the LRU tick so the payload is not the next victim before the
+    // task it was prefetched for gets to touch it.
+    e->last_access_.store(clock_.fetch_add(1, std::memory_order_relaxed),
+                          std::memory_order_relaxed);
+    const uint64_t payload = e->PayloadBytes();
+    resident_bytes_.fetch_add(payload, std::memory_order_relaxed);
+    spilled_bytes_.fetch_sub(e->spill_bytes_, std::memory_order_relaxed);
+    bytes += e->spill_bytes_;
+    ++reloads;
+  }
+  if (reloads > 0) {
+    mm.prefetch_reloads.Add(reloads);
+    mm.prefetch_read_bytes.Add(bytes);
+    mm.resident.Set(static_cast<double>(resident_bytes()));
+    mm.spilled.Set(static_cast<double>(spilled_bytes()));
+  }
+  span.AddArgInt("reloads", static_cast<int64_t>(reloads));
+  span.AddArgInt("bytes", static_cast<int64_t>(bytes));
 }
 
 std::vector<SalvageSegment> MemoryGovernor::SalvagePrefix(uint64_t owner,

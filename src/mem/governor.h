@@ -37,13 +37,17 @@
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <exception>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "common/status.h"
@@ -96,8 +100,43 @@ struct SpillIdentity {
   uint32_t shard = 0;     // e.g. partition number
   uint64_t instance = 0;  // store incarnation (recomputes get a fresh one)
   uint32_t index = 0;     // position within the store, dense from 0
+  // Columnar chunks tag (owner, shard) for the residency map but opt out of
+  // the salvage catalog: their spill format is column vectors, not the
+  // self-delimiting row encoding salvage replay parses.
+  bool salvage = true;
 
-  bool salvageable() const { return owner != 0; }
+  bool salvageable() const { return owner != 0 && salvage; }
+};
+
+/// Aggregate residency of one (owner rdd, shard partition) — the scheduler's
+/// per-PartitionStore view of where a partition's governed payloads live.
+struct ResidencyInfo {
+  uint64_t resident_bytes = 0;  // payload bytes currently in RAM
+  uint64_t spilled_bytes = 0;   // payload bytes currently on disk only
+  uint64_t last_access = 0;     // newest LRU tick across the payloads
+};
+
+/// Keyed by (owner, shard); only identity-tagged payloads appear.
+using ResidencyMap = std::map<std::pair<uint64_t, uint32_t>, ResidencyInfo>;
+
+/// Test-only fault-injection points (tests/pressure_test.cpp). Installed via
+/// MemoryGovernor::SetHooks; pass {} to clear. Production code never installs
+/// hooks, so the fast paths stay a single relaxed load.
+struct GovernorHooks {
+  /// Consulted before every payload reload — demand fault-in and prefetch
+  /// alike. `ordinal` counts reloads since the hooks were installed
+  /// (1-based); `prefetch` distinguishes the prefetcher's reloads from
+  /// demand faults. Returning non-OK fails the reload exactly as a disk
+  /// error would; sleeping inside delays the fault-in (the governor lock is
+  /// held, so concurrent readers of the same payload queue behind it).
+  /// Must not call back into the governor.
+  std::function<Status(const SpillIdentity& id, uint64_t ordinal,
+                       bool prefetch)>
+      on_reload;
+  /// Invoked at every task boundary (Cluster::ExecuteTask, before the task
+  /// body), without governor locks held — may call EvictPartition etc. to
+  /// force evictions *between* tasks deterministically.
+  std::function<void()> on_task_start;
 };
 
 /// Base class for anything the governor may evict. Storage objects (row
@@ -185,7 +224,9 @@ class MemoryGovernor {
 
   /// (Re)configures budget and spill directory. budget_bytes == 0 disables
   /// eviction (the governor still accounts). An empty spill_dir keeps the
-  /// current one (default: <tmp>/idf-spill-<pid>). Shrinking the budget
+  /// current one (default: <tmp>/idf-spill-<pid>); a non-empty one gets an
+  /// idf-spill-<pid> subdirectory appended so concurrent processes sharing
+  /// a directory never touch each other's spill files. Shrinking the budget
   /// below current residency evicts immediately.
   void Configure(uint64_t budget_bytes, const std::string& spill_dir = "");
 
@@ -212,6 +253,40 @@ class MemoryGovernor {
   /// eviction candidate remains unpinned. Called from allocation and reload
   /// paths; callable directly (tests, benches).
   void EnforceBudget();
+
+  // ---- residency map & prefetch (spill-aware scheduling) ----------------
+
+  /// Per-(owner, shard) aggregate of where governed payloads live right
+  /// now. The stage scheduler snapshots this once per stage to order
+  /// dispatch by residency; O(#sealed payloads) under the governor lock.
+  ResidencyMap ResidencySnapshot();
+
+  /// Asynchronously reloads the spilled payloads of (owner, shard) on the
+  /// prefetch thread. Prefetch spends only budget *headroom*: it reloads a
+  /// payload only while resident + payload fits under the budget and never
+  /// calls EnforceBudget, so it cannot evict anything — in particular not
+  /// the running task's pinned working set (the scoped-budget bound). A
+  /// reload failure is swallowed (counted in mem.prefetch.failures); the
+  /// demand fault-in path retries and surfaces the error. No-op until the
+  /// governor is engaged with a nonzero budget.
+  void PrefetchPartition(uint64_t owner, uint32_t shard);
+
+  /// Blocks until the prefetch queue is drained and the prefetch thread is
+  /// idle. Test-only: makes prefetch effects observable deterministically.
+  void DrainPrefetchForTesting();
+
+  /// Force-evicts every sealed, unpinned, resident payload of (owner,
+  /// shard); returns how many were evicted. Test/bench hook for
+  /// constructing memory-pressure scenarios by hand — engages the governor
+  /// (readers must take the pin/fault-in path afterwards).
+  size_t EvictPartition(uint64_t owner, uint32_t shard);
+
+  /// Installs (or, with {}, clears) the test-only fault-injection hooks.
+  static void SetHooks(GovernorHooks hooks);
+
+  /// Task-boundary notification from the engine (Cluster::ExecuteTask);
+  /// invokes GovernorHooks::on_task_start when hooks are installed.
+  static void NotifyTaskStart();
 
   // ---- salvage catalog (fault tolerance) --------------------------------
 
@@ -251,6 +326,13 @@ class MemoryGovernor {
   bool EvictLocked(Evictable* victim);
   const std::string& SpillDirLocked();
 
+  /// Body of the detached prefetch thread: drains prefetch_queue_.
+  void PrefetchLoop();
+  /// Reloads (owner, shard)'s evicted payloads within budget headroom.
+  void PrefetchPartitionSync(uint64_t owner, uint32_t shard);
+  /// Runs the on_reload hook if installed; OK otherwise.
+  Status RunReloadHook(const SpillIdentity& id, bool prefetch);
+
   /// Scope-less pin (see AccessScope::Pin): pins `e` and releases the
   /// thread's previous transient pin. Serialized with eviction and retire
   /// by the governor mutex, so the stored pointers never dangle.
@@ -286,6 +368,24 @@ class MemoryGovernor {
   };
   std::mutex catalog_mutex_;
   std::map<CatalogKey, std::vector<CatalogEntry>> catalog_;
+
+  // Test-only fault-injection hooks. hooks_installed_ keeps the common
+  // no-hooks case to one relaxed load; hooks_mutex_ orders strictly after
+  // mutex_ when both are taken (RunReloadHook inside FaultIn).
+  std::atomic<bool> hooks_installed_{false};
+  std::mutex hooks_mutex_;
+  std::shared_ptr<const GovernorHooks> hooks_;
+  std::atomic<uint64_t> reload_ordinal_{0};
+
+  // Prefetch queue, drained by a lazily-started detached thread. The thread
+  // is never joined: the governor is a leaky singleton and the thread parks
+  // on prefetch_cv_ whenever the queue is empty.
+  std::mutex prefetch_mutex_;
+  std::condition_variable prefetch_cv_;       // queue became non-empty
+  std::condition_variable prefetch_idle_cv_;  // queue drained & thread idle
+  std::deque<std::pair<uint64_t, uint32_t>> prefetch_queue_;
+  bool prefetch_thread_started_ = false;  // guarded by prefetch_mutex_
+  bool prefetch_active_ = false;          // guarded by prefetch_mutex_
 };
 
 /// RAII pin scope. The outermost scope on a thread collects every payload

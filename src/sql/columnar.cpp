@@ -1,6 +1,37 @@
 #include "sql/columnar.h"
 
+#include <fstream>
+#include <istream>
+#include <ostream>
+
 namespace idf {
+
+namespace {
+
+template <typename T>
+void WriteVec(std::ostream& out, const std::vector<T>& v) {
+  const uint64_t n = v.size();
+  out.write(reinterpret_cast<const char*>(&n), sizeof(n));
+  if (n > 0) {
+    out.write(reinterpret_cast<const char*>(v.data()),
+              static_cast<std::streamsize>(n * sizeof(T)));
+  }
+}
+
+template <typename T>
+bool ReadVec(std::istream& in, std::vector<T>* v) {
+  uint64_t n = 0;
+  in.read(reinterpret_cast<char*>(&n), sizeof(n));
+  if (!in) return false;
+  v->resize(n);
+  if (n > 0) {
+    in.read(reinterpret_cast<char*>(v->data()),
+            static_cast<std::streamsize>(n * sizeof(T)));
+  }
+  return static_cast<bool>(in);
+}
+
+}  // namespace
 
 ColumnVector::ColumnVector(TypeId type) : type_(type) {
   switch (type) {
@@ -143,6 +174,67 @@ uint64_t ColumnVector::ByteSize() const {
   return bytes;
 }
 
+void ColumnVector::WriteTo(std::ostream& out) const {
+  WriteVec(out, nulls_);
+  switch (type_) {
+    case TypeId::kBool: WriteVec(out, Data<BoolData>().values); break;
+    case TypeId::kInt32: WriteVec(out, Data<Int32Data>().values); break;
+    case TypeId::kInt64: WriteVec(out, Data<Int64Data>().values); break;
+    case TypeId::kFloat64: WriteVec(out, Data<Float64Data>().values); break;
+    case TypeId::kString: {
+      const auto& d = Data<StringData>();
+      WriteVec(out, d.arena);
+      WriteVec(out, d.offsets);
+      break;
+    }
+  }
+}
+
+Status ColumnVector::ReadFrom(std::istream& in) {
+  bool ok = ReadVec(in, &nulls_);
+  size_t restored = 0;
+  switch (type_) {
+    case TypeId::kBool:
+      ok = ok && ReadVec(in, &Data<BoolData>().values);
+      restored = Data<BoolData>().values.size();
+      break;
+    case TypeId::kInt32:
+      ok = ok && ReadVec(in, &Data<Int32Data>().values);
+      restored = Data<Int32Data>().values.size();
+      break;
+    case TypeId::kInt64:
+      ok = ok && ReadVec(in, &Data<Int64Data>().values);
+      restored = Data<Int64Data>().values.size();
+      break;
+    case TypeId::kFloat64:
+      ok = ok && ReadVec(in, &Data<Float64Data>().values);
+      restored = Data<Float64Data>().values.size();
+      break;
+    case TypeId::kString: {
+      auto& d = Data<StringData>();
+      ok = ok && ReadVec(in, &d.arena) && ReadVec(in, &d.offsets);
+      restored = d.offsets.empty() ? 0 : d.offsets.size() - 1;
+      break;
+    }
+  }
+  if (!ok) return Status::Unavailable("short read reloading column");
+  if (restored != size_) {
+    return Status::Unavailable("reloaded column row count mismatch");
+  }
+  return Status::OK();
+}
+
+void ColumnVector::ReleaseStorage() {
+  nulls_ = {};
+  switch (type_) {
+    case TypeId::kBool: data_ = BoolData{}; break;
+    case TypeId::kInt32: data_ = Int32Data{}; break;
+    case TypeId::kInt64: data_ = Int64Data{}; break;
+    case TypeId::kFloat64: data_ = Float64Data{}; break;
+    case TypeId::kString: data_ = StringData{}; break;
+  }
+}
+
 // ---- ColumnarChunk ---------------------------------------------------------
 
 ColumnarChunk::ColumnarChunk(SchemaPtr schema) : schema_(std::move(schema)) {
@@ -152,6 +244,7 @@ ColumnarChunk::ColumnarChunk(SchemaPtr schema) : schema_(std::move(schema)) {
 }
 
 Status ColumnarChunk::AppendRow(const RowVec& row) {
+  IDF_CHECK_MSG(!sealed_for_governor(), "appending to a sealed chunk");
   IDF_RETURN_IF_ERROR(ValidateRow(*schema_, row));
   for (size_t i = 0; i < row.size(); ++i) columns_[i].AppendValue(row[i]);
   ++num_rows_;
@@ -167,6 +260,7 @@ void ColumnarChunk::SetRowCount(size_t n) {
 
 RowVec ColumnarChunk::RowAt(size_t i) const {
   IDF_CHECK(i < num_rows_);
+  EnsureReadable();
   RowVec row;
   row.reserve(columns_.size());
   for (const ColumnVector& c : columns_) row.push_back(c.ValueAt(i));
@@ -185,9 +279,64 @@ void ColumnarChunk::EncodeRowTo(const RowLayout& layout, size_t i,
 }
 
 uint64_t ColumnarChunk::ByteSize() const {
+  // Sealed chunks report their seal-time size so accounting (block manager,
+  // shuffle modeling) never has to fault an evicted payload back in.
+  if (sealed_bytes_ > 0) return sealed_bytes_;
   uint64_t bytes = 0;
   for (const ColumnVector& c : columns_) bytes += c.ByteSize();
   return bytes;
+}
+
+ColumnarChunk::~ColumnarChunk() {
+  // First statement: blocks out in-flight evictions before the payload
+  // vtable entries die (see Evictable::RetireFromGovernor).
+  RetireFromGovernor();
+}
+
+void ColumnarChunk::SealForCache(uint64_t owner_rdd, uint32_t partition) const {
+  // Gate on engagement: without a budget the governor never evicts, so
+  // unbudgeted runs skip registration entirely and behave exactly as before.
+  if (!mem::MemoryGovernor::Engaged()) return;
+  ColumnarChunk* self = const_cast<ColumnarChunk*>(this);
+  if (self->seal_started_.exchange(true, std::memory_order_acq_rel)) return;
+  if (num_rows_ == 0) return;  // nothing worth spilling; stay unregistered
+  uint64_t bytes = 0;
+  for (const ColumnVector& c : columns_) bytes += c.ByteSize();
+  if (bytes == 0) return;
+  self->sealed_bytes_ = bytes;
+  mem::SpillIdentity id;
+  id.owner = owner_rdd;
+  id.shard = partition;
+  id.salvage = false;  // columnar spill files are not salvage-replayable
+  self->SetSpillIdentity(id);
+  self->AccountAllocated(bytes);
+  self->SealForGovernor(num_rows_);
+}
+
+Result<uint64_t> ColumnarChunk::SpillPayload(const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return Status::Unavailable("cannot open spill file '" + path + "'");
+  }
+  for (const ColumnVector& c : columns_) c.WriteTo(out);
+  out.flush();
+  if (!out) return Status::Unavailable("short write to '" + path + "'");
+  return static_cast<uint64_t>(out.tellp());
+}
+
+void ColumnarChunk::ReleasePayload() {
+  for (ColumnVector& c : columns_) c.ReleaseStorage();
+}
+
+Status ColumnarChunk::ReloadPayload(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::Unavailable("cannot open spill file '" + path + "'");
+  }
+  for (ColumnVector& c : columns_) {
+    IDF_RETURN_IF_ERROR(c.ReadFrom(in));
+  }
+  return Status::OK();
 }
 
 // ---- ChunkBuilder ---------------------------------------------------------

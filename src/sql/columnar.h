@@ -8,7 +8,9 @@
 // row-wise Indexed DataFrame *losing* on projection-heavy operators).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <iosfwd>
 #include <memory>
 #include <string>
 #include <string_view>
@@ -17,6 +19,7 @@
 
 #include "common/status.h"
 #include "engine/block.h"
+#include "mem/governor.h"
 #include "storage/row_layout.h"
 #include "types/schema.h"
 
@@ -65,6 +68,16 @@ class ColumnVector {
 
   uint64_t ByteSize() const;
 
+  // ---- spill I/O (ColumnarChunk eviction) -----------------------------
+  /// Writes nulls + typed storage as length-prefixed raw vectors.
+  void WriteTo(std::ostream& out) const;
+  /// Restores storage written by WriteTo. kUnavailable on short/corrupt
+  /// reads (including a row count that disagrees with size()).
+  Status ReadFrom(std::istream& in);
+  /// Frees all storage, keeping type() and size() — the column is
+  /// unreadable until ReadFrom() restores it.
+  void ReleaseStorage();
+
  private:
   struct BoolData { std::vector<uint8_t> values; };
   struct Int32Data { std::vector<int32_t> values; };
@@ -90,9 +103,20 @@ class ColumnVector {
 };
 
 /// One cached partition of a table: a block the engine can store and ship.
-class ColumnarChunk : public Block {
+///
+/// Under a memory budget a chunk is also an evictable payload: once sealed
+/// (SealForCache, called where chunks are cached — TableSink::Emit, lineage
+/// builds — after which the chunk is immutable) it registers with the memory
+/// governor tagged {owner = producing RDD, shard = partition}, so it shows
+/// up in the residency map for spill-aware scheduling and may be spilled
+/// column-by-column and faulted back on access. Readers go through
+/// column()/RowAt()/ValueAt(), which pin the payload for the duration of
+/// the read (mem::AccessScope rules apply: bodies that hold column
+/// references across reads of *other* chunks must open a scope).
+class ColumnarChunk : public Block, public mem::Evictable {
  public:
   explicit ColumnarChunk(SchemaPtr schema);
+  ~ColumnarChunk() override;
 
   const Schema& schema() const { return *schema_; }
   const SchemaPtr& schema_ptr() const { return schema_; }
@@ -101,10 +125,12 @@ class ColumnarChunk : public Block {
 
   const ColumnVector& column(size_t i) const {
     IDF_CHECK(i < columns_.size());
+    EnsureReadable();
     return columns_[i];
   }
   ColumnVector& mutable_column(size_t i) {
     IDF_CHECK(i < columns_.size());
+    IDF_CHECK_MSG(!sealed_for_governor(), "mutating a sealed chunk");
     return columns_[i];
   }
 
@@ -117,6 +143,7 @@ class ColumnarChunk : public Block {
 
   RowVec RowAt(size_t i) const;
   Value ValueAt(size_t row, size_t col) const {
+    EnsureReadable();
     return columns_[col].ValueAt(row);
   }
 
@@ -127,10 +154,32 @@ class ColumnarChunk : public Block {
 
   uint64_t ByteSize() const override;
 
+  /// Seals this chunk under the memory governor as partition `partition` of
+  /// RDD `owner_rdd` — from here on it is immutable, budget-accounted, and
+  /// evictable. Idempotent; empty chunks stay unregistered; a chunk
+  /// re-emitted under a second id (UNION's zero-copy pass-through) keeps
+  /// its first identity. No-op until a governor budget engages.
+  void SealForCache(uint64_t owner_rdd, uint32_t partition) const;
+
  private:
+  /// Pin chokepoint for every read accessor: faults the payload back in if
+  /// evicted and holds it resident while the caller reads. Free while the
+  /// chunk is still being built (unsealed payloads cannot be evicted).
+  void EnsureReadable() const {
+    if (!sealed_for_governor()) return;
+    mem::AccessScope::Pin(const_cast<ColumnarChunk*>(this));
+  }
+
+  Result<uint64_t> SpillPayload(const std::string& path) override;
+  void ReleasePayload() override;
+  Status ReloadPayload(const std::string& path) override;
+  uint64_t PayloadBytes() const override { return sealed_bytes_; }
+
   SchemaPtr schema_;
   std::vector<ColumnVector> columns_;
   size_t num_rows_ = 0;
+  uint64_t sealed_bytes_ = 0;  // ByteSize() at seal; survives eviction
+  mutable std::atomic<bool> seal_started_{false};
 };
 
 using ChunkPtr = std::shared_ptr<const ColumnarChunk>;

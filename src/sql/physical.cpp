@@ -5,6 +5,7 @@
 #include <unordered_map>
 
 #include "common/timer.h"
+#include "mem/governor.h"
 #include "obs/trace.h"
 #include "sql/agg_internal.h"
 #include "sql/session.h"
@@ -144,6 +145,10 @@ void TableSink::Emit(TaskContext& ctx, uint32_t partition, ChunkPtr chunk) {
   rows_ += chunk->num_rows();
   bytes_ += chunk->ByteSize();
   ctx.metrics().rows_written += chunk->num_rows();
+  // Finalization point for every operator's cached output: from here the
+  // chunk is immutable, so it goes under the memory governor (budgeted,
+  // evictable, visible to spill-aware scheduling).
+  chunk->SealForCache(rdd_id_, partition);
   ctx.cluster().blocks().Put(BlockId{rdd_id_, partition, 0}, ctx.executor(),
                              std::move(chunk));
 }
@@ -343,6 +348,9 @@ Result<TableHandle> FilterExec::ExecuteImpl(Session& session,
         {},
         0,
         [&, p](TaskContext& ctx) -> Status {
+          // Keep the input chunk pinned for the whole body: column
+          // references are held across appends that may trigger eviction.
+          mem::AccessScope scope;
           Result<ChunkPtr> chunk = FetchChunk(ctx, in, p);
           IDF_RETURN_IF_ERROR(chunk.status());
           const ColumnarChunk& input = **chunk;
@@ -365,7 +373,8 @@ Result<TableHandle> FilterExec::ExecuteImpl(Session& session,
           out->SetRowCount(out->column(0).size());
           sink.Emit(ctx, p, std::move(out));
           return Status::OK();
-        }});
+        },
+        {{in.rdd_id, p}}});
   }
   IDF_ASSIGN_OR_RETURN(StageMetrics sm, session.cluster().RunStage(stage));
   metrics.MergeStage(sm);
@@ -403,6 +412,7 @@ Result<TableHandle> ProjectExec::ExecuteImpl(Session& session,
         {},
         0,
         [&, p](TaskContext& ctx) -> Status {
+          mem::AccessScope scope;
           Result<ChunkPtr> chunk = FetchChunk(ctx, in, p);
           IDF_RETURN_IF_ERROR(chunk.status());
           const ColumnarChunk& input = **chunk;
@@ -416,7 +426,8 @@ Result<TableHandle> ProjectExec::ExecuteImpl(Session& session,
           out->SetRowCount(input.num_rows());
           sink.Emit(ctx, p, std::move(out));
           return Status::OK();
-        }});
+        },
+        {{in.rdd_id, p}}});
   }
   IDF_ASSIGN_OR_RETURN(StageMetrics sm, session.cluster().RunStage(stage));
   metrics.MergeStage(sm);
@@ -492,6 +503,9 @@ Result<TableHandle> JoinExec::BroadcastHashJoin(
   // vanilla Spark rebuilds this on *every* query execution (Fig. 1's story).
   TaskContext driver_ctx(&cluster, cluster.AliveExecutors().front());
   std::vector<ChunkPtr> build_chunks;
+  // The build loop below holds column references while walking *several*
+  // chunks; a scope keeps every build chunk pinned until the table is up.
+  mem::AccessScope build_scope;
   for (uint32_t p = 0; p < build.num_partitions; ++p) {
     IDF_ASSIGN_OR_RETURN(ChunkPtr chunk, FetchChunk(driver_ctx, build, p));
     build_chunks.push_back(std::move(chunk));
@@ -520,9 +534,13 @@ Result<TableHandle> JoinExec::BroadcastHashJoin(
   replica_stage.name = "broadcast hash build";
   for (ExecutorId e : cluster.AliveExecutors()) {
     replica_stage.tasks.push_back(
-        TaskSpec{e, {}, build_seconds, [](TaskContext&) {
+        TaskSpec{e,
+                 {},
+                 build_seconds,
+                 [](TaskContext&) {
                    return Status::OK();  // modeled only; driver built for real
-                 }});
+                 },
+                 {}});
   }
   IDF_ASSIGN_OR_RETURN(StageMetrics replica_metrics,
                        cluster.RunStage(replica_stage));
@@ -538,6 +556,10 @@ Result<TableHandle> JoinExec::BroadcastHashJoin(
         {},
         0,
         [&, p](TaskContext& ctx) -> Status {
+          // Pins the probe chunk AND every build chunk touched below — the
+          // body holds `key_col` across reads of other chunks, so transient
+          // pins alone would not keep the probe chunk resident.
+          mem::AccessScope scope;
           Result<ChunkPtr> chunk = FetchChunk(ctx, probe, p);
           IDF_RETURN_IF_ERROR(chunk.status());
           const ColumnarChunk& probe_chunk = **chunk;
@@ -583,7 +605,8 @@ Result<TableHandle> JoinExec::BroadcastHashJoin(
           out->SetRowCount(out->column(0).size());
           sink.Emit(ctx, p, std::move(out));
           return Status::OK();
-        }});
+        },
+        {{probe.rdd_id, p}}});
   }
   IDF_ASSIGN_OR_RETURN(StageMetrics sm, cluster.RunStage(stage));
   metrics.MergeStage(sm);
@@ -623,6 +646,9 @@ Result<TableHandle> JoinExec::ShuffledJoin(Session& session,
           {},
           0,
           [&, p, shuffle_id, key](TaskContext& ctx) -> Status {
+            // `key_col` is held across per-row encodes; keep the chunk
+            // pinned for the whole map task.
+            mem::AccessScope scope;
             Result<ChunkPtr> chunk = FetchChunk(ctx, table, p);
             IDF_RETURN_IF_ERROR(chunk.status());
             const ColumnarChunk& input = **chunk;
@@ -651,7 +677,8 @@ Result<TableHandle> JoinExec::ShuffledJoin(Session& session,
                                              std::move(buffers[rp]));
             }
             return Status::OK();
-          }});
+          },
+          {{table.rdd_id, p}}});
     }
     IDF_ASSIGN_OR_RETURN(StageMetrics sm, cluster.RunStage(stage));
     metrics.MergeStage(sm);
@@ -810,7 +837,8 @@ Result<TableHandle> JoinExec::ShuffledJoin(Session& session,
           out->SetRowCount(out->column(0).size());
           sink.Emit(ctx, rp, std::move(out));
           return Status::OK();
-        }});
+        },
+        {}});
   }
   IDF_ASSIGN_OR_RETURN(StageMetrics sm, cluster.RunStage(reduce));
   metrics.MergeStage(sm);
@@ -849,6 +877,7 @@ Result<TableHandle> HashAggExec::ExecuteImpl(Session& session,
         {},
         0,
         [&, p](TaskContext& ctx) -> Status {
+          mem::AccessScope scope;
           Result<ChunkPtr> chunk = FetchChunk(ctx, in, p);
           IDF_RETURN_IF_ERROR(chunk.status());
           const ColumnarChunk& input = **chunk;
@@ -897,7 +926,8 @@ Result<TableHandle> HashAggExec::ExecuteImpl(Session& session,
                                            std::move(buffers[rp]));
           }
           return Status::OK();
-        }});
+        },
+        {{in.rdd_id, p}}});
   }
   IDF_ASSIGN_OR_RETURN(StageMetrics psm, cluster.RunStage(partial_stage));
   metrics.MergeStage(psm);
@@ -984,7 +1014,8 @@ Result<TableHandle> FinalizeAggregation(
           }
           sink.Emit(ctx, rp, std::move(out));
           return Status::OK();
-        }});
+        },
+        {}});
   }
   IDF_ASSIGN_OR_RETURN(StageMetrics fsm, cluster.RunStage(final_stage));
   metrics.MergeStage(fsm);
@@ -1016,9 +1047,12 @@ Result<TableHandle> UnionExec::ExecuteImpl(Session& session,
           [&, p, offset, side](TaskContext& ctx) -> Status {
             Result<ChunkPtr> chunk = FetchChunk(ctx, side, p);
             IDF_RETURN_IF_ERROR(chunk.status());
+            // Re-emitting an already-sealed chunk: SealForCache keeps the
+            // first identity, so the pass-through costs nothing.
             sink.Emit(ctx, offset + p, *chunk);
             return Status::OK();
-          }});
+          },
+          {{side.rdd_id, p}}});
     }
   };
   add_side(lh, 0);
@@ -1053,11 +1087,17 @@ Result<TableHandle> SortExec::ExecuteImpl(Session& session,
   TableSink sink(session, in.schema, 1);
   StageSpec stage;
   stage.name = "sort";
+  std::vector<PartitionInput> all_inputs;
+  for (uint32_t p = 0; p < in.num_partitions; ++p) {
+    all_inputs.push_back({in.rdd_id, p});
+  }
   stage.tasks.push_back(TaskSpec{
       cluster.AliveExecutors().front(),
       {},
       0,
       [&](TaskContext& ctx) -> Status {
+        // One task touches every partition; pin them all for the sort.
+        mem::AccessScope scope;
         // Gather (chunk, row) references across all partitions, then sort.
         std::vector<ChunkPtr> chunks;
         std::vector<std::pair<uint32_t, uint32_t>> refs;
@@ -1091,7 +1131,8 @@ Result<TableHandle> SortExec::ExecuteImpl(Session& session,
         out->SetRowCount(out->column(0).size());
         sink.Emit(ctx, 0, std::move(out));
         return Status::OK();
-      }});
+      },
+      all_inputs});
   IDF_ASSIGN_OR_RETURN(StageMetrics sm, cluster.RunStage(stage));
   metrics.MergeStage(sm);
   return sink.Finish();
@@ -1107,11 +1148,16 @@ Result<TableHandle> LimitExec::ExecuteImpl(Session& session,
   TableSink sink(session, in.schema, 1);
   StageSpec stage;
   stage.name = "limit";
+  std::vector<PartitionInput> all_inputs;
+  for (uint32_t p = 0; p < in.num_partitions; ++p) {
+    all_inputs.push_back({in.rdd_id, p});
+  }
   stage.tasks.push_back(TaskSpec{
       cluster.AliveExecutors().front(),
       {},
       0,
       [&](TaskContext& ctx) -> Status {
+        mem::AccessScope scope;
         auto out = std::make_shared<ColumnarChunk>(in.schema);
         uint64_t taken = 0;
         for (uint32_t p = 0; p < in.num_partitions && taken < limit_; ++p) {
@@ -1126,7 +1172,8 @@ Result<TableHandle> LimitExec::ExecuteImpl(Session& session,
         out->SetRowCount(out->column(0).size());
         sink.Emit(ctx, 0, std::move(out));
         return Status::OK();
-      }});
+      },
+      all_inputs});
   IDF_ASSIGN_OR_RETURN(StageMetrics sm, cluster.RunStage(stage));
   metrics.MergeStage(sm);
   return sink.Finish();

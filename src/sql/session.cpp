@@ -5,6 +5,7 @@
 #include <cctype>
 #include <cstdio>
 
+#include "mem/governor.h"
 #include "obs/trace.h"
 #include "sql/parser.h"
 
@@ -77,12 +78,14 @@ Result<DataFrame> Session::CreateTableImpl(const std::string& name,
   // Lineage: regenerating a lost partition re-runs the generator (§III-D:
   // a replayable data source).
   cluster_->RegisterLineage(
-      rdd_id, [build_chunk](uint32_t partition, uint64_t version,
-                            TaskContext&) -> Result<BlockPtr> {
+      rdd_id, [build_chunk, rdd_id](uint32_t partition, uint64_t version,
+                                    TaskContext&) -> Result<BlockPtr> {
         if (version != 0) {
           return Status::Internal("cached tables only have version 0");
         }
-        return BlockPtr(build_chunk(partition));
+        ChunkPtr chunk = build_chunk(partition);
+        chunk->SealForCache(rdd_id, partition);
+        return BlockPtr(std::move(chunk));
       });
 
   StageSpec stage;
@@ -101,10 +104,12 @@ Result<DataFrame> Session::CreateTableImpl(const std::string& name,
           total_rows += chunk->num_rows();
           total_bytes += chunk->ByteSize();
           ctx.metrics().rows_written += chunk->num_rows();
+          chunk->SealForCache(rdd_id, p);
           ctx.cluster().blocks().Put(BlockId{rdd_id, p, 0}, ctx.executor(),
                                      chunk);
           return Status::OK();
-        }});
+        },
+        {}});
   }
   IDF_RETURN_IF_ERROR(cluster_->RunStage(stage).status());
 
@@ -204,6 +209,9 @@ Result<CollectedTable> Session::Collect(const TableHandle& handle) {
   out.schema = handle.schema;
   TaskContext ctx(cluster_.get(), cluster_->AliveExecutors().front());
   for (uint32_t p = 0; p < handle.num_partitions; ++p) {
+    // Per-partition scope: the chunk stays pinned for its row loop, then
+    // unpins so a tight budget never has to hold the whole result resident.
+    mem::AccessScope scope;
     IDF_ASSIGN_OR_RETURN(
         BlockPtr block,
         cluster_->GetOrCompute(BlockId{handle.rdd_id, p, handle.version}, ctx));

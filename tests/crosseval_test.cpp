@@ -7,8 +7,11 @@
 // equality in the benches.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+
 #include "common/rng.h"
 #include "core/indexed_dataframe.h"
+#include "mem/governor.h"
 #include "sql/columnar.h"
 #include "storage/partition_store.h"
 
@@ -142,6 +145,64 @@ TEST_P(FilterPathProperty, VanillaAndIndexedFiltersSelectSameRows) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FilterPathProperty,
                          ::testing::Values(10, 20, 30, 40));
+
+class BudgetedFilterPathProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BudgetedFilterPathProperty, QuarterBudgetKeepsSelectionsIdentical) {
+  // Same cross-representation invariant under memory pressure: with the
+  // governor engaged the cached columnar chunks are budgeted Evictables
+  // (spilled column-by-column, faulted back on access) alongside the
+  // indexed row batches. At ~25% of the working set every filter must still
+  // select exactly the rows the unbudgeted run selects, through both the
+  // vanilla columnar path and the indexed fallback path.
+  ::unsetenv("IDF_MEMORY_BUDGET");
+  mem::MemoryGovernor& gov = mem::MemoryGovernor::Global();
+  const uint64_t base = gov.resident_bytes();
+  mem::ScopedBudget engage(base + (256 << 20));  // roomy: chunks register
+
+  SessionOptions opts;
+  opts.cluster.num_workers = 2;
+  opts.cluster.executors_per_worker = 2;
+  opts.cluster.cores_per_executor = 2;
+  opts.default_partitions = 4;
+  Session session(opts);
+
+  Rng rng(GetParam());
+  std::vector<RowVec> rows;
+  for (int i = 0; i < 300; ++i) rows.push_back(RandomRow(rng));
+  for (auto& row : rows) {
+    row[0] = Value::Int64(rng.Range(-50, 50));
+  }
+  auto df = *session.CreateTable("t", WideSchema(), rows);
+  auto indexed = *IndexedDataFrame::Create(df, "a");
+  const uint64_t working_set = gov.resident_bytes() - base;
+  ASSERT_GT(working_set, 0u);
+
+  std::vector<ExprPtr> exprs;
+  std::vector<std::vector<std::string>> expected;
+  for (int trial = 0; trial < 8; ++trial) {
+    ExprPtr expr = RandomExpr(rng, 2);
+    auto unbudgeted = df.Filter(expr).Collect();
+    ASSERT_TRUE(unbudgeted.ok()) << expr->ToString();
+    expected.push_back(unbudgeted->SortedRowStrings());
+    exprs.push_back(std::move(expr));
+  }
+
+  mem::ScopedBudget tight(base + working_set / 4);
+  for (size_t trial = 0; trial < exprs.size(); ++trial) {
+    auto vanilla = df.Filter(exprs[trial]).Collect();
+    auto fallback = indexed.AsDataFrame().Filter(exprs[trial]).Collect();
+    ASSERT_TRUE(vanilla.ok()) << exprs[trial]->ToString();
+    ASSERT_TRUE(fallback.ok()) << exprs[trial]->ToString();
+    EXPECT_EQ(vanilla->SortedRowStrings(), expected[trial])
+        << exprs[trial]->ToString();
+    EXPECT_EQ(fallback->SortedRowStrings(), expected[trial])
+        << exprs[trial]->ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BudgetedFilterPathProperty,
+                         ::testing::Values(10, 30));
 
 }  // namespace
 }  // namespace idf

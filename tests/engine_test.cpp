@@ -416,7 +416,7 @@ TEST(ClusterTest, RunStageExecutesAllTasks) {
         kAnyExecutor, {}, 0, [&](TaskContext&) {
           executed++;
           return Status::OK();
-        }});
+        }, {}});
   }
   auto metrics = cluster.RunStage(stage);
   ASSERT_TRUE(metrics.ok());
@@ -433,7 +433,7 @@ TEST(ClusterTest, TaskFailureAbortsStage) {
   stage.tasks.push_back(TaskSpec{
       kAnyExecutor, {}, 0, [](TaskContext&) {
         return Status::Internal("task exploded");
-      }});
+      }, {}});
   auto metrics = cluster.RunStage(stage);
   EXPECT_FALSE(metrics.ok());
   EXPECT_EQ(metrics.status().code(), StatusCode::kInternal);
@@ -527,7 +527,7 @@ TEST(ClusterTest, DeadPreferredExecutorFallsBack) {
   stage.tasks.push_back(TaskSpec{1, {}, 0, [&](TaskContext& ctx) {
                                    ran_on = ctx.executor();
                                    return Status::OK();
-                                 }});
+                                 }, {}});
   ASSERT_TRUE(cluster.RunStage(stage).ok());
   EXPECT_EQ(ran_on, 0u);
 }
@@ -544,7 +544,7 @@ TEST(ClusterTest, DeadExecutorTasksRoundRobinAcrossAlive) {
     stage.tasks.push_back(TaskSpec{0, {}, 0, [&, i](TaskContext& ctx) {
                                      ran_on[i] = ctx.executor();
                                      return Status::OK();
-                                   }});
+                                   }, {}});
   }
   ASSERT_TRUE(cluster.RunStage(stage).ok());
   const std::vector<ExecutorId> expected{1, 2, 3, 1, 2, 3, 1, 2};
@@ -567,7 +567,7 @@ TEST(ClusterTest, ParallelStageMatchesSequentialTotals) {
             ctx.metrics().index_probes += i;
             ctx.metrics().index_hits += i / 2;
             return Status::OK();
-          }});
+          }, {}});
     }
     auto metrics = cluster.RunStage(stage);
     EXPECT_TRUE(metrics.ok());
@@ -600,7 +600,7 @@ TEST(ClusterTest, ParallelFirstErrorWinsAndCancelsRemainder) {
           std::this_thread::sleep_for(std::chrono::milliseconds(1));
           if (i == 5) return Status::Internal("task 5 exploded");
           return Status::OK();
-        }});
+        }, {}});
   }
   auto metrics = cluster.RunStage(stage);
   ASSERT_FALSE(metrics.ok());
@@ -630,10 +630,10 @@ TEST(ClusterTest, NestedStageFromTaskBodyRunsInline) {
                 TaskSpec{kAnyExecutor, {}, 0, [&](TaskContext&) {
                   inner_runs++;
                   return Status::OK();
-                }});
+                }, {}});
           }
           return ctx.cluster().RunStage(inner).status();
-        }});
+        }, {}});
   }
   ASSERT_TRUE(cluster.RunStage(outer).ok());
   EXPECT_EQ(inner_runs.load(), 8);

@@ -7,6 +7,7 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cstdlib>
 #include <map>
 #include <memory>
 #include <string>
@@ -15,8 +16,10 @@
 
 #include "core/indexed_dataframe.h"
 #include "engine/cluster.h"
+#include "mem/governor.h"
 #include "obs/metrics_registry.h"
 #include "obs/trace.h"
+#include "sql/columnar.h"
 #include "sql/session.h"
 
 namespace idf {
@@ -72,8 +75,11 @@ struct WorkloadResult {
 };
 
 /// The full filter+join workload in a fresh session: create + index the
-/// events table, filter on v, indexed-join against a probe table.
-WorkloadResult RunWorkload(uint32_t scheduler_threads) {
+/// events table, filter on v, indexed-join against a probe table. When
+/// `working_set` is non-null it receives the governed resident bytes while
+/// the session (and its cached tables) is still alive.
+WorkloadResult RunWorkload(uint32_t scheduler_threads,
+                           uint64_t* working_set = nullptr) {
   Session session(Options(scheduler_threads));
   DataFrame events =
       session.CreateTable("events", EventSchema(), EventRows(400)).value();
@@ -88,6 +94,9 @@ WorkloadResult RunWorkload(uint32_t scheduler_threads) {
                         .SortedRowStrings();
   out.join_rows =
       indexed.Join(probe, "pk").Collect().value().SortedRowStrings();
+  if (working_set != nullptr) {
+    *working_set = mem::MemoryGovernor::Global().resident_bytes();
+  }
   return out;
 }
 
@@ -220,11 +229,15 @@ TEST(SchedulerStressTest, TaskSpansNestUnderStageAcrossThreads) {
   StageSpec stage;
   stage.name = "traced-stage";
   for (int i = 0; i < 8; ++i) {
-    stage.tasks.push_back(TaskSpec{kAnyExecutor, {}, 0, [](TaskContext&) {
+    stage.tasks.push_back(TaskSpec{kAnyExecutor,
+                                   {},
+                                   0,
+                                   [](TaskContext&) {
                                      std::this_thread::sleep_for(
                                          std::chrono::milliseconds(1));
                                      return Status::OK();
-                                   }});
+                                   },
+                                   {}});
   }
   ASSERT_TRUE(cluster.RunStage(stage).ok());
   tracer.SetEnabled(false);
@@ -246,6 +259,148 @@ TEST(SchedulerStressTest, TaskSpansNestUnderStageAcrossThreads) {
   }
   EXPECT_EQ(task_events, 8);
   tracer.Clear();
+}
+
+// ---- spill-aware scheduling (residency map x dispatch order) ---------------
+
+uint64_t MemCounter(const std::string& name) {
+  return obs::Registry::Global().GetCounter(name).value();
+}
+
+SchemaPtr OneColSchema() {
+  return std::make_shared<Schema>(Schema({{"x", TypeId::kInt64, false}}));
+}
+
+/// A sealed, governed columnar chunk tagged (owner, shard) — synthetic
+/// residency for dispatch-order tests.
+std::shared_ptr<ColumnarChunk> GovernedChunk(uint64_t owner, uint32_t shard) {
+  auto chunk = std::make_shared<ColumnarChunk>(OneColSchema());
+  for (int64_t i = 0; i < 64; ++i) {
+    IDF_CHECK_OK(chunk->AppendRow({Value::Int64(i)}));
+  }
+  chunk->SealForCache(owner, shard);
+  return chunk;
+}
+
+TEST(ResidencySchedulingTest, EvictedInputTasksDispatchLast) {
+  // Four tasks over four partitions of one owner; partitions 1 and 3 are
+  // force-evicted. Resident-preferred dispatch must run {0, 2} before
+  // {1, 3}, preserving task-index order inside each group.
+  ::unsetenv("IDF_MEMORY_BUDGET");
+  mem::MemoryGovernor& gov = mem::MemoryGovernor::Global();
+  mem::ScopedBudget engage(gov.resident_bytes() + (64 << 20));
+  constexpr uint64_t kOwner = 990001;
+  std::vector<std::shared_ptr<ColumnarChunk>> chunks;
+  for (uint32_t p = 0; p < 4; ++p) chunks.push_back(GovernedChunk(kOwner, p));
+  ASSERT_EQ(gov.EvictPartition(kOwner, 1), 1u);
+  ASSERT_EQ(gov.EvictPartition(kOwner, 3), 1u);
+
+  const mem::ResidencyMap residency = gov.ResidencySnapshot();
+  ASSERT_GT(residency.at({kOwner, 0}).resident_bytes, 0u);
+  ASSERT_GT(residency.at({kOwner, 1}).spilled_bytes, 0u);
+  ASSERT_EQ(residency.at({kOwner, 1}).resident_bytes, 0u);
+
+  ClusterConfig config;
+  config.num_workers = 1;
+  config.executors_per_worker = 1;
+  config.cores_per_executor = 1;
+  config.scheduler_threads = 1;
+  Cluster cluster(config);
+  std::vector<uint32_t> order;
+  StageSpec stage;
+  stage.name = "residency-order";
+  for (uint32_t p = 0; p < 4; ++p) {
+    stage.tasks.push_back(TaskSpec{kAnyExecutor,
+                                   {},
+                                   0,
+                                   [&order, p](TaskContext&) {
+                                     order.push_back(p);
+                                     return Status::OK();
+                                   },
+                                   {{kOwner, p}}});
+  }
+  const uint64_t hits_before = MemCounter("sched.resident_hits");
+  const uint64_t misses_before = MemCounter("sched.resident_misses");
+  ASSERT_TRUE(cluster.RunStage(stage).ok());
+  const std::vector<uint32_t> expected{0, 2, 1, 3};
+  EXPECT_EQ(order, expected);
+  EXPECT_EQ(MemCounter("sched.resident_hits") - hits_before, 2u);
+  EXPECT_EQ(MemCounter("sched.resident_misses") - misses_before, 2u);
+}
+
+TEST(ResidencySchedulingTest, PrefetchNeverEvictsPinnedWorkingSet) {
+  // Prefetch spends only budget headroom: with zero headroom and the
+  // running task's chunk pinned, a prefetch of an evicted partition must be
+  // skipped — never traded against the pin.
+  ::unsetenv("IDF_MEMORY_BUDGET");
+  mem::MemoryGovernor& gov = mem::MemoryGovernor::Global();
+  mem::ScopedBudget engage(gov.resident_bytes() + (64 << 20));
+  constexpr uint64_t kOwner = 990002;
+  auto a = GovernedChunk(kOwner, 0);
+  auto b = GovernedChunk(kOwner, 1);
+  ASSERT_EQ(gov.EvictPartition(kOwner, 1), 1u);
+  ASSERT_FALSE(b->resident());
+  {
+    mem::AccessScope scope;
+    (void)a->RowAt(0);  // pins a for the scope: the "running task" working set
+    mem::ScopedBudget zero_headroom(gov.resident_bytes());
+    const uint64_t skipped_before = MemCounter("mem.prefetch.skipped");
+    gov.PrefetchPartition(kOwner, 1);
+    gov.DrainPrefetchForTesting();
+    EXPECT_GT(MemCounter("mem.prefetch.skipped"), skipped_before);
+    EXPECT_TRUE(a->resident());
+    EXPECT_FALSE(b->resident());
+
+    // The demand path still faults b in (overcommitting if it must) —
+    // prefetch being bounded never makes data unreachable.
+    EXPECT_EQ(b->RowAt(0)[0], Value::Int64(0));
+    EXPECT_TRUE(b->resident());
+    EXPECT_TRUE(a->resident());  // pinned throughout
+  }
+  // With headroom restored, the same prefetch reloads the partition.
+  gov.EnforceBudget();
+  ASSERT_EQ(gov.EvictPartition(kOwner, 1), 1u);
+  const uint64_t reloads_before = MemCounter("mem.prefetch.reloads");
+  gov.PrefetchPartition(kOwner, 1);
+  gov.DrainPrefetchForTesting();
+  EXPECT_GT(MemCounter("mem.prefetch.reloads"), reloads_before);
+  EXPECT_TRUE(b->resident());
+}
+
+TEST(ResidencySchedulingTest, QuarterBudgetParallelMatchesSequential) {
+  // The determinism contract survives memory pressure: at 25% of the
+  // working set, with IDF_PARALLEL forcing the pool, results are identical
+  // to the sequential unbudgeted run (residency-preferred dispatch only
+  // reorders claim order, never assignment or merge order).
+  ::unsetenv("IDF_MEMORY_BUDGET");
+  mem::MemoryGovernor& gov = mem::MemoryGovernor::Global();
+  const uint64_t base = gov.resident_bytes();
+  uint64_t with_workload = 0;
+  WorkloadResult reference;
+  {
+    mem::ScopedBudget engage(base + (256 << 20));  // roomy: registers chunks
+    reference = RunWorkload(1, &with_workload);
+  }
+  ASSERT_GT(with_workload, base);
+  const uint64_t budget = base + (with_workload - base) / 4;
+
+  WorkloadResult seq_budgeted;
+  {
+    mem::ScopedBudget tight(budget);
+    seq_budgeted = RunWorkload(1);
+  }
+  EXPECT_EQ(seq_budgeted.filter_rows, reference.filter_rows);
+  EXPECT_EQ(seq_budgeted.join_rows, reference.join_rows);
+
+  ::setenv("IDF_PARALLEL", "4", 1);
+  WorkloadResult par_budgeted;
+  {
+    mem::ScopedBudget tight(budget);
+    par_budgeted = RunWorkload(4);
+  }
+  ::unsetenv("IDF_PARALLEL");
+  EXPECT_EQ(par_budgeted.filter_rows, reference.filter_rows);
+  EXPECT_EQ(par_budgeted.join_rows, reference.join_rows);
 }
 
 }  // namespace

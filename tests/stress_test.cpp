@@ -7,11 +7,13 @@
 //  - randomized fault injection during a mixed workload.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <map>
 #include <thread>
 
 #include "common/rng.h"
 #include "core/indexed_dataframe.h"
+#include "mem/governor.h"
 
 namespace idf {
 namespace {
@@ -40,9 +42,11 @@ using Model = std::multimap<int64_t, int64_t>;  // key -> values
 
 class MvccStress : public ::testing::TestWithParam<uint64_t> {};
 
-TEST_P(MvccStress, RandomVersionTreeMatchesModel) {
+/// Body of the MVCC property: a random version tree checked against a
+/// multimap model per version. Shared with the budgeted variant below.
+void RunMvccVersionTree(uint64_t seed) {
   Session session(SmallOptions());
-  Rng rng(GetParam());
+  Rng rng(seed);
   constexpr int64_t kKeyDomain = 40;
 
   // Base data.
@@ -98,6 +102,10 @@ TEST_P(MvccStress, RandomVersionTreeMatchesModel) {
     }
     EXPECT_EQ(versions[vi].num_rows(), models[vi].size());
   }
+}
+
+TEST_P(MvccStress, RandomVersionTreeMatchesModel) {
+  RunMvccVersionTree(GetParam());
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, MvccStress,
@@ -230,6 +238,19 @@ TEST_P(FaultStress, MixedWorkloadSurvivesRandomFailures) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FaultStress,
                          ::testing::Values(7, 17, 27, 37));
+
+// ---- budgeted pass ---------------------------------------------------------
+
+// One pass of the MVCC property under a deliberately tight memory budget:
+// batches spill and fault back mid-workload, and every version must still
+// match its model exactly. Registered last so the governor's sticky
+// engagement cannot perturb the unbudgeted suites above.
+TEST(MvccStressBudgeted, TightBudgetPassMatchesModel) {
+  ::unsetenv("IDF_MEMORY_BUDGET");
+  mem::ScopedBudget tight(mem::MemoryGovernor::Global().resident_bytes() +
+                          (128 << 10));
+  RunMvccVersionTree(11);
+}
 
 }  // namespace
 }  // namespace idf
