@@ -11,16 +11,24 @@
 //       dump the global metrics registry as JSON on exit
 //   --trace-out=<file>.json    (or IDF_TRACE_OUT=<file>)
 //       enable span tracing and write a Chrome trace_event file on exit
+//   --events-out=<file>.jsonl  (or IDF_EVENTS_OUT=<file>)
+//       dump the flight-recorder journal (decode with tools/idf_events.py)
+//   --hold-seconds=<n>         (or IDF_HOLD_SECONDS=<n>)
+//       sleep n seconds before exporting/exiting, so an external scraper
+//       (curl against IDF_OBS_PORT) can observe the finished run
 #pragma once
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <functional>
 #include <string>
+#include <thread>
 
 #include "common/stats.h"
 #include "common/timer.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics_registry.h"
 #include "obs/trace.h"
 #include "sql/session.h"
@@ -36,18 +44,44 @@ class ObsGuard {
   ObsGuard(int argc, char** argv) {
     if (const char* env = std::getenv("IDF_METRICS_OUT")) metrics_path_ = env;
     if (const char* env = std::getenv("IDF_TRACE_OUT")) trace_path_ = env;
+    if (const char* env = std::getenv("IDF_EVENTS_OUT")) events_path_ = env;
+    if (const char* env = std::getenv("IDF_HOLD_SECONDS")) {
+      hold_seconds_ = std::atoi(env);
+    }
     for (int i = 1; i < argc; ++i) {
       const char* arg = argv[i];
       if (std::strncmp(arg, "--metrics-out=", 14) == 0) {
         metrics_path_ = arg + 14;
       } else if (std::strncmp(arg, "--trace-out=", 12) == 0) {
         trace_path_ = arg + 12;
+      } else if (std::strncmp(arg, "--events-out=", 13) == 0) {
+        events_path_ = arg + 13;
+      } else if (std::strncmp(arg, "--hold-seconds=", 15) == 0) {
+        hold_seconds_ = std::atoi(arg + 15);
       }
     }
     if (!trace_path_.empty()) obs::Tracer::Global().SetEnabled(true);
   }
 
   ~ObsGuard() {
+    if (hold_seconds_ > 0) {
+      std::printf("holding %d s for external scrapers (/metrics /events)...\n",
+                  hold_seconds_);
+      std::fflush(stdout);
+      std::this_thread::sleep_for(std::chrono::seconds(hold_seconds_));
+    }
+    if (!events_path_.empty()) {
+      const Status s =
+          obs::FlightRecorder::Global().DumpJsonl(events_path_);
+      if (s.ok()) {
+        std::printf("flight-recorder journal written to %s "
+                    "(decode with tools/idf_events.py)\n",
+                    events_path_.c_str());
+      } else {
+        std::fprintf(stderr, "events export failed: %s\n",
+                     s.message().c_str());
+      }
+    }
     if (!metrics_path_.empty()) {
       const Status s = obs::Registry::Global().WriteJson(metrics_path_);
       if (s.ok()) {
@@ -74,6 +108,8 @@ class ObsGuard {
  private:
   std::string metrics_path_;
   std::string trace_path_;
+  std::string events_path_;
+  int hold_seconds_ = 0;
 };
 
 inline double ScaleEnv() {

@@ -79,9 +79,10 @@ int RunMeasured(int reps) {
   constexpr int kProbesPerFetch = 256;  // probes served per modeled fetch
   constexpr auto kFetchStall = std::chrono::microseconds(400);
 
-  std::printf("%-8s %-12s %-12s %-10s %-8s\n", "Threads", "wall (s)",
-              "sum-task(s)", "speedup", "ideal");
+  std::printf("%-8s %-12s %-12s %-10s %-8s %-8s %-8s\n", "Threads", "wall (s)",
+              "sum-task(s)", "speedup", "ideal", "tasks", "steals");
   double t1 = 0;
+  obs::RegistryDelta delta;  // per-rung scheduler counters
   for (uint32_t threads : {1u, 2u, 4u, 8u}) {
     ClusterConfig config;
     config.num_workers = 4;
@@ -112,6 +113,7 @@ int RunMeasured(int reps) {
 
     Sample wall;
     Sample task_sum;
+    delta.Reset();
     for (int r = 0; r < reps; ++r) {
       auto metrics = cluster.RunStage(stage);
       if (!metrics.ok()) {
@@ -122,9 +124,12 @@ int RunMeasured(int reps) {
       task_sum.Add(metrics->real_seconds);
     }
     if (threads == 1) t1 = wall.Mean();
-    std::printf("%-8u %-12.4f %-12.4f %-10.2f %-8.1f\n", threads, wall.Mean(),
-                task_sum.Mean(), t1 / wall.Mean(),
-                static_cast<double>(threads));
+    std::printf("%-8u %-12.4f %-12.4f %-10.2f %-8.1f %-8llu %-8llu\n", threads,
+                wall.Mean(), task_sum.Mean(), t1 / wall.Mean(),
+                static_cast<double>(threads),
+                static_cast<unsigned long long>(delta.Counter("engine.tasks")),
+                static_cast<unsigned long long>(
+                    delta.Counter("engine.scheduler.steals")));
   }
   return 0;
 }

@@ -44,29 +44,28 @@ uint64_t RunLookups(const IndexedDataFrame& indexed, int64_t max_key) {
 
 void RunBudgetSweep(const IndexedDataFrame& indexed, int64_t max_key) {
   mem::MemoryGovernor& gov = mem::MemoryGovernor::Global();
-  obs::Counter& faults = obs::Registry::Global().GetCounter("mem.reload_faults");
-  obs::Counter& evictions = obs::Registry::Global().GetCounter("mem.evictions");
   const uint64_t working_set = gov.resident_bytes();
   std::printf("\nbudget sweep (working set %.1f MB, fixed lookup workload):\n",
               working_set / 1048576.0);
   std::printf("  %-10s %-12s %-12s %-10s %-10s %-8s\n", "budget", "resident",
               "spilled", "evictions", "faults", "rows");
-  // 100% (unbounded) down to 12.5% of the working set.
+  // 100% (unbounded) down to 12.5% of the working set. One RegistryDelta per
+  // rung isolates that rung's governor activity from everything before it.
   const double fractions[] = {1.0, 0.75, 0.5, 0.25, 0.125};
+  obs::RegistryDelta delta;
   for (const double fraction : fractions) {
     const uint64_t budget =
         static_cast<uint64_t>(static_cast<double>(working_set) * fraction);
-    const uint64_t faults_before = faults.value();
-    const uint64_t evictions_before = evictions.value();
+    delta.Reset();
     mem::ScopedBudget scoped(budget);
     const uint64_t rows = RunLookups(indexed, max_key);
     std::printf("  %6.1f%%    %-12llu %-12llu %-10llu %-10llu %llu\n",
                 fraction * 100.0,
                 static_cast<unsigned long long>(gov.resident_bytes()),
                 static_cast<unsigned long long>(gov.spilled_bytes()),
-                static_cast<unsigned long long>(evictions.value() -
-                                                evictions_before),
-                static_cast<unsigned long long>(faults.value() - faults_before),
+                static_cast<unsigned long long>(delta.Counter("mem.evictions")),
+                static_cast<unsigned long long>(
+                    delta.Counter("mem.reload_faults")),
                 static_cast<unsigned long long>(rows));
   }
 }
@@ -77,13 +76,6 @@ void RunBudgetSweep(const IndexedDataFrame& indexed, int64_t max_key) {
 /// still resident. Results must match the unbudgeted baseline exactly.
 void RunColumnarSweep(DataFrame& edges) {
   mem::MemoryGovernor& gov = mem::MemoryGovernor::Global();
-  obs::Registry& reg = obs::Registry::Global();
-  obs::Counter& faults = reg.GetCounter("mem.reload_faults");
-  obs::Counter& evictions = reg.GetCounter("mem.evictions");
-  obs::Counter& hits = reg.GetCounter("sched.resident_hits");
-  obs::Counter& misses = reg.GetCounter("sched.resident_misses");
-  obs::Counter& tasks = reg.GetCounter("engine.tasks");
-
   const uint64_t working_set = gov.resident_bytes();
   ExprPtr predicate = Gt(Col("weight"), Lit(0.5));
   auto baseline = edges.Filter(predicate).Collect();
@@ -100,41 +92,40 @@ void RunColumnarSweep(DataFrame& edges) {
   std::printf("  %-8s %-12s %-12s %-10s %-8s %-10s %-10s %-9s %s\n", "budget",
               "resident", "spilled", "evictions", "faults", "res.hits",
               "res.misses", "hit-rate", "identical");
-  const uint64_t sweep_hits_before = hits.value();
-  const uint64_t sweep_tasks_before = tasks.value();
+  // Two delta scopes: `sweep` spans the whole sweep for the overall hit
+  // rate; `rung` resets per budget step for the table rows.
+  obs::RegistryDelta sweep;
+  obs::RegistryDelta rung;
   const double fractions[] = {1.0, 0.5, 0.25};
   for (const double fraction : fractions) {
     const uint64_t budget =
         static_cast<uint64_t>(static_cast<double>(working_set) * fraction);
-    const uint64_t faults_before = faults.value();
-    const uint64_t evictions_before = evictions.value();
-    const uint64_t hits_before = hits.value();
-    const uint64_t misses_before = misses.value();
-    const uint64_t tasks_before = tasks.value();
+    rung.Reset();
     mem::ScopedBudget scoped(budget);
     auto result = edges.Filter(predicate).Collect();
     const bool identical =
         result.ok() && result->SortedRowStrings() == expected;
-    const uint64_t hit_delta = hits.value() - hits_before;
-    const uint64_t task_delta = tasks.value() - tasks_before;
+    const uint64_t hit_delta = rung.Counter("sched.resident_hits");
+    const uint64_t task_delta = rung.Counter("engine.tasks");
     std::printf("  %5.1f%%   %-12llu %-12llu %-10llu %-8llu %-10llu %-10llu "
                 "%6.1f%%   %s\n",
                 fraction * 100.0,
                 static_cast<unsigned long long>(gov.resident_bytes()),
                 static_cast<unsigned long long>(gov.spilled_bytes()),
-                static_cast<unsigned long long>(evictions.value() -
-                                                evictions_before),
-                static_cast<unsigned long long>(faults.value() - faults_before),
+                static_cast<unsigned long long>(rung.Counter("mem.evictions")),
+                static_cast<unsigned long long>(
+                    rung.Counter("mem.reload_faults")),
                 static_cast<unsigned long long>(hit_delta),
-                static_cast<unsigned long long>(misses.value() - misses_before),
+                static_cast<unsigned long long>(
+                    rung.Counter("sched.resident_misses")),
                 task_delta == 0
                     ? 0.0
                     : 100.0 * static_cast<double>(hit_delta) /
                           static_cast<double>(task_delta),
                 identical ? "yes" : "NO");
   }
-  const uint64_t sweep_hits = hits.value() - sweep_hits_before;
-  const uint64_t sweep_tasks = tasks.value() - sweep_tasks_before;
+  const uint64_t sweep_hits = sweep.Counter("sched.resident_hits");
+  const uint64_t sweep_tasks = sweep.Counter("engine.tasks");
   std::printf("overall resident-dispatch hit rate: %llu/%llu tasks (%.1f%%)\n",
               static_cast<unsigned long long>(sweep_hits),
               static_cast<unsigned long long>(sweep_tasks),

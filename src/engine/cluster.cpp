@@ -10,6 +10,8 @@
 #include "common/timer.h"
 #include "engine/scheduler.h"
 #include "mem/governor.h"
+#include "obs/flight_recorder.h"
+#include "obs/introspect.h"
 #include "obs/metrics_registry.h"
 #include "obs/trace.h"
 
@@ -55,6 +57,45 @@ struct EngineMetrics {
 /// for work that only the pool itself could run.
 thread_local bool t_in_stage_task = false;
 
+/// The governor's live residency view as JSON, served at /residency by the
+/// introspection server. Registered here (not in obs) so the obs layer
+/// stays free of upward dependencies on mem.
+std::string ResidencyJson() {
+  mem::MemoryGovernor& gov = mem::MemoryGovernor::Global();
+  const mem::ResidencyMap residency = gov.ResidencySnapshot();
+  std::string partitions;
+  for (const auto& [key, info] : residency) {
+    if (!partitions.empty()) partitions += ",";
+    partitions += "{\"rdd\":" + std::to_string(key.first) +
+                  ",\"partition\":" + std::to_string(key.second) +
+                  ",\"resident_bytes\":" + std::to_string(info.resident_bytes) +
+                  ",\"spilled_bytes\":" + std::to_string(info.spilled_bytes) +
+                  ",\"last_access\":" + std::to_string(info.last_access) + "}";
+  }
+  return "{\"engaged\":" +
+         std::string(mem::MemoryGovernor::Engaged() ? "true" : "false") +
+         ",\"budget_bytes\":" + std::to_string(gov.budget_bytes()) +
+         ",\"resident_bytes\":" + std::to_string(gov.resident_bytes()) +
+         ",\"spilled_bytes\":" + std::to_string(gov.spilled_bytes()) +
+         ",\"partitions\":[" + partitions + "]}";
+}
+
+/// One-time observability wiring, done at first Cluster construction: the
+/// /residency JSON source, the IDF_OBS_PORT server, and the IDF_EVENTS_DIR
+/// crash handler. All opt-in; without the env vars only the (always-cheap)
+/// handler registration happens.
+void WireIntrospectionOnce() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    obs::IntrospectionServer::Global().AddJsonHandler("/residency",
+                                                      ResidencyJson);
+    obs::IntrospectionServer::StartFromEnv();
+    if (std::getenv("IDF_EVENTS_DIR") != nullptr) {
+      obs::FlightRecorder::InstallCrashHandler();
+    }
+  });
+}
+
 }  // namespace
 
 /// Outcome slot for one task, written by whichever host thread ran it and
@@ -91,6 +132,7 @@ Cluster::Cluster(ClusterConfig config)
   if (budget > 0 || !spill_dir.empty()) {
     mem::MemoryGovernor::Global().Configure(budget, spill_dir);
   }
+  WireIntrospectionOnce();
 }
 
 ThreadPool& Cluster::pool() {
@@ -102,8 +144,9 @@ ThreadPool& Cluster::pool() {
 
 void Cluster::ExecuteTask(const StageSpec& stage, uint32_t index,
                           ExecutorId executor, uint64_t stage_span_id,
-                          TaskResult& out) {
+                          uint32_t stage_name_id, TaskResult& out) {
   EngineMetrics& em = EngineMetrics::Get();
+  obs::FlightRecorder& fr = obs::FlightRecorder::Global();
   // Explicit parent: on a pool thread the stage span lives on the driver's
   // stack, so the implicit thread-local link would miss it.
   obs::Span task_span("task", stage.name + " #" + std::to_string(index),
@@ -119,6 +162,7 @@ void Cluster::ExecuteTask(const StageSpec& stage, uint32_t index,
   // Test hook: lets a deterministic pressure harness evict batches between
   // tasks (mem::GovernorHooks::on_task_start). No-op unless hooks installed.
   mem::MemoryGovernor::NotifyTaskStart();
+  fr.Record(obs::EventType::kTaskStart, stage_name_id, index, executor, 0);
   Stopwatch timer;
   try {
     out.status = stage.tasks[index].body(ctx);
@@ -135,6 +179,10 @@ void Cluster::ExecuteTask(const StageSpec& stage, uint32_t index,
   out.ran = true;
   em.tasks.Increment();
   em.task_seconds.Observe(out.elapsed);
+  fr.Record(out.status.ok() ? obs::EventType::kTaskFinish
+                            : obs::EventType::kTaskFail,
+            stage_name_id, index, executor,
+            static_cast<uint64_t>(out.elapsed * 1e6));
   if (!out.status.ok()) return;
 
   ctx.metrics().compute_seconds += out.elapsed;
@@ -155,6 +203,10 @@ void Cluster::ExecuteTask(const StageSpec& stage, uint32_t index,
 
 Result<StageMetrics> Cluster::RunStage(const StageSpec& stage) {
   EngineMetrics& em = EngineMetrics::Get();
+  obs::FlightRecorder& fr = obs::FlightRecorder::Global();
+  // Interned once per stage (cold); tasks reuse the id on their hot path.
+  const uint32_t stage_name_id =
+      fr.enabled() ? fr.InternName(stage.name) : 0;
   obs::Span stage_span("stage", stage.name);
   Stopwatch stage_timer;
   StageMetrics metrics;
@@ -257,9 +309,13 @@ Result<StageMetrics> Cluster::RunStage(const StageSpec& stage) {
       if (have_residency && k + 1 < n && !resident[order[k + 1]]) {
         prefetch_inputs(order[k + 1]);
       }
-      ExecuteTask(stage, i, assigned[i], stage_span_id, results[i]);
+      ExecuteTask(stage, i, assigned[i], stage_span_id, stage_name_id,
+                  results[i]);
       if (have_residency) {
         (resident[i] ? em.resident_hits : em.resident_misses).Increment();
+        fr.Record(resident[i] ? obs::EventType::kResidentHit
+                              : obs::EventType::kResidentMiss,
+                  stage_name_id, i, 0, 0);
       }
       if (!results[i].status.ok()) break;
     }
@@ -277,7 +333,10 @@ Result<StageMetrics> Cluster::RunStage(const StageSpec& stage) {
         // claiming tasks, and already-running tasks finish undisturbed.
         while (!cancelled.load(std::memory_order_relaxed) &&
                lanes.Pop(w % alive.size(), &index, &stolen, &next_in_lane)) {
-          if (stolen) em.steals.Increment();
+          if (stolen) {
+            em.steals.Increment();
+            fr.Record(obs::EventType::kSteal, stage_name_id, index, w, 0);
+          }
           // Per-lane prefetch: the task now at the head of the lane this
           // claim came from runs next there — fault its spilled inputs in
           // (bounded by budget headroom, so it can never evict this task's
@@ -287,10 +346,13 @@ Result<StageMetrics> Cluster::RunStage(const StageSpec& stage) {
             prefetch_inputs(next_in_lane);
           }
           ExecuteTask(stage, index, assigned[index], stage_span_id,
-                      results[index]);
+                      stage_name_id, results[index]);
           if (have_residency) {
             (resident[index] ? em.resident_hits : em.resident_misses)
                 .Increment();
+            fr.Record(resident[index] ? obs::EventType::kResidentHit
+                                      : obs::EventType::kResidentMiss,
+                      stage_name_id, index, 0, 0);
           }
           if (!results[index].status.ok()) {
             cancelled.store(true, std::memory_order_relaxed);
@@ -389,6 +451,8 @@ size_t Cluster::KillExecutor(ExecutorId e) {
   }
   const size_t lost = blocks_.DropExecutor(e);
   EngineMetrics::Get().killed_executors.Increment();
+  obs::FlightRecorder::Global().Record(obs::EventType::kExecutorKill, 0, e,
+                                       lost, 0);
   IDF_LOG_INFO("killed executor %u (%zu blocks lost)", e, lost);
   return lost;
 }
@@ -440,6 +504,9 @@ Result<BlockPtr> Cluster::GetOrCompute(const BlockId& id, TaskContext& ctx) {
   EngineMetrics& em = EngineMetrics::Get();
   em.recovered_blocks.Increment();
   em.recovery_seconds.Observe(elapsed);
+  obs::FlightRecorder::Global().Record(
+      obs::EventType::kRecoveryBlock, 0, id.rdd, id.partition,
+      static_cast<uint64_t>(elapsed * 1e6));
   blocks_.Put(id, ctx.executor(), *recomputed);
   return recomputed;
 }

@@ -150,11 +150,13 @@ class Cluster {
  private:
   struct TaskResult;  // per-task outcome slot (cluster.cpp)
 
-  /// Executes one task body: span, context, timing, global counters. The
-  /// outcome lands in `out`; merging happens later, on the driver, in
-  /// task-index order.
+  /// Executes one task body: span, context, timing, global counters, flight-
+  /// recorder task events (stage_name_id is the stage name interned once by
+  /// RunStage). The outcome lands in `out`; merging happens later, on the
+  /// driver, in task-index order.
   void ExecuteTask(const StageSpec& stage, uint32_t index, ExecutorId executor,
-                   uint64_t stage_span_id, TaskResult& out);
+                   uint64_t stage_span_id, uint32_t stage_name_id,
+                   TaskResult& out);
 
   /// Lazily started pool of scheduler_threads() workers, shared by every
   /// stage this cluster runs.

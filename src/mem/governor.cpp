@@ -8,6 +8,7 @@
 #include <filesystem>
 
 #include "common/logging.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics_registry.h"
 #include "obs/trace.h"
 
@@ -270,6 +271,9 @@ bool MemoryGovernor::EvictLocked(Evictable* victim) {
     victim->spill_file_ = std::make_shared<SpillFile>(path);
     span.AddArgInt("bytes", *written);
     mm.spill_write_bytes.Add(*written);
+    obs::FlightRecorder::Global().Record(obs::EventType::kSpillWrite, 0,
+                                         *written, victim->identity_.owner,
+                                         victim->identity_.shard);
     // Salvageable payloads register with the catalog so recovery can read
     // them back even after the owning block is dropped.
     if (victim->identity_.salvageable()) {
@@ -293,6 +297,9 @@ bool MemoryGovernor::EvictLocked(Evictable* victim) {
   mm.evictions.Increment();
   mm.resident.Set(static_cast<double>(resident_bytes()));
   mm.spilled.Set(static_cast<double>(spilled_bytes()));
+  obs::FlightRecorder::Global().Record(obs::EventType::kEvict, 0, bytes,
+                                       victim->identity_.owner,
+                                       victim->identity_.shard);
   if (t_current_executor >= 0) {
     obs::Registry::Global()
         .GetCounter(obs::TaggedName(
@@ -322,6 +329,9 @@ Status MemoryGovernor::FaultIn(Evictable* e) {
   mm.resident.Set(static_cast<double>(resident_bytes()));
   mm.spilled.Set(static_cast<double>(spilled_bytes()));
   span.AddArgInt("bytes", e->spill_bytes_);
+  obs::FlightRecorder::Global().Record(obs::EventType::kReloadDemand, 0,
+                                       e->spill_bytes_, e->identity_.owner,
+                                       e->identity_.shard);
   if (t_current_executor >= 0) {
     obs::Registry::Global()
         .GetCounter(obs::TaggedName(
@@ -480,6 +490,8 @@ void MemoryGovernor::PrefetchPartitionSync(uint64_t owner, uint32_t shard) {
     // prefetch must never push out the running task's working set.
     if (budget == 0 || resident_bytes() + e->spill_bytes_ > budget) {
       mm.prefetch_skipped.Increment();
+      obs::FlightRecorder::Global().Record(obs::EventType::kPrefetchSkip, 0,
+                                           e->spill_bytes_, owner, shard);
       continue;
     }
     Status loaded = RunReloadHook(e->identity_, /*prefetch=*/true);
@@ -500,6 +512,8 @@ void MemoryGovernor::PrefetchPartitionSync(uint64_t owner, uint32_t shard) {
     const uint64_t payload = e->PayloadBytes();
     resident_bytes_.fetch_add(payload, std::memory_order_relaxed);
     spilled_bytes_.fetch_sub(e->spill_bytes_, std::memory_order_relaxed);
+    obs::FlightRecorder::Global().Record(obs::EventType::kReloadPrefetch, 0,
+                                         e->spill_bytes_, owner, shard);
     bytes += e->spill_bytes_;
     ++reloads;
   }

@@ -1,0 +1,187 @@
+// Flight recorder (observability v2, part 1): an always-on, lock-free,
+// fixed-size ring buffer of compact structured events — the last N things
+// the engine's hot machinery actually did, available at any moment and
+// especially at the moment of death.
+//
+// Why a ring and not the metrics registry: counters tell you *how many*
+// evictions happened over the process lifetime; a memory-pressure bug needs
+// to know *which* eviction ran between which two tasks. Why not spans: the
+// tracer allocates per event and is off by default; the recorder is cheap
+// enough (one relaxed fetch_add plus five relaxed word stores) to stay on
+// permanently, even in benches measuring the scheduler itself.
+//
+// Writers never block and never allocate. Each ring slot is a small seqlock:
+// a writer claims a ticket with one fetch_add, writes the five payload words
+// (relaxed atomics — multi-writer lapping is race-free by construction),
+// then publishes the slot by storing ticket+1 into the slot's sequence word
+// with release order. Snapshot readers validate the sequence before and
+// after copying a slot and drop slots a concurrent writer is overwriting —
+// a flight recorder tolerates losing an event it is in the middle of
+// replacing anyway.
+//
+// Event payloads are three uint64 words (a, b, c) plus an interned name id.
+// Names (stage names, mostly) intern into a fixed char pool so the
+// fatal-signal dump path can read them without touching the heap. The
+// per-type payload conventions are listed next to EventType below and
+// mirrored in tools/idf_events.py.
+//
+// Crash dumps: InstallCrashHandler() (done automatically by the Cluster
+// constructor when IDF_EVENTS_DIR is set) registers handlers for the fatal
+// signals; on SIGSEGV/SIGABRT/SIGBUS/SIGFPE/SIGILL the ring is written as
+// JSONL to IDF_EVENTS_DIR/idf-crash-<pid>.events.jsonl using only
+// async-signal-safe calls (open/write, hand-rolled formatting), then the
+// default disposition is restored and the signal re-raised.
+//
+// IDF_FLIGHT_RECORDER=0 disables recording (for A/B overhead measurements;
+// see EXPERIMENTS.md — the recorder-on cost is within noise).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+
+namespace idf::obs {
+
+/// Compact event kinds. Payload conventions (a, b, c):
+enum class EventType : uint8_t {
+  kTaskStart = 1,      // name=stage  a=task index  b=executor     c=0
+  kTaskFinish = 2,     // name=stage  a=task index  b=executor     c=micros
+  kTaskFail = 3,       // name=stage  a=task index  b=executor     c=micros
+  kSteal = 4,          // name=stage  a=task index  b=host worker  c=0
+  kResidentHit = 5,    // name=stage  a=task index  b=0            c=0
+  kResidentMiss = 6,   // name=stage  a=task index  b=0            c=0
+  kEvict = 7,          //             a=payload B   b=owner rdd    c=shard
+  kSpillWrite = 8,     //             a=bytes       b=owner rdd    c=shard
+  kReloadDemand = 9,   //             a=bytes       b=owner rdd    c=shard
+  kReloadPrefetch = 10,//             a=bytes       b=owner rdd    c=shard
+  kPrefetchSkip = 11,  //             a=bytes       b=owner rdd    c=shard
+  kBatchSeal = 12,     //             a=payload B   b=owner rdd    c=shard
+  kRecoveryBlock = 13, //             a=rdd         b=partition    c=micros
+  kExecutorKill = 14,  //             a=executor    b=blocks lost  c=0
+  kCrash = 15,         //             a=signal      b=0            c=0
+};
+
+/// Stable wire name for an event type ("task_start", "evict", ...); used by
+/// the JSONL dump and tools/idf_events.py. Unknown types render as "event".
+const char* EventTypeName(EventType type);
+
+/// One event copied out of the ring (Snapshot / dump paths).
+struct FlightEvent {
+  uint64_t seq = 0;    // global ticket — total order across threads
+  uint64_t ts_us = 0;  // microseconds since the recorder's construction
+  EventType type = EventType::kCrash;
+  uint32_t tid = 0;    // dense per-thread id, 1-based, first-record order
+  std::string name;    // interned name ("" when the event carries none)
+  uint64_t a = 0, b = 0, c = 0;
+};
+
+class FlightRecorder {
+ public:
+  /// Ring capacity in events (~3 MB resident). Power of two by construction.
+  static constexpr size_t kCapacity = 1u << 16;
+
+  /// The process-wide recorder. Recording starts enabled unless
+  /// IDF_FLIGHT_RECORDER=0 was exported before first use.
+  static FlightRecorder& Global();
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  void SetEnabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+
+  /// Interns `name` into the fixed pool, returning its id (0 = no name).
+  /// Idempotent per string; cold path (mutex + map). Callers cache the id —
+  /// e.g. once per RunStage, not per task. When the pool is full, returns
+  /// the id of the sentinel name "<pool-full>" rather than failing.
+  uint32_t InternName(const std::string& name);
+
+  /// Records one event. Lock-free, allocation-free, ~10ns: a relaxed
+  /// fetch_add to claim a slot plus relaxed stores. Safe from any thread.
+  void Record(EventType type, uint32_t name_id, uint64_t a, uint64_t b,
+              uint64_t c);
+
+  /// Microseconds since construction (the event clock).
+  uint64_t NowMicros() const;
+
+  /// Events recorded since process start (monotonic; ring keeps the last
+  /// kCapacity of them).
+  uint64_t total_recorded() const {
+    return head_.load(std::memory_order_relaxed);
+  }
+
+  /// Copies out up to `max_events` of the newest valid events, oldest
+  /// first (0 = the whole ring). Slots mid-overwrite are skipped.
+  std::vector<FlightEvent> Snapshot(size_t max_events = 0) const;
+
+  /// The snapshot as JSONL, one event object per line:
+  ///   {"seq":..,"ts_us":..,"type":"evict","tid":..,"name":"..",
+  ///    "a":..,"b":..,"c":..}
+  std::string ToJsonl(size_t max_events = 0) const;
+
+  /// Writes ToJsonl(max_events) to `path`.
+  Status DumpJsonl(const std::string& path, size_t max_events = 0) const;
+
+  /// Async-signal-safe dump of the ring tail to an open fd — write(2) and
+  /// stack buffers only. Returns the number of events written. Public so
+  /// tests can exercise the crash-dump encoder without dying.
+  size_t DumpToFd(int fd, size_t max_events = 0) const;
+
+  /// Installs fatal-signal handlers (SEGV/ABRT/BUS/FPE/ILL) that dump the
+  /// ring to <dir>/idf-crash-<pid>.events.jsonl and re-raise. `dir` empty
+  /// means $IDF_EVENTS_DIR, falling back to the current directory.
+  /// Idempotent; the first call wins.
+  static void InstallCrashHandler(const std::string& dir = "");
+
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+ private:
+  FlightRecorder();
+
+  /// One ring slot: a per-slot seqlock. seq == ticket+1 publishes the
+  /// payload words; 0 means never written or mid-write.
+  struct Slot {
+    std::atomic<uint64_t> seq{0};
+    std::atomic<uint64_t> ts{0};
+    std::atomic<uint64_t> meta{0};  // type(8) | tid(24) | name(32)
+    std::atomic<uint64_t> a{0};
+    std::atomic<uint64_t> b{0};
+    std::atomic<uint64_t> c{0};
+  };
+
+  /// Raw (still-packed) copy of one slot, validated against its seqlock.
+  struct RawEvent {
+    uint64_t seq, ts, meta, a, b, c;
+  };
+
+  /// Copies the newest valid slots, oldest first, into `out` (fixed caller
+  /// buffer, no allocation — shared by Snapshot and the signal-safe dump).
+  size_t CopyValid(RawEvent* out, size_t max_events) const;
+
+  const char* NameAt(uint32_t id) const;  // "" for 0 / out of range
+
+  std::atomic<bool> enabled_{true};
+  std::atomic<uint64_t> head_{0};
+  uint64_t epoch_ns_ = 0;  // steady_clock at construction
+  std::vector<Slot> slots_;
+
+  // Interned names: a fixed char pool + offset table so the signal handler
+  // can resolve ids without the heap. Writers append under names_mutex_;
+  // readers only consult entries below num_names_ (release/acquire pair).
+  static constexpr uint32_t kMaxNames = 1024;
+  static constexpr size_t kNamePoolBytes = 64 * 1024;
+  std::mutex names_mutex_;
+  std::unordered_map<std::string, uint32_t> name_ids_;
+  uint32_t name_offset_[kMaxNames] = {};
+  char name_pool_[kNamePoolBytes] = {};
+  size_t name_pool_used_ = 0;          // guarded by names_mutex_
+  std::atomic<uint32_t> num_names_{1};  // id 0 reserved for "no name"
+  uint32_t pool_full_id_ = 0;          // "<pool-full>" sentinel, set in ctor
+};
+
+}  // namespace idf::obs

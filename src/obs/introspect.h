@@ -1,0 +1,91 @@
+// Embedded introspection server (observability v2, part 2): a dependency-
+// free HTTP/1.0 endpoint over plain POSIX sockets for watching a live
+// process — you cannot operate a budgeted cache you cannot see.
+//
+// Endpoints:
+//   /metrics      Prometheus text exposition (version 0.0.4) of the global
+//                 metrics registry: counters, gauges, and histograms with
+//                 explicit cumulative `le` buckets from the registry's
+//                 base-2 bucket boundaries. Tagged metric names
+//                 (`mem.evictions{executor=3}`) render as proper labels.
+//   /events?n=N   The newest N flight-recorder events (default 512) as
+//                 JSONL (application/x-ndjson).
+//   /healthz      200 "ok" — liveness probe.
+//   <registered>  Arbitrary JSON sources added via AddJsonHandler — the
+//                 engine registers /residency (the memory governor's live
+//                 ResidencyMap) this way, keeping obs free of upward deps.
+//
+// Opt-in and intentionally minimal: one background thread, one request at
+// a time, Connection: close. Enabled by exporting IDF_OBS_PORT=<port>
+// before the first Cluster is constructed (StartFromEnv), or directly via
+// Start(port); port 0 binds an ephemeral port (tests). This is a debugging
+// and scrape endpoint, not a production web server: bind is on 127.0.0.1.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+
+namespace idf::obs {
+
+struct MetricSnapshot;
+
+/// Renders registry snapshots as Prometheus text exposition format 0.0.4.
+/// Metric names sanitize to [a-zA-Z0-9_:]; `{k=v,...}` tag suffixes become
+/// label sets; histograms emit cumulative `name_bucket{le="..."}` series
+/// plus `name_sum` / `name_count`. Exposed for tests.
+std::string PrometheusText(const std::vector<MetricSnapshot>& snapshot);
+
+class IntrospectionServer {
+ public:
+  /// The process-wide server (leaky singleton, like the registry).
+  static IntrospectionServer& Global();
+
+  /// Binds 127.0.0.1:<port> (0 = ephemeral) and starts the serving thread.
+  /// Returns the bound port. Unavailable if already running or bind fails.
+  Result<uint16_t> Start(uint16_t port);
+
+  /// Starts the global server when IDF_OBS_PORT is set to a valid port.
+  /// Safe to call many times (e.g. every Cluster construction): only the
+  /// first successful start binds. Logs a warning on a bad port value.
+  static void StartFromEnv();
+
+  /// Stops the serving thread and closes the socket. Idempotent.
+  void Stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+  uint16_t port() const { return port_; }
+
+  /// Registers (or replaces) a JSON source at `path` (must start with '/').
+  /// The handler runs on the serving thread; it must not block for long and
+  /// must return a complete JSON document.
+  void AddJsonHandler(const std::string& path, std::function<std::string()> fn);
+
+  IntrospectionServer(const IntrospectionServer&) = delete;
+  IntrospectionServer& operator=(const IntrospectionServer&) = delete;
+
+ private:
+  IntrospectionServer() = default;
+  ~IntrospectionServer();
+
+  void ServeLoop();
+  void HandleConnection(int fd);
+
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_{false};
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::thread thread_;
+  std::mutex handlers_mutex_;
+  std::map<std::string, std::function<std::string()>> handlers_;
+  std::mutex lifecycle_mutex_;  // serializes Start/Stop
+};
+
+}  // namespace idf::obs

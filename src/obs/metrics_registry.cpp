@@ -21,6 +21,21 @@ double BucketUpper(int bucket) {
   return std::ldexp(1.0, bucket + Histogram::kMinExp);
 }
 
+}  // namespace
+
+double Histogram::BucketUpperBound(int bucket) { return BucketUpper(bucket); }
+
+std::vector<std::pair<double, uint64_t>> Histogram::BucketCounts() const {
+  std::vector<std::pair<double, uint64_t>> out;
+  for (int b = 0; b < kNumBuckets; ++b) {
+    const uint64_t n = buckets_[b].load(std::memory_order_relaxed);
+    if (n > 0) out.emplace_back(BucketUpper(b), n);
+  }
+  return out;
+}
+
+namespace {
+
 void AtomicMinMax(std::atomic<double>& slot, double v, bool want_min) {
   double cur = slot.load(std::memory_order_relaxed);
   while (want_min ? v < cur : v > cur) {
@@ -151,6 +166,7 @@ std::vector<MetricSnapshot> Registry::Snapshot() const {
         snap.p50 = h.Quantile(0.50);
         snap.p95 = h.Quantile(0.95);
         snap.p99 = h.Quantile(0.99);
+        snap.buckets = h.BucketCounts();
         break;
       }
     }
@@ -193,7 +209,13 @@ std::string Registry::ToJson() const {
                       ",\"max\":" + NumberJson(s.max) +
                       ",\"p50\":" + NumberJson(s.p50) +
                       ",\"p95\":" + NumberJson(s.p95) +
-                      ",\"p99\":" + NumberJson(s.p99) + "}";
+                      ",\"p99\":" + NumberJson(s.p99) + ",\"buckets\":[";
+        for (size_t i = 0; i < s.buckets.size(); ++i) {
+          if (i) histograms += ",";
+          histograms += "[" + NumberJson(s.buckets[i].first) + "," +
+                        std::to_string(s.buckets[i].second) + "]";
+        }
+        histograms += "]}";
         break;
     }
   }
@@ -219,6 +241,108 @@ Status Registry::WriteJson(const std::string& path) const {
 void Registry::Clear() {
   std::lock_guard<std::mutex> lock(mutex_);
   metrics_.clear();
+}
+
+// ---- snapshot diffing (per-phase bench reporting) ---------------------------
+
+double BucketQuantile(const std::vector<std::pair<double, uint64_t>>& buckets,
+                      double q) {
+  uint64_t total = 0;
+  for (const auto& [bound, n] : buckets) total += n;
+  if (total == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(total - 1));
+  uint64_t seen = 0;
+  for (const auto& [bound, n] : buckets) {
+    seen += n;
+    if (seen > rank) return bound;
+  }
+  return buckets.back().first;
+}
+
+namespace {
+
+/// Rebuilds a histogram snapshot's derived stats from diffed buckets.
+/// Exact min/max are not diffable (the extremum may predate the baseline),
+/// so they degrade to bucket-resolution bounds of the delta distribution.
+void FillHistogramStats(MetricSnapshot& s) {
+  s.mean = s.count == 0 ? 0.0 : s.sum / static_cast<double>(s.count);
+  s.min = s.buckets.empty() ? 0.0 : s.buckets.front().first / 2.0;
+  s.max = s.buckets.empty() ? 0.0 : s.buckets.back().first;
+  s.p50 = BucketQuantile(s.buckets, 0.50);
+  s.p95 = BucketQuantile(s.buckets, 0.95);
+  s.p99 = BucketQuantile(s.buckets, 0.99);
+}
+
+}  // namespace
+
+std::vector<MetricSnapshot> DiffSnapshots(
+    const std::vector<MetricSnapshot>& before,
+    const std::vector<MetricSnapshot>& after) {
+  std::map<std::string, const MetricSnapshot*> base;
+  for (const MetricSnapshot& s : before) base[s.name] = &s;
+  std::vector<MetricSnapshot> out;
+  out.reserve(after.size());
+  for (const MetricSnapshot& s : after) {
+    MetricSnapshot d = s;
+    auto it = base.find(s.name);
+    const MetricSnapshot* b =
+        (it != base.end() && it->second->kind == s.kind) ? it->second : nullptr;
+    switch (s.kind) {
+      case MetricKind::kCounter:
+        if (b != nullptr) d.counter_value -= std::min(b->counter_value,
+                                                      d.counter_value);
+        break;
+      case MetricKind::kGauge:
+        break;  // a level, not a total: report where it is now
+      case MetricKind::kHistogram: {
+        if (b != nullptr) {
+          d.count -= std::min(b->count, d.count);
+          d.sum -= b->sum;
+          std::map<double, uint64_t> merged(d.buckets.begin(), d.buckets.end());
+          for (const auto& [bound, n] : b->buckets) {
+            auto m = merged.find(bound);
+            if (m != merged.end()) m->second -= std::min(n, m->second);
+          }
+          d.buckets.clear();
+          for (const auto& [bound, n] : merged) {
+            if (n > 0) d.buckets.emplace_back(bound, n);
+          }
+        }
+        FillHistogramStats(d);
+        break;
+      }
+    }
+    out.push_back(std::move(d));
+  }
+  return out;
+}
+
+RegistryDelta::RegistryDelta(const Registry* registry)
+    : registry_(registry != nullptr ? registry : &Registry::Global()),
+      before_(registry_->Snapshot()) {}
+
+void RegistryDelta::Reset() { before_ = registry_->Snapshot(); }
+
+std::vector<MetricSnapshot> RegistryDelta::Deltas() const {
+  return DiffSnapshots(before_, registry_->Snapshot());
+}
+
+uint64_t RegistryDelta::Counter(const std::string& name) const {
+  uint64_t baseline = 0;
+  for (const MetricSnapshot& s : before_) {
+    if (s.name == name && s.kind == MetricKind::kCounter) {
+      baseline = s.counter_value;
+      break;
+    }
+  }
+  const std::vector<MetricSnapshot> now = registry_->Snapshot();
+  for (const MetricSnapshot& s : now) {
+    if (s.name == name && s.kind == MetricKind::kCounter) {
+      return s.counter_value - std::min(baseline, s.counter_value);
+    }
+  }
+  return 0;
 }
 
 std::string JsonEscape(const std::string& s) {

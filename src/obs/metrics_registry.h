@@ -82,6 +82,16 @@ class Histogram {
   /// Bucket-resolution quantile estimate, q in [0, 1].
   double Quantile(double q) const;
 
+  /// Inclusive upper bound of bucket `i`'s value range (2^(i + kMinExp)).
+  /// Exposed so exporters and diff tooling share the base-2 bucket math
+  /// instead of reimplementing it.
+  static double BucketUpperBound(int bucket);
+
+  /// Non-cumulative per-bucket counts as (upper_bound, count) pairs, only
+  /// buckets with count > 0, ascending by bound. The Prometheus exporter
+  /// accumulates these into cumulative `le` buckets.
+  std::vector<std::pair<double, uint64_t>> BucketCounts() const;
+
  private:
   std::atomic<uint64_t> buckets_[kNumBuckets] = {};
   std::atomic<uint64_t> count_{0};
@@ -101,6 +111,56 @@ struct MetricSnapshot {
   double gauge_value = 0;       // kGauge
   uint64_t count = 0;           // kHistogram
   double sum = 0, mean = 0, min = 0, max = 0, p50 = 0, p95 = 0, p99 = 0;
+  /// kHistogram: non-cumulative (upper_bound, count) pairs, non-zero
+  /// buckets only, ascending (see Histogram::BucketCounts).
+  std::vector<std::pair<double, uint64_t>> buckets;
+};
+
+/// Bucket-resolution quantile over a (upper_bound, count) bucket vector —
+/// the same estimate Histogram::Quantile computes from its live buckets,
+/// usable on diffed snapshots.
+double BucketQuantile(const std::vector<std::pair<double, uint64_t>>& buckets,
+                      double q);
+
+/// Per-metric difference `after - before` of two Registry snapshots, for
+/// per-phase reporting (benches): counters and histogram count/sum/buckets
+/// subtract (quantiles/mean/min/max recomputed from the bucket deltas);
+/// gauges are levels, not totals, so the delta keeps the `after` value.
+/// Metrics absent from `before` count as zero there; metrics absent from
+/// `after` are dropped. Output is sorted by name.
+std::vector<MetricSnapshot> DiffSnapshots(
+    const std::vector<MetricSnapshot>& before,
+    const std::vector<MetricSnapshot>& after);
+
+class Registry;
+
+/// Phase-scoped metric deltas for benches: capture a baseline at
+/// construction, then ask what changed.
+///
+///   obs::RegistryDelta phase;            // snapshot "before"
+///   RunWorkload();
+///   uint64_t evictions = phase.Counter("mem.evictions");
+///   std::vector<MetricSnapshot> all = phase.Deltas();
+///
+/// Lets figure benches report per-phase numbers (one budget step, one
+/// thread-count rung) instead of process-lifetime totals.
+class RegistryDelta {
+ public:
+  /// Captures the baseline snapshot now. Defaults to the global registry.
+  explicit RegistryDelta(const Registry* registry = nullptr);
+
+  /// Re-captures the baseline (start of the next phase).
+  void Reset();
+
+  /// All metric deltas since the baseline (see DiffSnapshots).
+  std::vector<MetricSnapshot> Deltas() const;
+
+  /// Delta of one counter since the baseline (0 if never registered).
+  uint64_t Counter(const std::string& name) const;
+
+ private:
+  const Registry* registry_;
+  std::vector<MetricSnapshot> before_;
 };
 
 /// One tag dimension; TaggedName folds a list of these into a metric name.
@@ -132,7 +192,11 @@ class Registry {
   ///   {"counters": {name: value, ...},
   ///    "gauges": {name: value, ...},
   ///    "histograms": {name: {"count":..,"sum":..,"mean":..,"min":..,
-  ///                          "max":..,"p50":..,"p95":..,"p99":..}, ...}}
+  ///                          "max":..,"p50":..,"p95":..,"p99":..,
+  ///                          "buckets":[[le,count],...]}, ...}}
+  /// Histogram "buckets" are non-cumulative counts keyed by the bucket's
+  /// inclusive upper bound, non-zero buckets only — external tools get the
+  /// explicit base-2 boundaries instead of reimplementing the bucket math.
   std::string ToJson() const;
 
   Status WriteJson(const std::string& path) const;

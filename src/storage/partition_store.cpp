@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/flight_recorder.h"
 #include "obs/metrics_registry.h"
 
 namespace idf {
@@ -49,7 +50,14 @@ PartitionStore PartitionStore::Snapshot() {
   // side's next append opens a fresh (hint-sized) batch of its own. Sealing
   // also hands the batch to the memory governor — from here on it may be
   // spilled under memory pressure (it is shared, so it spills once).
-  if (tail_ != nullptr) tail_->Seal();
+  if (tail_ != nullptr) {
+    if (tail_exclusive_) {
+      obs::FlightRecorder::Global().Record(obs::EventType::kBatchSeal, 0,
+                                           tail_->used(), spill_owner_,
+                                           spill_shard_);
+    }
+    tail_->Seal();
+  }
   snap.tail_exclusive_ = false;
   tail_exclusive_ = false;
   StorageMetrics::Get().snapshots.Increment();
@@ -81,7 +89,12 @@ Result<std::shared_ptr<RowBatch>> PartitionStore::WritableTail(uint32_t len) {
   }
   // The outgoing tail will never be written again — it becomes immutable
   // here, which is exactly when the governor may start evicting it.
-  if (tail_ != nullptr && tail_exclusive_) tail_->Seal();
+  if (tail_ != nullptr && tail_exclusive_) {
+    obs::FlightRecorder::Global().Record(obs::EventType::kBatchSeal, 0,
+                                         tail_->used(), spill_owner_,
+                                         spill_shard_);
+    tail_->Seal();
+  }
   tail_ = RowBatch::Create(capacity);
   if (spill_owner_ != 0) {
     tail_->SetSpillIdentity(

@@ -1,0 +1,469 @@
+// Tests for observability v2: the flight recorder ring (wraparound under
+// concurrent writers, JSONL encoding, crash-dump round trip through the
+// signal-safe encoder and the python decoder) and the introspection
+// endpoint (Prometheus /metrics with explicit buckets, /residency JSON,
+// /events tail — all fetched over a real loopback socket while a budgeted
+// query has actually exercised the governor).
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <dirent.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/indexed_dataframe.h"
+#include "mem/governor.h"
+#include "obs/flight_recorder.h"
+#include "obs/introspect.h"
+#include "obs/metrics_registry.h"
+#include "sql/session.h"
+
+namespace idf {
+namespace {
+
+using obs::EventType;
+using obs::FlightEvent;
+using obs::FlightRecorder;
+
+// ---- ring buffer ----------------------------------------------------------
+
+TEST(FlightRecorderTest, RecordsAndSnapshotsInOrder) {
+  FlightRecorder& fr = FlightRecorder::Global();
+  fr.SetEnabled(true);
+  const uint32_t name = fr.InternName("fr-order-stage");
+  const uint64_t base = fr.total_recorded();
+  for (uint64_t i = 0; i < 100; ++i) {
+    fr.Record(EventType::kTaskStart, name, i, i + 1, i + 2);
+  }
+  EXPECT_EQ(fr.total_recorded(), base + 100);
+
+  std::vector<FlightEvent> events = fr.Snapshot();
+  ASSERT_GE(events.size(), 100u);
+  // Oldest-first, strictly increasing seq.
+  for (size_t i = 1; i < events.size(); ++i) {
+    EXPECT_LT(events[i - 1].seq, events[i].seq);
+  }
+  // The 100 we just wrote are the newest and carry the interned name.
+  size_t matched = 0;
+  for (const FlightEvent& e : events) {
+    if (e.seq < base) continue;
+    EXPECT_EQ(e.type, EventType::kTaskStart);
+    EXPECT_EQ(e.name, "fr-order-stage");
+    EXPECT_EQ(e.a + 1, e.b);
+    EXPECT_EQ(e.a + 2, e.c);
+    EXPECT_GT(e.tid, 0u);
+    ++matched;
+  }
+  EXPECT_EQ(matched, 100u);
+}
+
+TEST(FlightRecorderTest, DisabledRecorderDropsEvents) {
+  FlightRecorder& fr = FlightRecorder::Global();
+  fr.SetEnabled(false);
+  const uint64_t before = fr.total_recorded();
+  fr.Record(EventType::kEvict, 0, 1, 2, 3);
+  EXPECT_EQ(fr.total_recorded(), before);
+  fr.SetEnabled(true);
+}
+
+TEST(FlightRecorderTest, InternNameIsIdempotent) {
+  FlightRecorder& fr = FlightRecorder::Global();
+  const uint32_t a = fr.InternName("fr-intern-x");
+  const uint32_t b = fr.InternName("fr-intern-x");
+  const uint32_t c = fr.InternName("fr-intern-y");
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_NE(a, 0u);
+}
+
+// The wraparound test: more events than kCapacity from several writers at
+// once. Every snapshotted slot must be internally consistent (the payload
+// invariant a+1==b holds), seqs must be unique and increasing, and the
+// snapshot must never exceed the ring capacity. Runs under TSan in CI —
+// the per-slot seqlock is exactly the kind of code a race detector eats.
+TEST(FlightRecorderTest, WraparoundUnderConcurrentWriters) {
+  FlightRecorder& fr = FlightRecorder::Global();
+  fr.SetEnabled(true);
+  const uint32_t name = fr.InternName("fr-wrap-stage");
+  constexpr int kThreads = 8;
+  const uint64_t per_thread = (FlightRecorder::kCapacity / kThreads) * 2;
+
+  const uint64_t base = fr.total_recorded();
+  std::atomic<bool> go{false};
+  std::vector<std::thread> writers;
+  writers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&, t] {
+      while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+      for (uint64_t i = 0; i < per_thread; ++i) {
+        const uint64_t tag = static_cast<uint64_t>(t) << 32 | i;
+        fr.Record(EventType::kSteal, name, tag, tag + 1, tag + 2);
+      }
+    });
+  }
+  go.store(true, std::memory_order_release);
+
+  // Concurrent readers while the ring is lapping itself.
+  for (int round = 0; round < 4; ++round) {
+    std::vector<FlightEvent> mid = fr.Snapshot(1024);
+    EXPECT_LE(mid.size(), 1024u);
+    for (const FlightEvent& e : mid) {
+      if (e.seq < base) continue;
+      EXPECT_EQ(e.a + 1, e.b);
+      EXPECT_EQ(e.a + 2, e.c);
+    }
+  }
+  for (std::thread& w : writers) w.join();
+
+  EXPECT_EQ(fr.total_recorded(), base + kThreads * per_thread);
+  std::vector<FlightEvent> events = fr.Snapshot();
+  EXPECT_LE(events.size(), FlightRecorder::kCapacity);
+  // The ring wrapped at least once, so it is full of our newest events.
+  EXPECT_GT(events.size(), FlightRecorder::kCapacity / 2);
+  int64_t last_seq = -1;
+  for (const FlightEvent& e : events) {
+    EXPECT_GT(static_cast<int64_t>(e.seq), last_seq);  // strictly increasing
+    last_seq = static_cast<int64_t>(e.seq);
+    if (e.seq < base) continue;
+    EXPECT_EQ(e.type, EventType::kSteal);
+    EXPECT_EQ(e.a + 1, e.b);
+    EXPECT_EQ(e.a + 2, e.c);
+    EXPECT_EQ(e.name, "fr-wrap-stage");
+  }
+  // Everything still in the ring is from the newest kCapacity tickets.
+  EXPECT_GE(static_cast<uint64_t>(last_seq) + 1, fr.total_recorded());
+}
+
+TEST(FlightRecorderTest, JsonlLinesAreWellFormed) {
+  FlightRecorder& fr = FlightRecorder::Global();
+  fr.SetEnabled(true);
+  const uint32_t name = fr.InternName("fr-jsonl \"quoted\\stage\"");
+  fr.Record(EventType::kEvict, name, 123, 456, 789);
+  const std::string jsonl = fr.ToJsonl(4);
+  std::istringstream lines(jsonl);
+  std::string line;
+  size_t count = 0;
+  bool saw_ours = false;
+  while (std::getline(lines, line)) {
+    ++count;
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+    EXPECT_NE(line.find("\"seq\":"), std::string::npos);
+    EXPECT_NE(line.find("\"ts_us\":"), std::string::npos);
+    EXPECT_NE(line.find("\"type\":\""), std::string::npos);
+    EXPECT_NE(line.find("\"tid\":"), std::string::npos);
+    if (line.find("\"type\":\"evict\"") != std::string::npos &&
+        line.find("\"a\":123") != std::string::npos) {
+      saw_ours = true;
+      // The name must be JSON-escaped (quote and backslash).
+      EXPECT_NE(line.find("fr-jsonl \\\"quoted\\\\stage\\\""),
+                std::string::npos);
+    }
+  }
+  EXPECT_LE(count, 4u);
+  EXPECT_TRUE(saw_ours);
+}
+
+// ---- crash dump round trip ------------------------------------------------
+
+// The signal-safe encoder (DumpToFd) must produce the same JSONL the
+// normal path does — verified byte-for-byte here, no dying required.
+TEST(FlightRecorderTest, SignalSafeDumpMatchesToJsonl) {
+  FlightRecorder& fr = FlightRecorder::Global();
+  fr.SetEnabled(true);
+  const uint32_t name = fr.InternName("fr-dump-stage");
+  for (uint64_t i = 0; i < 16; ++i) {
+    fr.Record(EventType::kSpillWrite, name, i * 4096, 7, i);
+  }
+  const std::string path =
+      ::testing::TempDir() + "/fr_dumpfd_" + std::to_string(::getpid());
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  ASSERT_GE(fd, 0);
+  const size_t written = fr.DumpToFd(fd, 16);
+  ::close(fd);
+  EXPECT_EQ(written, 16u);
+
+  std::ifstream in(path);
+  std::stringstream file_contents;
+  file_contents << in.rdbuf();
+  // Not strictly equal to a fresh ToJsonl() — another test thread is not
+  // running, but be safe: both encoders dump the same ring tail.
+  EXPECT_EQ(file_contents.str(), fr.ToJsonl(16));
+  std::remove(path.c_str());
+}
+
+TEST(FlightRecorderDeathTest, CrashHandlerDumpsDecodableJournal) {
+  // Default ("fast") death-test style: the child is forked right here, so it
+  // shares `dir` with the parent. Threadsafe style would re-execute the test
+  // from the top in the child, which would recompute a pid-based dir.
+  const std::string dir =
+      ::testing::TempDir() + "/fr_crash_" + std::to_string(::getpid());
+  ASSERT_EQ(::mkdir(dir.c_str(), 0755), 0);
+
+  // The child installs the handler, records some context, then aborts. The
+  // handler must write the journal and re-raise (so the child dies with
+  // SIGABRT, which is what EXPECT_EXIT checks).
+  EXPECT_EXIT(
+      {
+        FlightRecorder& fr = FlightRecorder::Global();
+        fr.SetEnabled(true);
+        const uint32_t name = fr.InternName("doomed-stage");
+        fr.Record(EventType::kTaskStart, name, 3, 1, 0);
+        fr.Record(EventType::kEvict, 0, 65536, 42, 5);
+        FlightRecorder::InstallCrashHandler(dir);
+        std::abort();
+      },
+      ::testing::KilledBySignal(SIGABRT),
+      "flight recorder: crash journal written to ");
+
+  // Find the child's journal (pid unknown): exactly one file in our dir.
+  std::string journal;
+  {
+    DIR* d = ::opendir(dir.c_str());
+    ASSERT_NE(d, nullptr);
+    while (dirent* entry = ::readdir(d)) {
+      const std::string file = entry->d_name;
+      if (file.rfind("idf-crash-", 0) == 0) journal = dir + "/" + file;
+    }
+    ::closedir(d);
+  }
+  ASSERT_FALSE(journal.empty()) << "no crash journal in " << dir;
+
+  // The journal must contain the pre-crash context and the crash marker
+  // (signal 6 = SIGABRT), i.e. the handler dumped the live ring.
+  std::ifstream in(journal);
+  std::stringstream raw;
+  raw << in.rdbuf();
+  const std::string text = raw.str();
+  EXPECT_NE(text.find("\"type\":\"crash\""), std::string::npos);
+  EXPECT_NE(text.find("\"a\":6"), std::string::npos);  // SIGABRT
+  EXPECT_NE(text.find("doomed-stage"), std::string::npos);
+
+  // Round trip through the decoder when python3 is available.
+  if (std::system("python3 -c '' >/dev/null 2>&1") == 0) {
+    const std::string cmd = "python3 " + std::string(IDF_SOURCE_DIR) +
+                            "/tools/idf_events.py --summary '" + journal +
+                            "' > '" + dir + "/decoded.txt' 2>&1";
+    EXPECT_EQ(std::system(cmd.c_str()), 0) << "decoder failed on " << journal;
+    std::ifstream decoded(dir + "/decoded.txt");
+    std::stringstream report;
+    report << decoded.rdbuf();
+    EXPECT_NE(report.str().find("crash"), std::string::npos) << report.str();
+  }
+}
+
+// ---- introspection endpoint ----------------------------------------------
+
+/// Minimal HTTP GET over loopback; returns the full response (headers+body).
+std::string HttpGet(uint16_t port, const std::string& path) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return "";
+  }
+  const std::string request = "GET " + path + " HTTP/1.0\r\n\r\n";
+  (void)!::send(fd, request.data(), request.size(), 0);
+  std::string response;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0) {
+    response.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+SessionOptions BudgetedOptions(uint64_t budget) {
+  ::unsetenv("IDF_MEMORY_BUDGET");  // pin the exact budget under test
+  SessionOptions opts;
+  opts.cluster.num_workers = 2;
+  opts.cluster.executors_per_worker = 2;
+  opts.cluster.cores_per_executor = 2;
+  opts.cluster.memory_budget_bytes = budget;
+  opts.default_partitions = 4;
+  return opts;
+}
+
+SchemaPtr EdgeSchema() {
+  return std::make_shared<Schema>(Schema({
+      {"src", TypeId::kInt64, false},
+      {"dst", TypeId::kInt64, false},
+      {"weight", TypeId::kFloat64, true},
+  }));
+}
+
+TEST(IntrospectionServerTest, ServesMetricsResidencyAndEventsDuringQuery) {
+  obs::IntrospectionServer& server = obs::IntrospectionServer::Global();
+  Result<uint16_t> port = server.Start(0);  // ephemeral
+  ASSERT_TRUE(port.ok()) << port.status().ToString();
+  ASSERT_GT(*port, 0);
+
+  // A budgeted session: building the indexed table under a tight budget
+  // forces evictions and reload faults, so /metrics and /residency have
+  // real governor state to show and the recorder has events.
+  constexpr int64_t kRows = 20000;
+  IndexOptions index_options;
+  index_options.batch_capacity = 16 << 10;
+  Session session(BudgetedOptions(256 << 10));
+  std::vector<RowVec> rows;
+  rows.reserve(kRows);
+  for (int64_t i = 0; i < kRows; ++i) {
+    rows.push_back({Value::Int64(i % 97), Value::Int64(i),
+                    Value::Float64(0.25 * static_cast<double>(i))});
+  }
+  auto edges = *session.CreateTable("edges", EdgeSchema(), rows);
+  auto indexed = *IndexedDataFrame::Create(edges, "src", index_options);
+  auto hits = indexed.GetRows(Value::Int64(13));
+  ASSERT_TRUE(hits.ok());
+  ASSERT_GT(hits->rows.size(), 0u);
+
+  // /healthz
+  const std::string health = HttpGet(*port, "/healthz");
+  EXPECT_NE(health.find("200 OK"), std::string::npos);
+  EXPECT_NE(health.find("ok"), std::string::npos);
+
+  // /metrics: Prometheus text with TYPE lines, governor counters, and
+  // explicit cumulative histogram buckets closed by +Inf.
+  const std::string metrics = HttpGet(*port, "/metrics");
+  EXPECT_NE(metrics.find("200 OK"), std::string::npos);
+  EXPECT_NE(metrics.find("text/plain; version=0.0.4"), std::string::npos);
+  EXPECT_NE(metrics.find("# TYPE mem_evictions counter"), std::string::npos);
+  EXPECT_NE(metrics.find("# TYPE engine_task_seconds histogram"),
+            std::string::npos);
+  EXPECT_NE(metrics.find("engine_task_seconds_bucket{le=\""),
+            std::string::npos);
+  EXPECT_NE(metrics.find("le=\"+Inf\""), std::string::npos);
+  EXPECT_NE(metrics.find("engine_task_seconds_sum"), std::string::npos);
+  EXPECT_NE(metrics.find("engine_task_seconds_count"), std::string::npos);
+
+  // Bucket series for one histogram must be cumulative (non-decreasing).
+  {
+    std::istringstream lines(metrics);
+    std::string line;
+    uint64_t previous = 0;
+    bool saw_bucket = false;
+    while (std::getline(lines, line)) {
+      if (line.rfind("engine_task_seconds_bucket", 0) != 0) continue;
+      const size_t space = line.rfind(' ');
+      ASSERT_NE(space, std::string::npos);
+      const uint64_t value = std::strtoull(line.c_str() + space + 1,
+                                           nullptr, 10);
+      EXPECT_GE(value, previous) << line;
+      previous = value;
+      saw_bucket = true;
+    }
+    EXPECT_TRUE(saw_bucket);
+  }
+
+  // /residency: the governor's live map (registered by the engine layer).
+  const std::string residency = HttpGet(*port, "/residency");
+  EXPECT_NE(residency.find("200 OK"), std::string::npos);
+  EXPECT_NE(residency.find("application/json"), std::string::npos);
+  EXPECT_NE(residency.find("\"engaged\":true"), std::string::npos);
+  EXPECT_NE(residency.find("\"budget_bytes\":"), std::string::npos);
+  EXPECT_NE(residency.find("\"partitions\":["), std::string::npos);
+  EXPECT_NE(residency.find("\"resident_bytes\":"), std::string::npos);
+
+  // /events tail honours n= and returns recorder JSONL.
+  const std::string events = HttpGet(*port, "/events?n=5");
+  EXPECT_NE(events.find("200 OK"), std::string::npos);
+  EXPECT_NE(events.find("application/x-ndjson"), std::string::npos);
+  const std::string body = events.substr(events.find("\r\n\r\n") + 4);
+  size_t lines = 0;
+  for (const char ch : body) lines += ch == '\n';
+  EXPECT_GT(lines, 0u);
+  EXPECT_LE(lines, 5u);
+  EXPECT_NE(body.find("\"type\":\""), std::string::npos);
+
+  // Unknown paths 404 instead of crashing the serve loop.
+  EXPECT_NE(HttpGet(*port, "/nope").find("404"), std::string::npos);
+
+  server.Stop();
+  EXPECT_FALSE(server.running());
+}
+
+TEST(IntrospectionServerTest, RestartsAfterStop) {
+  obs::IntrospectionServer& server = obs::IntrospectionServer::Global();
+  Result<uint16_t> first = server.Start(0);
+  ASSERT_TRUE(first.ok());
+  EXPECT_FALSE(server.Start(0).ok());  // already running
+  server.Stop();
+  Result<uint16_t> second = server.Start(0);
+  ASSERT_TRUE(second.ok());
+  EXPECT_NE(HttpGet(*second, "/healthz").find("200 OK"), std::string::npos);
+  server.Stop();
+}
+
+// ---- snapshot diff helper -------------------------------------------------
+
+TEST(RegistryDeltaTest, CountersAndHistogramsDiff) {
+  obs::Registry& reg = obs::Registry::Global();
+  obs::Counter& counter = reg.GetCounter("fr_test.delta_counter");
+  obs::Histogram& histogram = reg.GetHistogram("fr_test.delta_hist");
+  counter.Add(5);
+  histogram.Observe(1.0);
+
+  obs::RegistryDelta delta;
+  counter.Add(7);
+  histogram.Observe(2.0);
+  histogram.Observe(4.0);
+
+  EXPECT_EQ(delta.Counter("fr_test.delta_counter"), 7u);
+  EXPECT_EQ(delta.Counter("fr_test.nonexistent"), 0u);
+
+  bool found = false;
+  for (const obs::MetricSnapshot& s : delta.Deltas()) {
+    if (s.name != "fr_test.delta_hist") continue;
+    found = true;
+    EXPECT_EQ(s.count, 2u);           // only the two post-baseline samples
+    EXPECT_DOUBLE_EQ(s.sum, 6.0);
+    uint64_t bucket_total = 0;
+    for (const auto& [bound, n] : s.buckets) {
+      (void)bound;
+      bucket_total += n;
+    }
+    EXPECT_EQ(bucket_total, 2u);
+  }
+  EXPECT_TRUE(found);
+
+  delta.Reset();
+  EXPECT_EQ(delta.Counter("fr_test.delta_counter"), 0u);
+}
+
+TEST(RegistryDeltaTest, GaugeDeltaKeepsLevel) {
+  obs::Registry& reg = obs::Registry::Global();
+  obs::Gauge& gauge = reg.GetGauge("fr_test.delta_gauge");
+  gauge.Set(10.0);
+  obs::RegistryDelta delta;
+  gauge.Set(25.0);
+  bool found = false;
+  for (const obs::MetricSnapshot& s : delta.Deltas()) {
+    if (s.name != "fr_test.delta_gauge") continue;
+    found = true;
+    EXPECT_DOUBLE_EQ(s.gauge_value, 25.0);  // a level, not a difference
+  }
+  EXPECT_TRUE(found);
+}
+
+}  // namespace
+}  // namespace idf

@@ -1,0 +1,228 @@
+#!/usr/bin/env python3
+"""Decode an IDF flight-recorder journal into a per-stage timeline.
+
+The flight recorder (src/obs/flight_recorder.h) dumps JSONL events — one
+object per line with fields seq, ts_us, type, tid, name, a, b, c. This tool
+groups task events by stage and interleaves governor/storage activity
+(spills, evictions, reloads, prefetch decisions) by timestamp, so a single
+journal reads as "what the scheduler and the memory governor were doing to
+each other" during a run.
+
+Usage:
+  tools/idf_events.py journal.jsonl              # per-stage timeline
+  tools/idf_events.py journal.jsonl --summary    # counts only
+  tools/idf_events.py journal.jsonl --raw        # normalized event dump
+
+Stdlib only; no third-party dependencies.
+"""
+
+import argparse
+import json
+import sys
+from collections import Counter, defaultdict
+
+# Payload-field meaning per event type (see obs::EventType).
+TASK_EVENTS = {"task_start", "task_finish", "task_fail", "steal",
+               "resident_hit", "resident_miss"}
+GOVERNOR_EVENTS = {"evict", "spill_write", "reload_demand", "reload_prefetch",
+                   "prefetch_skip", "batch_seal"}
+ENGINE_EVENTS = {"recovery_block", "executor_kill"}
+
+
+def load_events(path):
+    """Parses a JSONL journal, skipping malformed lines (a crash dump may be
+    truncated mid-line)."""
+    events = []
+    dropped = 0
+    with open(path, "r", encoding="utf-8", errors="replace") as f:
+        for line in f:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                ev = json.loads(line)
+            except json.JSONDecodeError:
+                dropped += 1
+                continue
+            if not isinstance(ev, dict) or "type" not in ev:
+                dropped += 1
+                continue
+            events.append(ev)
+    events.sort(key=lambda e: (e.get("ts_us", 0), e.get("seq", 0)))
+    return events, dropped
+
+
+def fmt_bytes(n):
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if n < 1024 or unit == "GiB":
+            return f"{n:.0f}{unit}" if unit == "B" else f"{n:.1f}{unit}"
+        n /= 1024.0
+    return f"{n}B"
+
+
+def describe(ev):
+    """One human line per event; a/b/c meanings follow obs::EventType docs."""
+    t = ev["type"]
+    a, b, c = ev.get("a", 0), ev.get("b", 0), ev.get("c", 0)
+    if t == "task_start":
+        return f"task {a} start on executor {b}"
+    if t == "task_finish":
+        return f"task {a} finish on executor {b} ({c} us)"
+    if t == "task_fail":
+        return f"task {a} FAILED on executor {b} ({c} us)"
+    if t == "steal":
+        return f"task {a} stolen from lane {b}"
+    if t == "resident_hit":
+        return f"task {a} dispatched resident (inputs in memory)"
+    if t == "resident_miss":
+        return f"task {a} dispatched non-resident (spilled inputs)"
+    if t == "evict":
+        return f"evict {fmt_bytes(a)} rdd={b} shard={c}"
+    if t == "spill_write":
+        return f"spill write {fmt_bytes(a)} rdd={b} shard={c}"
+    if t == "reload_demand":
+        return f"demand reload {fmt_bytes(a)} rdd={b} shard={c}"
+    if t == "reload_prefetch":
+        return f"prefetch reload {fmt_bytes(a)} rdd={b} shard={c}"
+    if t == "prefetch_skip":
+        return f"prefetch skipped (no headroom) {fmt_bytes(a)} rdd={b} shard={c}"
+    if t == "batch_seal":
+        return f"batch sealed {fmt_bytes(a)} rdd={b} shard={c}"
+    if t == "recovery_block":
+        return f"recovery: recomputed rdd={a} partition={b} ({c} us)"
+    if t == "executor_kill":
+        return f"executor {b} killed, {c} blocks lost"
+    if t == "crash":
+        return f"FATAL SIGNAL {a} — journal dumped by crash handler"
+    return f"{t} a={a} b={b} c={c}"
+
+
+def build_stages(events):
+    """Groups events into per-stage windows.
+
+    Task events carry the stage name; governor/storage events carry none, so
+    they are attributed to whichever stages are live at their timestamp
+    (between the stage's first task_start and last task end)."""
+    stages = {}  # name -> dict(first_ts, last_ts, events)
+    order = []
+    for ev in events:
+        if ev["type"] in TASK_EVENTS and ev.get("name"):
+            name = ev["name"]
+            if name not in stages:
+                stages[name] = {"first": ev["ts_us"], "last": ev["ts_us"],
+                                "events": []}
+                order.append(name)
+            st = stages[name]
+            st["first"] = min(st["first"], ev["ts_us"])
+            st["last"] = max(st["last"], ev["ts_us"])
+            st["events"].append(ev)
+    unattributed = []
+    for ev in events:
+        if ev["type"] in TASK_EVENTS and ev.get("name"):
+            continue
+        ts = ev.get("ts_us", 0)
+        hosts = [n for n in order
+                 if stages[n]["first"] <= ts <= stages[n]["last"]]
+        if hosts:
+            for n in hosts:
+                stages[n]["events"].append(ev)
+        else:
+            unattributed.append(ev)
+    for st in stages.values():
+        st["events"].sort(key=lambda e: (e.get("ts_us", 0), e.get("seq", 0)))
+    return order, stages, unattributed
+
+
+def print_timeline(events, out=sys.stdout):
+    crash = [e for e in events if e["type"] == "crash"]
+    if crash:
+        print("=" * 66, file=out)
+        print(f"  CRASH JOURNAL: {describe(crash[0])}", file=out)
+        print("=" * 66, file=out)
+    order, stages, unattributed = build_stages(events)
+    base_ts = events[0]["ts_us"] if events else 0
+    for name in order:
+        st = stages[name]
+        tasks = Counter(e["type"] for e in st["events"])
+        dur_ms = (st["last"] - st["first"]) / 1000.0
+        print(f"\nstage {name!r}  "
+              f"[{tasks['task_start']} tasks, {dur_ms:.1f} ms window]",
+              file=out)
+        gov = sum(1 for e in st["events"] if e["type"] in GOVERNOR_EVENTS)
+        if gov:
+            print(f"  governor activity during stage: {gov} events", file=out)
+        for ev in st["events"]:
+            rel_ms = (ev["ts_us"] - base_ts) / 1000.0
+            marker = "·" if ev["type"] in TASK_EVENTS else ">"
+            print(f"  {rel_ms:10.3f}ms {marker} tid={ev.get('tid', 0):<3} "
+                  f"{describe(ev)}", file=out)
+    if unattributed:
+        print(f"\noutside any stage window ({len(unattributed)} events):",
+              file=out)
+        for ev in unattributed:
+            rel_ms = (ev.get("ts_us", 0) - base_ts) / 1000.0
+            print(f"  {rel_ms:10.3f}ms > tid={ev.get('tid', 0):<3} "
+                  f"{describe(ev)}", file=out)
+
+
+def print_summary(events, out=sys.stdout):
+    by_type = Counter(e["type"] for e in events)
+    print(f"{len(events)} events", file=out)
+    for t, n in sorted(by_type.items()):
+        print(f"  {t:<16} {n}", file=out)
+    spilled = sum(e.get("a", 0) for e in events if e["type"] == "spill_write")
+    reloaded = sum(e.get("a", 0) for e in events
+                   if e["type"] in ("reload_demand", "reload_prefetch"))
+    if spilled or reloaded:
+        print(f"  bytes spilled={fmt_bytes(spilled)} "
+              f"reloaded={fmt_bytes(reloaded)}", file=out)
+    by_stage = defaultdict(Counter)
+    for e in events:
+        if e["type"] in TASK_EVENTS and e.get("name"):
+            by_stage[e["name"]][e["type"]] += 1
+    for name, counts in by_stage.items():
+        hits, misses = counts["resident_hit"], counts["resident_miss"]
+        extra = f", residency {hits}H/{misses}M" if hits or misses else ""
+        print(f"  stage {name!r}: {counts['task_start']} tasks, "
+              f"{counts['steal']} steals{extra}", file=out)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("journal", help="flight-recorder JSONL journal")
+    parser.add_argument("--summary", action="store_true",
+                        help="print aggregate counts only")
+    parser.add_argument("--raw", action="store_true",
+                        help="print every event, decoded, in time order")
+    args = parser.parse_args()
+
+    events, dropped = load_events(args.journal)
+    if dropped:
+        print(f"warning: skipped {dropped} malformed line(s)", file=sys.stderr)
+    if not events:
+        print("no events in journal", file=sys.stderr)
+        return 1
+
+    if args.summary:
+        print_summary(events)
+    elif args.raw:
+        base_ts = events[0]["ts_us"]
+        for ev in events:
+            rel_ms = (ev["ts_us"] - base_ts) / 1000.0
+            print(f"{rel_ms:10.3f}ms tid={ev.get('tid', 0):<3} {describe(ev)}")
+    else:
+        print_timeline(events)
+        print()
+        print_summary(events)
+    return 0
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except BrokenPipeError:
+        # Piped into `head` etc.: exit quietly, and detach stdout so the
+        # interpreter's shutdown flush doesn't raise a second error.
+        import os
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        sys.exit(0)
