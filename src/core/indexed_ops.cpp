@@ -168,9 +168,12 @@ Result<TableHandle> IndexedJoinExec::ExecuteImpl(Session& session,
 
   // Shuffle path: route probe rows to the indexed partitions (§III-C: "the
   // rows of the latter are shuffled according to the hash partitioning
-  // scheme of the former").
+  // scheme of the former"). Under the streaming transport the build side
+  // starts probing routed buffers while upstream probe partitions are still
+  // encoding (fused map+reduce stage).
   const uint64_t shuffle_id =
       cluster.shuffle().NewShuffle(probe.num_partitions, P);
+  const bool pipelined = ShufflePipelineEnabled();
   StageSpec map_stage;
   map_stage.name = "indexed join (probe shuffle)";
   for (uint32_t p = 0; p < probe.num_partitions; ++p) {
@@ -186,28 +189,23 @@ Result<TableHandle> IndexedJoinExec::ExecuteImpl(Session& session,
           const ColumnarChunk& input = **chunk;
           const ColumnVector& key_vec = input.column(probe_key);
           ctx.metrics().rows_read += input.num_rows();
-          std::vector<ShuffleBuffer> buffers(P);
-          std::vector<uint8_t> scratch;
-          for (size_t i = 0; i < input.num_rows(); ++i) {
+          ShuffleWriter writer(cluster.shuffle(), shuffle_id, p, P,
+                               ctx.executor(), pipelined, input.num_rows());
+          std::vector<uint8_t> scratch;  // reused across rows
+          Status routed = Status::OK();
+          for (size_t i = 0; i < input.num_rows() && routed.ok(); ++i) {
             if (key_vec.IsNull(i)) continue;
             const uint32_t target = rdd->PartitionOf(key_vec.KeyCodeAt(i));
             input.EncodeRowTo(probe_layout, i, scratch);
-            buffers[target].AppendRow(scratch.data(),
-                                      static_cast<uint32_t>(scratch.size()));
+            routed = writer.Append(target, scratch.data(),
+                                   static_cast<uint32_t>(scratch.size()));
           }
-          for (uint32_t t = 0; t < P; ++t) {
-            if (buffers[t].num_rows == 0) continue;
-            buffers[t].source = ctx.executor();
-            ctx.metrics().shuffle_bytes_written += buffers[t].bytes.size();
-            cluster.shuffle().PutMapOutput(shuffle_id, p, t,
-                                           std::move(buffers[t]));
-          }
-          return Status::OK();
+          const Status finished = writer.Finish();
+          ctx.metrics().shuffle_bytes_written += writer.bytes_written();
+          return routed.ok() ? finished : routed;
         },
         {{probe.rdd_id, p}}});
   }
-  IDF_ASSIGN_OR_RETURN(StageMetrics msm, cluster.RunStage(map_stage));
-  metrics.MergeStage(msm);
 
   StageSpec reduce_stage;
   reduce_stage.name = "indexed join (local probe)";
@@ -217,25 +215,50 @@ Result<TableHandle> IndexedJoinExec::ExecuteImpl(Session& session,
         {},
         0,
         [&, p](TaskContext& ctx) -> Status {
-          auto inputs = cluster.shuffle().FetchReduceInputs(shuffle_id, p);
-          std::vector<const uint8_t*> rows;
-          for (const auto& buf : inputs) {
-            ctx.AddRead(buf->source, buf->bytes.size());
-            ShuffleBufferReader reader(*buf);
-            while (reader.HasNext()) rows.push_back(reader.Next());
-          }
-          ctx.metrics().rows_read += rows.size();
+          // Stream opened before the build partition is fetched so the
+          // barrier transport declares its per-map network reads in the
+          // classic order (reads before the GetPartition transfer).
+          std::unique_ptr<RoutedBufferStream> in =
+              OpenReduceStream(ctx, shuffle_id, p, pipelined);
+          IDF_ASSIGN_OR_RETURN(std::shared_ptr<const IndexedPartition> part,
+                               rdd->GetPartition(p, version, ctx));
+          const RowLayout& indexed_layout = part->layout();
           auto out = std::make_shared<ColumnarChunk>(out_schema);
-          IDF_RETURN_IF_ERROR(probe_partition(ctx, p, rows, *out));
+          for (;;) {
+            IDF_ASSIGN_OR_RETURN(std::shared_ptr<const ShuffleBuffer> buf,
+                                 in->Next());
+            if (buf == nullptr) break;
+            ctx.metrics().rows_read += buf->num_rows;
+            // Per-buffer pin scope: probed chain batches stay resident
+            // across this buffer's rows, and the task's peak footprint is
+            // one routed buffer instead of the whole partition's input.
+            mem::AccessScope probe_scope;
+            ShuffleBufferReader reader(*buf);
+            while (reader.HasNext()) {
+              const uint8_t* prow = reader.Next();
+              const uint64_t code = probe_layout.KeyCode(prow, probe_key);
+              ++ctx.metrics().index_probes;
+              uint64_t matched = 0;
+              part->ForEachRowOfKey(code, [&](const uint8_t* irow) {
+                if (verify && !keys_equal(indexed_layout, irow, prow)) return;
+                ++matched;
+                EmitJoined(*out, indexed_layout, irow, probe_layout, prow,
+                           indexed_is_left_);
+              });
+              if (matched > 0) ++ctx.metrics().index_hits;
+            }
+          }
           out->SetRowCount(out->column(0).size());
           sink.Emit(ctx, p, std::move(out));
           return Status::OK();
         },
         {{rdd->rdd_id(), p}}});
   }
-  IDF_ASSIGN_OR_RETURN(StageMetrics rsm, cluster.RunStage(reduce_stage));
-  metrics.MergeStage(rsm);
+  Result<std::vector<StageMetrics>> stage_metrics =
+      cluster.RunShuffleStages(shuffle_id, map_stage, reduce_stage, pipelined);
   cluster.shuffle().Release(shuffle_id);
+  IDF_RETURN_IF_ERROR(stage_metrics.status());
+  for (const StageMetrics& sm : *stage_metrics) metrics.MergeStage(sm);
   return sink.Finish();
 }
 

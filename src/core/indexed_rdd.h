@@ -93,14 +93,17 @@ class IndexedRdd : public std::enable_shared_from_this<IndexedRdd> {
   /// Builds version 0 with a real shuffle (map: route rows; reduce: insert).
   Status BuildBase(QueryMetrics& metrics);
 
-  /// Shuffles `source` rows to their indexed partitions; then `consume` runs
-  /// per partition with the routed encoded rows.
+  /// Shuffles `source` rows to their indexed partitions; `consume` runs per
+  /// partition, draining its routed buffers from an ordered stream. Under
+  /// the streaming transport (IDF_SHUFFLE_PIPELINE, default on) the map and
+  /// insert stages run fused, so consumers insert while upstream partitions
+  /// are still encoding; buffers always arrive in (map task, seal sequence)
+  /// order, so what a consumer sees is byte-identical across transports.
   Status ShuffleToPartitions(
       const TableHandle& source, const std::string& stage_name,
       QueryMetrics& metrics,
       const std::function<Status(TaskContext&, uint32_t partition,
-                                 const std::vector<const uint8_t*>& rows)>&
-          consume);
+                                 RoutedBufferStream& in)>& consume);
 
   /// Lineage recomputation: rebuild partition `p` at `version` by routing the
   /// base rows and replaying appends along the version chain (§III-D: "if

@@ -108,6 +108,58 @@ struct Cluster::TaskResult {
   std::vector<SimRead> reads;
 };
 
+/// Shared state of one RunPipelinedStages invocation, published to its
+/// worker threads through t_pipeline_ so a starved shuffle consumer
+/// (ReduceInputStream's idle hook) can claim pending map work.
+struct Cluster::PipelineContext {
+  Cluster* cluster = nullptr;
+  const StageSpec* map_stage = nullptr;
+  const StagePlan* map_plan = nullptr;
+  TaskLanes* map_lanes = nullptr;
+  std::vector<TaskResult>* map_results = nullptr;
+  uint64_t stage_span_id = 0;
+  uint32_t map_name_id = 0;
+  std::atomic<bool>* cancelled = nullptr;
+  const std::function<void()>* fail = nullptr;
+
+  /// Claims and runs one pending map task on behalf of `home`'s lane.
+  /// Returns false when the map lanes are drained (or the stage cancelled).
+  bool RunOneMapTask(size_t home, bool helper) {
+    if (cancelled->load(std::memory_order_relaxed)) return false;
+    uint32_t index = 0;
+    bool stolen = false;
+    uint32_t next_in_lane = TaskLanes::kNoTask;
+    if (!map_lanes->Pop(home, &index, &stolen, &next_in_lane)) return false;
+    EngineMetrics& em = EngineMetrics::Get();
+    obs::FlightRecorder& fr = obs::FlightRecorder::Global();
+    if (stolen || helper) {
+      em.steals.Increment();
+      fr.Record(obs::EventType::kSteal, map_name_id, index, home, 0);
+    }
+    if (map_plan->have_residency && next_in_lane != TaskLanes::kNoTask &&
+        !map_plan->resident[next_in_lane]) {
+      for (const PartitionInput& in : map_stage->tasks[next_in_lane].inputs) {
+        mem::MemoryGovernor::Global().PrefetchPartition(in.rdd, in.partition);
+      }
+    }
+    TaskResult& out = (*map_results)[index];
+    cluster->ExecuteTask(*map_stage, index, map_plan->assigned[index],
+                         stage_span_id, map_name_id, out);
+    if (map_plan->have_residency) {
+      (map_plan->resident[index] ? em.resident_hits : em.resident_misses)
+          .Increment();
+      fr.Record(map_plan->resident[index] ? obs::EventType::kResidentHit
+                                          : obs::EventType::kResidentMiss,
+                map_name_id, index, 0, 0);
+    }
+    if (!out.status.ok()) (*fail)();
+    return true;
+  }
+};
+
+thread_local Cluster::PipelineContext* Cluster::t_pipeline_ = nullptr;
+thread_local size_t Cluster::t_pipeline_home_ = 0;
+
 Cluster::Cluster(ClusterConfig config)
     : config_(config),
       simulator_(config),
@@ -201,6 +253,88 @@ void Cluster::ExecuteTask(const StageSpec& stage, uint32_t index,
   out.reads = ctx.reads();
 }
 
+Cluster::StagePlan Cluster::BuildStagePlan(
+    const StageSpec& stage, const std::vector<ExecutorId>& alive) {
+  const size_t n = stage.tasks.size();
+  StagePlan plan;
+
+  // Assignment: fix every task's executor up front, in task-index order. A
+  // task keeps its preferred executor when alive; dead or unpinned
+  // (kAnyExecutor) tasks round-robin across the alive set so they spread
+  // instead of piling onto the first alive executor. The assignment depends
+  // only on task order and the alive snapshot — work stealing moves tasks
+  // between *host threads*, never between executors, so DES placement,
+  // block homes, and shuffle accounting are identical to a sequential run.
+  std::vector<uint32_t> lane_of_executor(config_.total_executors(), 0);
+  std::vector<char> executor_alive(config_.total_executors(), 0);
+  for (uint32_t lane = 0; lane < alive.size(); ++lane) {
+    lane_of_executor[alive[lane]] = lane;
+    executor_alive[alive[lane]] = 1;
+  }
+  plan.assigned.resize(n);
+  plan.lane_of.resize(n);
+  size_t rr = 0;
+  for (size_t i = 0; i < n; ++i) {
+    ExecutorId e = stage.tasks[i].preferred;
+    if (e == kAnyExecutor || e >= executor_alive.size() ||
+        !executor_alive[e]) {
+      e = alive[rr++ % alive.size()];
+    }
+    plan.assigned[i] = e;
+    plan.lane_of[i] = lane_of_executor[e];
+  }
+
+  // Residency-preferred dispatch order. One snapshot of the governor's
+  // residency map per stage; tasks whose declared inputs are fully resident
+  // dispatch ahead of tasks that would fault spilled bytes back in (stable
+  // on task index, so the order is deterministic and collapses to
+  // task-index order when residency is moot). Only the *claim* order
+  // changes — executor assignment (above) and the task-index merge are
+  // untouched, so results, metrics totals, and DES accounting stay
+  // identical to a sequential run.
+  plan.order.resize(n);
+  std::iota(plan.order.begin(), plan.order.end(), 0u);
+  plan.resident.assign(n, 1);
+  if (mem::MemoryGovernor::Engaged()) {
+    bool any_inputs = false;
+    for (const TaskSpec& t : stage.tasks) {
+      if (!t.inputs.empty()) {
+        any_inputs = true;
+        break;
+      }
+    }
+    if (any_inputs) {
+      const mem::ResidencyMap residency =
+          mem::MemoryGovernor::Global().ResidencySnapshot();
+      for (size_t i = 0; i < n && !plan.have_residency; ++i) {
+        for (const PartitionInput& in : stage.tasks[i].inputs) {
+          auto it = residency.find({in.rdd, in.partition});
+          if (it != residency.end() && it->second.spilled_bytes > 0) {
+            plan.have_residency = true;
+            break;
+          }
+        }
+      }
+      if (plan.have_residency) {
+        for (size_t i = 0; i < n; ++i) {
+          for (const PartitionInput& in : stage.tasks[i].inputs) {
+            auto it = residency.find({in.rdd, in.partition});
+            if (it != residency.end() && it->second.spilled_bytes > 0) {
+              plan.resident[i] = 0;
+              break;
+            }
+          }
+        }
+        std::stable_sort(plan.order.begin(), plan.order.end(),
+                         [&](uint32_t a, uint32_t b) {
+                           return plan.resident[a] > plan.resident[b];
+                         });
+      }
+    }
+  }
+  return plan;
+}
+
 Result<StageMetrics> Cluster::RunStage(const StageSpec& stage) {
   EngineMetrics& em = EngineMetrics::Get();
   obs::FlightRecorder& fr = obs::FlightRecorder::Global();
@@ -213,83 +347,15 @@ Result<StageMetrics> Cluster::RunStage(const StageSpec& stage) {
   metrics.num_tasks = static_cast<uint32_t>(stage.tasks.size());
   const size_t n = stage.tasks.size();
 
-  // Phase 1 (driver): fix every task's executor up front, in task-index
-  // order. A task keeps its preferred executor when alive; dead or unpinned
-  // (kAnyExecutor) tasks round-robin across the alive set so they spread
-  // instead of piling onto the first alive executor. The assignment depends
-  // only on task order and the alive snapshot — work stealing below moves
-  // tasks between *host threads*, never between executors, so DES
-  // placement, block homes, and shuffle accounting are identical to a
-  // sequential run.
+  // Phases 1 + 1.5 (driver): executor assignment and residency-preferred
+  // claim order (BuildStagePlan — shared with the fused path).
   const std::vector<ExecutorId> alive = AliveExecutors();
   IDF_CHECK_MSG(!alive.empty(), "no alive executors");
-  std::vector<uint32_t> lane_of_executor(config_.total_executors(), 0);
-  std::vector<char> executor_alive(config_.total_executors(), 0);
-  for (uint32_t lane = 0; lane < alive.size(); ++lane) {
-    lane_of_executor[alive[lane]] = lane;
-    executor_alive[alive[lane]] = 1;
-  }
-  std::vector<ExecutorId> assigned(n);
-  std::vector<uint32_t> lane_of(n);
-  size_t rr = 0;
-  for (size_t i = 0; i < n; ++i) {
-    ExecutorId e = stage.tasks[i].preferred;
-    if (e == kAnyExecutor || e >= executor_alive.size() ||
-        !executor_alive[e]) {
-      e = alive[rr++ % alive.size()];
-    }
-    assigned[i] = e;
-    lane_of[i] = lane_of_executor[e];
-  }
-
-  // Phase 1.5 (driver): residency-preferred dispatch order. One snapshot of
-  // the governor's residency map per stage; tasks whose declared inputs are
-  // fully resident dispatch ahead of tasks that would fault spilled bytes
-  // back in (stable on task index, so the order is deterministic and
-  // collapses to task-index order when residency is moot). Only the *claim*
-  // order changes — executor assignment (above) and the task-index merge
-  // (below) are untouched, so results, metrics totals, and DES accounting
-  // stay identical to a sequential run.
-  std::vector<uint32_t> order(n);
-  std::iota(order.begin(), order.end(), 0u);
-  std::vector<char> resident(n, 1);
-  bool have_residency = false;
-  if (mem::MemoryGovernor::Engaged()) {
-    bool any_inputs = false;
-    for (const TaskSpec& t : stage.tasks) {
-      if (!t.inputs.empty()) {
-        any_inputs = true;
-        break;
-      }
-    }
-    if (any_inputs) {
-      const mem::ResidencyMap residency =
-          mem::MemoryGovernor::Global().ResidencySnapshot();
-      for (size_t i = 0; i < n && !have_residency; ++i) {
-        for (const PartitionInput& in : stage.tasks[i].inputs) {
-          auto it = residency.find({in.rdd, in.partition});
-          if (it != residency.end() && it->second.spilled_bytes > 0) {
-            have_residency = true;
-            break;
-          }
-        }
-      }
-      if (have_residency) {
-        for (size_t i = 0; i < n; ++i) {
-          for (const PartitionInput& in : stage.tasks[i].inputs) {
-            auto it = residency.find({in.rdd, in.partition});
-            if (it != residency.end() && it->second.spilled_bytes > 0) {
-              resident[i] = 0;
-              break;
-            }
-          }
-        }
-        std::stable_sort(
-            order.begin(), order.end(),
-            [&](uint32_t a, uint32_t b) { return resident[a] > resident[b]; });
-      }
-    }
-  }
+  const StagePlan plan = BuildStagePlan(stage, alive);
+  const std::vector<ExecutorId>& assigned = plan.assigned;
+  const std::vector<uint32_t>& order = plan.order;
+  const std::vector<char>& resident = plan.resident;
+  const bool have_residency = plan.have_residency;
   auto prefetch_inputs = [&stage](uint32_t t) {
     for (const PartitionInput& in : stage.tasks[t].inputs) {
       mem::MemoryGovernor::Global().PrefetchPartition(in.rdd, in.partition);
@@ -320,7 +386,7 @@ Result<StageMetrics> Cluster::RunStage(const StageSpec& stage) {
       if (!results[i].status.ok()) break;
     }
   } else {
-    TaskLanes lanes(lane_of, alive.size(), order);
+    TaskLanes lanes(plan.lane_of, alive.size(), order);
     std::atomic<bool> cancelled{false};
     std::vector<std::future<void>> done;
     done.reserve(workers);
@@ -414,6 +480,279 @@ Result<StageMetrics> Cluster::RunStage(const StageSpec& stage) {
                 stage.name.c_str(), metrics.num_tasks, metrics.real_seconds,
                 metrics.wall_seconds, metrics.simulated_seconds);
   return metrics;
+}
+
+Result<StageMetrics> Cluster::RunPipelinedStages(const StageSpec& map_stage,
+                                                 const StageSpec& reduce_stage,
+                                                 const PipelineHooks& hooks) {
+  EngineMetrics& em = EngineMetrics::Get();
+  obs::FlightRecorder& fr = obs::FlightRecorder::Global();
+  const std::string fused_name = map_stage.name + "+" + reduce_stage.name;
+  // Sub-stage names intern separately: the journal still groups task events
+  // by which half of the fused stage they belong to.
+  const uint32_t map_name_id =
+      fr.enabled() ? fr.InternName(map_stage.name) : 0;
+  const uint32_t reduce_name_id =
+      fr.enabled() ? fr.InternName(reduce_stage.name) : 0;
+  obs::Span stage_span("stage", fused_name);
+  Stopwatch stage_timer;
+  const size_t num_map = map_stage.tasks.size();
+  const size_t num_reduce = reduce_stage.tasks.size();
+  StageMetrics metrics;
+  metrics.num_tasks = static_cast<uint32_t>(num_map + num_reduce);
+
+  // One alive snapshot for both halves; each half gets the same per-stage
+  // assignment (round-robin restarting at 0) it would get from its own
+  // RunStage call, so DES placement and block homes match the barrier path.
+  const std::vector<ExecutorId> alive = AliveExecutors();
+  IDF_CHECK_MSG(!alive.empty(), "no alive executors");
+  const StagePlan map_plan = BuildStagePlan(map_stage, alive);
+  const StagePlan reduce_plan = BuildStagePlan(reduce_stage, alive);
+
+  std::vector<TaskResult> map_results(num_map);
+  std::vector<TaskResult> reduce_results(num_reduce);
+  const uint64_t stage_span_id = stage_span.id();
+  const size_t workers =
+      std::min<size_t>(scheduler_threads_, num_map + num_reduce);
+  std::atomic<bool> cancelled{false};
+  const std::function<void()> fail = [&] {
+    if (!cancelled.exchange(true, std::memory_order_relaxed) &&
+        hooks.on_cancel) {
+      hooks.on_cancel();
+    }
+  };
+
+  if (workers <= 1 || t_in_stage_task) {
+    // Sequential fallback: maps fully, then reduces — the barrier schedule
+    // in one stage. Reachable only when the caller did not enforce a
+    // backpressure window (RunShuffleStages), so nothing can block.
+    for (size_t k = 0;
+         k < num_map && !cancelled.load(std::memory_order_relaxed); ++k) {
+      const uint32_t i = map_plan.order[k];
+      ExecuteTask(map_stage, i, map_plan.assigned[i], stage_span_id,
+                  map_name_id, map_results[i]);
+      if (!map_results[i].status.ok()) fail();
+    }
+    for (size_t k = 0;
+         k < num_reduce && !cancelled.load(std::memory_order_relaxed); ++k) {
+      const uint32_t i = reduce_plan.order[k];
+      ExecuteTask(reduce_stage, i, reduce_plan.assigned[i], stage_span_id,
+                  reduce_name_id, reduce_results[i]);
+      if (!reduce_results[i].status.ok()) fail();
+    }
+  } else {
+    TaskLanes map_lanes(map_plan.lane_of, alive.size(), map_plan.order);
+    TaskLanes reduce_lanes(reduce_plan.lane_of, alive.size(),
+                           reduce_plan.order);
+    PipelineContext pctx;
+    pctx.cluster = this;
+    pctx.map_stage = &map_stage;
+    pctx.map_plan = &map_plan;
+    pctx.map_lanes = &map_lanes;
+    pctx.map_results = &map_results;
+    pctx.stage_span_id = stage_span_id;
+    pctx.map_name_id = map_name_id;
+    pctx.cancelled = &cancelled;
+    pctx.fail = &fail;
+
+    // Runs one pending reduce task for `home`'s lane; false when drained.
+    auto run_one_reduce = [&](size_t home) -> bool {
+      if (cancelled.load(std::memory_order_relaxed)) return false;
+      uint32_t index = 0;
+      bool stolen = false;
+      uint32_t next_in_lane = TaskLanes::kNoTask;
+      if (!reduce_lanes.Pop(home, &index, &stolen, &next_in_lane)) {
+        return false;
+      }
+      if (stolen) {
+        em.steals.Increment();
+        fr.Record(obs::EventType::kSteal, reduce_name_id, index, home, 0);
+      }
+      if (reduce_plan.have_residency &&
+          next_in_lane != TaskLanes::kNoTask &&
+          !reduce_plan.resident[next_in_lane]) {
+        for (const PartitionInput& in :
+             reduce_stage.tasks[next_in_lane].inputs) {
+          mem::MemoryGovernor::Global().PrefetchPartition(in.rdd,
+                                                          in.partition);
+        }
+      }
+      ExecuteTask(reduce_stage, index, reduce_plan.assigned[index],
+                  stage_span_id, reduce_name_id, reduce_results[index]);
+      if (reduce_plan.have_residency) {
+        (reduce_plan.resident[index] ? em.resident_hits : em.resident_misses)
+            .Increment();
+        fr.Record(reduce_plan.resident[index]
+                      ? obs::EventType::kResidentHit
+                      : obs::EventType::kResidentMiss,
+                  reduce_name_id, index, 0, 0);
+      }
+      if (!reduce_results[index].status.ok()) fail();
+      return true;
+    };
+
+    std::vector<std::future<void>> done;
+    done.reserve(workers);
+    for (size_t w = 0; w < workers; ++w) {
+      done.push_back(pool().Submit([&, w] {
+        const size_t home = w % alive.size();
+        PipelineContext* const prev_ctx = t_pipeline_;
+        const size_t prev_home = t_pipeline_home_;
+        t_pipeline_ = &pctx;
+        t_pipeline_home_ = home;
+        // Alternating claim preference: odd workers drain reduce lanes
+        // first so consumers come up while even workers feed the channels.
+        // A reduce task that outpaces its producers steals map work through
+        // the idle hook (TryHelpPipelinedMapTask) rather than sleeping.
+        const bool reduce_first = (w % 2 == 1);
+        while (!cancelled.load(std::memory_order_relaxed)) {
+          bool ran;
+          if (reduce_first) {
+            ran = run_one_reduce(home) || pctx.RunOneMapTask(home, false);
+          } else {
+            ran = pctx.RunOneMapTask(home, false) || run_one_reduce(home);
+          }
+          if (!ran) break;
+        }
+        t_pipeline_ = prev_ctx;
+        t_pipeline_home_ = prev_home;
+      }));
+    }
+    for (std::future<void>& f : done) f.get();
+  }
+
+  // Merge in combined task-index order: maps, then reduces — exactly the
+  // accounting order of the two-stage barrier path. Failure selection
+  // prefers the first root-cause failure; statuses the cancellation itself
+  // induced (hooks.is_abort, e.g. "shuffle aborted") only surface when no
+  // primary failure exists.
+  const TaskResult* primary = nullptr;
+  const TaskResult* secondary = nullptr;
+  auto scan_failures = [&](const std::vector<TaskResult>& results) {
+    for (const TaskResult& tr : results) {
+      if (!tr.ran || tr.status.ok()) continue;
+      const bool induced = hooks.is_abort && hooks.is_abort(tr.status);
+      if (!induced && primary == nullptr) primary = &tr;
+      if (secondary == nullptr) secondary = &tr;
+    }
+  };
+  scan_failures(map_results);
+  scan_failures(reduce_results);
+  const TaskResult* failed = primary != nullptr ? primary : secondary;
+  if (failed != nullptr) {
+    return Status(failed->status.code(), "stage '" + fused_name +
+                                             "' task failed: " +
+                                             failed->status.message());
+  }
+
+  std::vector<SimTask> sim_tasks;
+  sim_tasks.reserve(num_map + num_reduce);
+  auto merge_stage = [&](const StageSpec& stage, const StagePlan& plan,
+                         std::vector<TaskResult>& results) {
+    for (uint32_t i = 0; i < results.size(); ++i) {
+      TaskResult& tr = results[i];
+      IDF_CHECK(tr.ran);
+      metrics.totals.MergeFrom(tr.metrics);
+      metrics.real_seconds += tr.elapsed;
+      if (tr.metrics.recovery_seconds > 0) ++metrics.recovered_tasks;
+      SimTask sim;
+      sim.compute_seconds = tr.elapsed + stage.tasks[i].extra_sim_seconds;
+      sim.preferred = plan.assigned[i];
+      sim.reads = stage.tasks[i].static_reads;
+      sim.reads.insert(sim.reads.end(), tr.reads.begin(), tr.reads.end());
+      sim_tasks.push_back(std::move(sim));
+    }
+  };
+  merge_stage(map_stage, map_plan, map_results);
+  merge_stage(reduce_stage, reduce_plan, reduce_results);
+
+  const SimOutcome outcome = simulator_.RunStage(sim_tasks);
+  metrics.simulated_seconds = outcome.makespan_seconds;
+  metrics.network_seconds = outcome.network_seconds;
+  metrics.wall_seconds = stage_timer.ElapsedSeconds();
+  em.stages.Increment();
+  em.stage_real_seconds.Observe(metrics.real_seconds);
+  em.stage_wall_seconds.Observe(metrics.wall_seconds);
+  em.stage_simulated_seconds.Observe(metrics.simulated_seconds);
+  obs::Registry::Global()
+      .GetHistogram(obs::TaggedName("engine.stage.seconds",
+                                    {{"stage", fused_name}}))
+      .Observe(metrics.real_seconds);
+  if (stage_span.active()) {
+    stage_span.AddArgInt("tasks", metrics.num_tasks);
+    stage_span.AddArgNum("real_s", metrics.real_seconds);
+    stage_span.AddArgNum("wall_s", metrics.wall_seconds);
+    stage_span.AddArgNum("simulated_s", metrics.simulated_seconds);
+    stage_span.AddArgNum("network_s", metrics.network_seconds);
+  }
+  IDF_LOG_DEBUG("fused stage '%s': %u tasks, real %.3fs, wall %.3fs, "
+                "simulated %.3fs",
+                fused_name.c_str(), metrics.num_tasks, metrics.real_seconds,
+                metrics.wall_seconds, metrics.simulated_seconds);
+  return metrics;
+}
+
+bool Cluster::TryHelpPipelinedMapTask() {
+  PipelineContext* pctx = t_pipeline_;
+  if (pctx == nullptr || pctx->cluster != this) return false;
+  return pctx->RunOneMapTask(t_pipeline_home_, /*helper=*/true);
+}
+
+Result<std::vector<StageMetrics>> Cluster::RunShuffleStages(
+    uint64_t shuffle_id, const StageSpec& map_stage,
+    const StageSpec& reduce_stage, bool pipelined) {
+  std::vector<StageMetrics> out;
+  if (!pipelined) {
+    Result<StageMetrics> map_metrics = RunStage(map_stage);
+    IDF_RETURN_IF_ERROR(map_metrics.status());
+    Result<StageMetrics> reduce_metrics = RunStage(reduce_stage);
+    IDF_RETURN_IF_ERROR(reduce_metrics.status());
+    out.push_back(*map_metrics);
+    out.push_back(*reduce_metrics);
+    return out;
+  }
+  // Enforce the window only when the fused stage will actually run
+  // parallel: a sequential run pushes every buffer before any consumer
+  // exists and would deadlock against its own window.
+  const size_t workers = std::min<size_t>(
+      scheduler_threads_, map_stage.tasks.size() + reduce_stage.tasks.size());
+  const bool parallel = workers > 1 && !t_in_stage_task;
+  shuffle_.StartStreaming(shuffle_id, ShuffleWindowBytes(),
+                          /*enforce_window=*/parallel);
+  PipelineHooks hooks;
+  hooks.on_cancel = [this, shuffle_id] { shuffle_.AbortStreaming(shuffle_id); };
+  hooks.is_abort = [](const Status& s) { return IsShuffleAborted(s); };
+  Result<StageMetrics> fused =
+      RunPipelinedStages(map_stage, reduce_stage, hooks);
+  IDF_RETURN_IF_ERROR(fused.status());
+  out.push_back(*fused);
+  return out;
+}
+
+std::unique_ptr<RoutedBufferStream> OpenReduceStream(TaskContext& ctx,
+                                                     uint64_t shuffle_id,
+                                                     uint32_t reduce_part,
+                                                     bool pipelined) {
+  ShuffleService& service = ctx.cluster().shuffle();
+  if (!pipelined) {
+    // Declare every per-map network read before the consumer touches a row,
+    // in map-task-id order — the classic path's exact read order, which the
+    // DES's NIC-queue interleaving is sensitive to.
+    auto buffers = service.FetchReduceInputs(shuffle_id, reduce_part);
+    for (const auto& buf : buffers) {
+      ctx.AddRead(buf->source, buf->bytes.size());
+    }
+    return std::make_unique<BarrierReduceInput>(std::move(buffers));
+  }
+  Cluster* cluster = &ctx.cluster();
+  TaskContext* ctx_ptr = &ctx;
+  return std::make_unique<ReduceInputStream>(
+      service, shuffle_id, reduce_part,
+      /*idle=*/[cluster] { return cluster->TryHelpPipelinedMapTask(); },
+      /*on_map_read=*/
+      [ctx_ptr](ExecutorId source, uint64_t bytes) {
+        ctx_ptr->AddRead(source, bytes);
+      });
 }
 
 ExecutorId Cluster::HomeExecutorFor(uint64_t rdd, uint32_t partition) const {

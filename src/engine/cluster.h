@@ -118,6 +118,47 @@ class Cluster {
   /// a task body (re-entrancy guard).
   Result<StageMetrics> RunStage(const StageSpec& stage);
 
+  /// Cancellation hooks for RunPipelinedStages, coordinating the scheduler
+  /// with a streaming transport (docs/SHUFFLE.md).
+  struct PipelineHooks {
+    /// Fired exactly once, on the first task failure: wake anything blocked
+    /// on the transport (ShuffleService::AbortStreaming).
+    std::function<void()> on_cancel;
+    /// True for the secondary statuses cancellation itself induced
+    /// (IsShuffleAborted): the merge prefers the root-cause failure.
+    std::function<bool(const Status&)> is_abort;
+  };
+
+  /// Fused-stage mode: runs `map_stage` and `reduce_stage` as ONE stage so
+  /// reduce tasks start concurrently with map tasks — consumers of a
+  /// streaming shuffle begin inserting while upstream partitions are still
+  /// encoding. Both sub-stages get the same per-stage executor assignment
+  /// they would get from back-to-back RunStage calls; workers alternate
+  /// claim preference between the two lane sets (odd workers reduce-first)
+  /// and merge/DES accounting runs maps-then-reduces in task-index order,
+  /// so totals match the two-stage path exactly. Falls back to in-line
+  /// maps-then-reduces when sequential (1 thread, or nested in a task).
+  Result<StageMetrics> RunPipelinedStages(const StageSpec& map_stage,
+                                          const StageSpec& reduce_stage,
+                                          const PipelineHooks& hooks = {});
+
+  /// Runs a shuffle's map and reduce stages. Barrier mode: two RunStage
+  /// calls (two StageMetrics). Pipelined: arms the streaming channels
+  /// (window = ShuffleWindowBytes(), enforced only when actually parallel —
+  /// a sequential run blocking on its own window would deadlock) and runs
+  /// one fused stage (one StageMetrics). Callers must Release the shuffle
+  /// themselves, on success and on error.
+  Result<std::vector<StageMetrics>> RunShuffleStages(
+      uint64_t shuffle_id, const StageSpec& map_stage,
+      const StageSpec& reduce_stage, bool pipelined);
+
+  /// Work-stealing hook for starved shuffle consumers: when the calling
+  /// thread is a fused-stage worker and pending map tasks exist, claims and
+  /// runs one instead of letting the lane sleep on its channel. Returns
+  /// true when it ran a task (retries the channel next), false when there
+  /// is nothing to steal (caller blocks).
+  bool TryHelpPipelinedMapTask();
+
   /// Host threads RunStage may use (resolved once at construction from
   /// ClusterConfig::scheduler_threads and IDF_PARALLEL). 1 = sequential.
   uint32_t scheduler_threads() const { return scheduler_threads_; }
@@ -148,7 +189,22 @@ class Cluster {
   Result<BlockPtr> GetOrCompute(const BlockId& id, TaskContext& ctx);
 
  private:
-  struct TaskResult;  // per-task outcome slot (cluster.cpp)
+  struct TaskResult;       // per-task outcome slot (cluster.cpp)
+  struct PipelineContext;  // fused-stage shared state (cluster.cpp)
+
+  /// The driver-side plan for one stage: executor assignment (task-index
+  /// order, determinism-bearing), lanes, and the residency-preferred claim
+  /// order. Factored out of RunStage so the fused path can plan its two
+  /// sub-stages against one shared alive snapshot.
+  struct StagePlan {
+    std::vector<ExecutorId> assigned;
+    std::vector<uint32_t> lane_of;
+    std::vector<uint32_t> order;   // dispatch (claim) order
+    std::vector<char> resident;    // all declared inputs in memory?
+    bool have_residency = false;   // any spilled inputs this stage?
+  };
+  StagePlan BuildStagePlan(const StageSpec& stage,
+                           const std::vector<ExecutorId>& alive);
 
   /// Executes one task body: span, context, timing, global counters, flight-
   /// recorder task events (stage_name_id is the stage name interned once by
@@ -157,6 +213,11 @@ class Cluster {
   void ExecuteTask(const StageSpec& stage, uint32_t index, ExecutorId executor,
                    uint64_t stage_span_id, uint32_t stage_name_id,
                    TaskResult& out);
+
+  /// Fused-stage state for the calling worker thread, consulted by
+  /// TryHelpPipelinedMapTask (null outside RunPipelinedStages workers).
+  static thread_local PipelineContext* t_pipeline_;
+  static thread_local size_t t_pipeline_home_;
 
   /// Lazily started pool of scheduler_threads() workers, shared by every
   /// stage this cluster runs.
@@ -179,5 +240,16 @@ class Cluster {
   std::mutex lineage_mutex_;
   std::map<uint64_t, PartitionComputeFn> lineage_;
 };
+
+/// Opens the routed-buffer stream a reduce task drains, matching the
+/// transport RunShuffleStages selected. Barrier: fetches everything and
+/// declares the per-map network reads up front (preserving the classic
+/// path's read order for the DES). Pipelined: an ordered channel stream
+/// whose idle hook steals pending map work and whose per-map reads are
+/// declared as each map's contribution finishes.
+std::unique_ptr<RoutedBufferStream> OpenReduceStream(TaskContext& ctx,
+                                                     uint64_t shuffle_id,
+                                                     uint32_t reduce_part,
+                                                     bool pipelined);
 
 }  // namespace idf

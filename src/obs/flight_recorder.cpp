@@ -187,6 +187,9 @@ const char* EventTypeName(EventType type) {
     case EventType::kRecoveryBlock: return "recovery_block";
     case EventType::kExecutorKill: return "executor_kill";
     case EventType::kCrash: return "crash";
+    case EventType::kShufflePush: return "shuffle_push";
+    case EventType::kShuffleDrain: return "shuffle_drain";
+    case EventType::kShuffleStall: return "shuffle_stall";
   }
   return "event";
 }

@@ -64,6 +64,9 @@ enum class EventType : uint8_t {
   kRecoveryBlock = 13, //             a=rdd         b=partition    c=micros
   kExecutorKill = 14,  //             a=executor    b=blocks lost  c=0
   kCrash = 15,         //             a=signal      b=0            c=0
+  kShufflePush = 16,   //             a=bytes       b=map task     c=reduce part
+  kShuffleDrain = 17,  //             a=bytes       b=map task     c=reduce part
+  kShuffleStall = 18,  //             a=micros      b=task index   c=0 push / 1 drain
 };
 
 /// Stable wire name for an event type ("task_start", "evict", ...); used by

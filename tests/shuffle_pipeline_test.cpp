@@ -1,0 +1,438 @@
+// Streaming shuffle pipeline (src/engine/shuffle.h, docs/SHUFFLE.md).
+//
+// The contract under test: the pipelined transport (fused map+reduce stage,
+// per-reduce channels, backpressure window) must be *byte-identical* to the
+// classic two-stage barrier path — same row order out of a full scan, same
+// batch layouts, same COW/snapshot/metrics totals — while the raw channel
+// layer must deliver buffers in (map id, seal sequence) order, honor the
+// window's always-admit-the-minimum-map carve-out, and unwind cleanly on
+// abort. A/B runs flip IDF_SHUFFLE_PIPELINE between sessions, exactly like
+// the fig10 --pipelined bench does.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "core/indexed_dataframe.h"
+#include "core/indexed_partition.h"
+#include "engine/shuffle.h"
+#include "sql/session.h"
+
+namespace idf {
+namespace {
+
+/// Pins IDF_SHUFFLE_PIPELINE for the enclosing scope (the knob is re-read
+/// on every shuffle, so flipping it between sessions A/Bs in-process).
+class ScopedPipelineMode {
+ public:
+  explicit ScopedPipelineMode(bool on) {
+    ::setenv("IDF_SHUFFLE_PIPELINE", on ? "1" : "0", 1);
+  }
+  ~ScopedPipelineMode() { ::unsetenv("IDF_SHUFFLE_PIPELINE"); }
+  ScopedPipelineMode(const ScopedPipelineMode&) = delete;
+  ScopedPipelineMode& operator=(const ScopedPipelineMode&) = delete;
+};
+
+SchemaPtr EventSchema() {
+  return std::make_shared<Schema>(Schema({
+      {"user", TypeId::kInt64, false},
+      {"event", TypeId::kInt64, false},
+      {"score", TypeId::kFloat64, true},
+  }));
+}
+
+RowVec Event(int64_t user, int64_t event, double score = 1.0) {
+  return {Value::Int64(user), Value::Int64(event), Value::Float64(score)};
+}
+
+std::vector<RowVec> MakeRows(int64_t n, int64_t salt = 0) {
+  std::vector<RowVec> rows;
+  rows.reserve(n);
+  for (int64_t i = 0; i < n; ++i) {
+    rows.push_back(Event((i * 7 + salt) % 131, i + salt * 1000000,
+                         0.5 * static_cast<double>(i)));
+  }
+  return rows;
+}
+
+SessionOptions ClusterOptions(uint64_t budget = 0) {
+  ::unsetenv("IDF_MEMORY_BUDGET");
+  SessionOptions opts;
+  opts.cluster.num_workers = 2;
+  opts.cluster.executors_per_worker = 2;
+  opts.cluster.cores_per_executor = 2;
+  opts.cluster.memory_budget_bytes = budget;
+  opts.default_partitions = 4;
+  return opts;
+}
+
+/// Per-partition physical fingerprint: rows, batches, and byte layout. The
+/// hint-credit insert gate exists so these match across transports.
+struct PartitionShape {
+  uint64_t num_rows;
+  uint32_t num_batches;
+  uint64_t data_bytes;
+  uint64_t allocated_bytes;
+
+  bool operator==(const PartitionShape& o) const {
+    return num_rows == o.num_rows && num_batches == o.num_batches &&
+           data_bytes == o.data_bytes && allocated_bytes == o.allocated_bytes;
+  }
+};
+
+std::vector<PartitionShape> ShapesOf(Session& session,
+                                     const IndexedDataFrame& idf) {
+  std::vector<PartitionShape> shapes;
+  TaskContext ctx(&session.cluster(), 0);
+  for (uint32_t p = 0; p < idf.num_partitions(); ++p) {
+    auto part = idf.rdd()->GetPartition(p, idf.version(), ctx);
+    IDF_CHECK_OK(part.status());
+    shapes.push_back({(*part)->num_rows(), (*part)->num_batches(),
+                      (*part)->data_bytes(), (*part)->allocated_bytes()});
+  }
+  return shapes;
+}
+
+/// The TaskMetrics fields that must be invariant across transports. (Timing
+/// fields and the DES makespan legitimately differ; stage *count* shrinks —
+/// map+reduce fuse into one stage.)
+struct InvariantTotals {
+  uint64_t rows_read, rows_written, shuffle_read, shuffle_written;
+  uint64_t index_probes, index_hits, batch_copies, ctrie_snapshots;
+
+  static InvariantTotals Of(const QueryMetrics& m) {
+    return {m.totals.rows_read,      m.totals.rows_written,
+            m.totals.shuffle_bytes_read, m.totals.shuffle_bytes_written,
+            m.totals.index_probes,   m.totals.index_hits,
+            m.totals.batch_copies,   m.totals.ctrie_snapshots};
+  }
+  bool operator==(const InvariantTotals& o) const {
+    return rows_read == o.rows_read && rows_written == o.rows_written &&
+           shuffle_read == o.shuffle_read &&
+           shuffle_written == o.shuffle_written &&
+           index_probes == o.index_probes && index_hits == o.index_hits &&
+           batch_copies == o.batch_copies &&
+           ctrie_snapshots == o.ctrie_snapshots;
+  }
+};
+
+struct IndexBuildResult {
+  std::vector<std::string> scan;
+  std::vector<PartitionShape> shapes;
+  InvariantTotals totals;
+  uint32_t num_stages;
+  size_t lookup_hits;
+};
+
+IndexBuildResult BuildIndexOnce(bool pipelined, uint64_t budget) {
+  ScopedPipelineMode mode(pipelined);
+  Session session(ClusterOptions(budget));
+  auto events =
+      *session.CreateTable("events", EventSchema(), MakeRows(12000));
+  IndexOptions options;
+  options.batch_capacity = 16 << 10;
+  QueryMetrics metrics;
+  auto indexed = *IndexedDataFrame::Create(events, "user", options, &metrics);
+  IndexBuildResult r;
+  r.scan = indexed.AsDataFrame().Collect()->SortedRowStrings();
+  r.shapes = ShapesOf(session, indexed);
+  r.totals = InvariantTotals::Of(metrics);
+  r.num_stages = metrics.num_stages;
+  r.lookup_hits = indexed.GetRows(Value::Int64(13)).value().rows.size();
+  return r;
+}
+
+TEST(ShufflePipelineTest, CreateIndexIsByteIdenticalAcrossTransports) {
+  const IndexBuildResult barrier = BuildIndexOnce(false, 0);
+  const IndexBuildResult pipelined = BuildIndexOnce(true, 0);
+
+  EXPECT_EQ(pipelined.scan, barrier.scan);
+  ASSERT_EQ(pipelined.shapes.size(), barrier.shapes.size());
+  for (size_t p = 0; p < barrier.shapes.size(); ++p) {
+    EXPECT_TRUE(pipelined.shapes[p] == barrier.shapes[p])
+        << "partition " << p << " layout diverged";
+  }
+  EXPECT_TRUE(pipelined.totals == barrier.totals);
+  EXPECT_EQ(pipelined.lookup_hits, barrier.lookup_hits);
+  // Fusing map+reduce removes one stage from the build.
+  EXPECT_LT(pipelined.num_stages, barrier.num_stages);
+}
+
+TEST(ShufflePipelineTest, CreateIndexIdenticalUnderTightBudget) {
+  // A quarter-ish budget forces the governor to spill mid-build; the insert
+  // gate and window must not change a byte of the result.
+  const IndexBuildResult full = BuildIndexOnce(true, 0);
+  const IndexBuildResult barrier_tight = BuildIndexOnce(false, 512 << 10);
+  const IndexBuildResult pipelined_tight = BuildIndexOnce(true, 512 << 10);
+
+  EXPECT_EQ(pipelined_tight.scan, full.scan);
+  EXPECT_EQ(barrier_tight.scan, full.scan);
+  ASSERT_EQ(pipelined_tight.shapes.size(), barrier_tight.shapes.size());
+  for (size_t p = 0; p < barrier_tight.shapes.size(); ++p) {
+    EXPECT_TRUE(pipelined_tight.shapes[p] == barrier_tight.shapes[p])
+        << "partition " << p << " layout diverged under budget";
+  }
+}
+
+struct AppendChainResult {
+  std::vector<std::string> final_scan;
+  uint64_t final_rows;
+  std::vector<InvariantTotals> per_append;
+};
+
+AppendChainResult RunAppendChain(bool pipelined) {
+  ScopedPipelineMode mode(pipelined);
+  Session session(ClusterOptions());
+  auto base = *session.CreateTable("base", EventSchema(), MakeRows(6000));
+  IndexOptions options;
+  options.batch_capacity = 16 << 10;
+  auto v0 = *IndexedDataFrame::Create(base, "user", options);
+
+  AppendChainResult r;
+  IndexedDataFrame head = v0;
+  for (int64_t step = 1; step <= 3; ++step) {
+    auto delta = *session.CreateTable("delta" + std::to_string(step),
+                                      EventSchema(), MakeRows(1500, step));
+    QueryMetrics metrics;
+    head = *head.AppendRows(delta, &metrics);
+    r.per_append.push_back(InvariantTotals::Of(metrics));
+  }
+  r.final_scan = head.AsDataFrame().Collect()->SortedRowStrings();
+  r.final_rows = head.num_rows();
+  return r;
+}
+
+TEST(ShufflePipelineTest, ThreeDeepAppendChainMatchesBarrier) {
+  const AppendChainResult barrier = RunAppendChain(false);
+  const AppendChainResult pipelined = RunAppendChain(true);
+
+  EXPECT_EQ(pipelined.final_rows, barrier.final_rows);
+  EXPECT_EQ(pipelined.final_scan, barrier.final_scan);
+  ASSERT_EQ(pipelined.per_append.size(), barrier.per_append.size());
+  for (size_t i = 0; i < barrier.per_append.size(); ++i) {
+    // COW batch opens and cTrie snapshots are the Fig. 9 costs; overlap must
+    // not add or save a single copy.
+    EXPECT_TRUE(pipelined.per_append[i] == barrier.per_append[i])
+        << "append " << i << " metrics diverged";
+  }
+}
+
+std::vector<std::string> RunShuffledJoin(bool pipelined, uint64_t budget,
+                                         uint64_t* index_probes = nullptr,
+                                         uint64_t* shuffle_written = nullptr) {
+  ScopedPipelineMode mode(pipelined);
+  SessionOptions opts = ClusterOptions(budget);
+  opts.broadcast_threshold_bytes = 0;  // force the shuffled probe path
+  Session session(opts);
+  auto build = *session.CreateTable("build", EventSchema(), MakeRows(8000));
+  auto probe = *session.CreateTable("probe", EventSchema(), MakeRows(900, 7));
+  IndexOptions options;
+  options.batch_capacity = 16 << 10;
+  auto indexed = *IndexedDataFrame::Create(build, "user", options);
+  QueryMetrics metrics;
+  auto joined = indexed.Join(probe, "user").Collect(&metrics);
+  IDF_CHECK_OK(joined.status());
+  if (index_probes != nullptr) *index_probes = metrics.totals.index_probes;
+  if (shuffle_written != nullptr) {
+    *shuffle_written = metrics.totals.shuffle_bytes_written;
+  }
+  return joined->SortedRowStrings();
+}
+
+TEST(ShufflePipelineTest, ShuffledJoinMatchesBarrierAtFullAndTightBudget) {
+  uint64_t probes_barrier = 0, probes_pipelined = 0;
+  uint64_t written_barrier = 0, written_pipelined = 0;
+  const auto barrier = RunShuffledJoin(false, 0, &probes_barrier,
+                                       &written_barrier);
+  const auto pipelined = RunShuffledJoin(true, 0, &probes_pipelined,
+                                         &written_pipelined);
+  EXPECT_EQ(pipelined, barrier);
+  EXPECT_EQ(probes_pipelined, probes_barrier);
+  EXPECT_EQ(written_pipelined, written_barrier);
+  // Proof this exercised the shuffle path at all.
+  EXPECT_GT(probes_barrier, 0u);
+  EXPECT_GT(written_barrier, 0u);
+
+  const auto barrier_tight = RunShuffledJoin(false, 512 << 10);
+  const auto pipelined_tight = RunShuffledJoin(true, 512 << 10);
+  EXPECT_EQ(barrier_tight, barrier);
+  EXPECT_EQ(pipelined_tight, barrier);
+}
+
+// ---- raw channel layer ----------------------------------------------------
+
+ShuffleBuffer MakeBuffer(uint32_t fill, uint32_t bytes, ExecutorId source) {
+  // One synthetic self-delimiting "row": [size][payload]. The channel layer
+  // never parses rows, so any size >= 4 works for transport tests.
+  ShuffleBuffer buf;
+  buf.bytes.assign(bytes, static_cast<uint8_t>(fill));
+  std::memcpy(buf.bytes.data(), &bytes, sizeof(bytes));
+  buf.num_rows = 1;
+  buf.source = source;
+  return buf;
+}
+
+TEST(ShufflePipelineTest, EightProducerStressDeliversOrderedByteStreams) {
+  constexpr uint32_t kMaps = 8;
+  constexpr uint32_t kReduces = 2;
+  constexpr uint32_t kBuffersPerReduce = 16;
+  constexpr uint32_t kBufBytes = 1024;
+
+  ShuffleService service;
+  const uint64_t id = service.NewShuffle(kMaps, kReduces);
+  service.StartStreaming(id, /*window_bytes=*/4 << 10,
+                         /*enforce_window=*/true);
+
+  std::vector<std::thread> producers;
+  for (uint32_t m = 0; m < kMaps; ++m) {
+    producers.emplace_back([&, m] {
+      for (uint32_t seq = 0; seq < kBuffersPerReduce; ++seq) {
+        for (uint32_t r = 0; r < kReduces; ++r) {
+          // Fill encodes (map, seq) so consumers can verify order.
+          ASSERT_TRUE(service.PushMapOutput(
+              id, m, r, MakeBuffer(m * 31 + seq, kBufBytes, m)));
+        }
+      }
+      service.MapTaskFinished(id, m);
+    });
+  }
+
+  std::vector<Status> consumer_status(kReduces, Status::OK());
+  std::vector<std::thread> consumers;
+  for (uint32_t r = 0; r < kReduces; ++r) {
+    consumers.emplace_back([&, r] {
+      ReduceInputStream in(service, id, r, [] { return false; },
+                           [](ExecutorId, uint64_t) {});
+      uint32_t expect_map = 0, expect_seq = 0;
+      for (;;) {
+        auto buf = in.Next();
+        if (!buf.ok()) {
+          consumer_status[r] = buf.status();
+          return;
+        }
+        if (*buf == nullptr) break;
+        // Ordered delivery: map-major, seal-sequence minor.
+        ASSERT_EQ((*buf)->bytes.size(), kBufBytes);
+        ASSERT_EQ((*buf)->bytes[8],
+                  static_cast<uint8_t>(expect_map * 31 + expect_seq));
+        ASSERT_EQ((*buf)->source, static_cast<ExecutorId>(expect_map));
+        if (++expect_seq == kBuffersPerReduce) {
+          expect_seq = 0;
+          ++expect_map;
+        }
+      }
+      ASSERT_EQ(expect_map, kMaps) << "reduce " << r << " missed buffers";
+    });
+  }
+
+  for (auto& t : producers) t.join();
+  for (auto& t : consumers) t.join();
+  for (uint32_t r = 0; r < kReduces; ++r) {
+    EXPECT_TRUE(consumer_status[r].ok()) << consumer_status[r].message();
+  }
+  const uint64_t total =
+      uint64_t{kMaps} * kReduces * kBuffersPerReduce * kBufBytes;
+  EXPECT_GT(service.InflightPeakBytes(id), 0u);
+  EXPECT_LE(service.InflightPeakBytes(id), total);
+  service.Release(id);
+}
+
+TEST(ShufflePipelineTest, WindowBlocksNonMinimalMapUntilCarveOutAdvances) {
+  ShuffleService service;
+  const uint64_t id = service.NewShuffle(/*maps=*/2, /*reduces=*/1);
+  service.StartStreaming(id, /*window_bytes=*/512, /*enforce_window=*/true);
+
+  // Map 1 (not the minimum unfinished map) pushes a buffer larger than the
+  // window: it must block until map 0 finishes and the carve-out advances.
+  std::atomic<bool> map1_pushed{false};
+  std::thread blocked([&] {
+    ASSERT_TRUE(service.PushMapOutput(id, 1, 0, MakeBuffer(9, 1024, 1)));
+    map1_pushed.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(map1_pushed.load()) << "window failed to block map 1";
+
+  // Map 0 is always admitted (liveness carve-out), window full or not.
+  ASSERT_TRUE(service.PushMapOutput(id, 0, 0, MakeBuffer(7, 1024, 0)));
+  service.MapTaskFinished(id, 0);
+  blocked.join();
+  EXPECT_TRUE(map1_pushed.load());
+  service.MapTaskFinished(id, 1);
+
+  // Both buffers arrive, in map order, despite the reversed push order.
+  ReduceInputStream in(service, id, 0, [] { return false; },
+                       [](ExecutorId, uint64_t) {});
+  auto first = in.Next();
+  ASSERT_TRUE(first.ok());
+  ASSERT_NE(*first, nullptr);
+  EXPECT_EQ((*first)->bytes[8], 7);
+  auto second = in.Next();
+  ASSERT_TRUE(second.ok());
+  ASSERT_NE(*second, nullptr);
+  EXPECT_EQ((*second)->bytes[8], 9);
+  auto end = in.Next();
+  ASSERT_TRUE(end.ok());
+  EXPECT_EQ(*end, nullptr);
+  // The carve-out admitted ~2 KiB past a 512-byte window; peak is bounded by
+  // window + the admitted maps' output, never the whole shuffle.
+  EXPECT_LE(service.InflightPeakBytes(id), 512u + 2 * 1024u);
+  service.Release(id);
+}
+
+TEST(ShufflePipelineTest, AbortUnblocksProducersAndConsumers) {
+  ShuffleService service;
+  const uint64_t id = service.NewShuffle(/*maps=*/2, /*reduces=*/1);
+  service.StartStreaming(id, /*window_bytes=*/256, /*enforce_window=*/true);
+
+  // A consumer blocked on an empty channel and a non-minimal producer
+  // blocked on a full window must both unwind when the shuffle aborts.
+  std::atomic<bool> consumer_aborted{false};
+  std::thread consumer([&] {
+    ReduceInputStream in(service, id, 0, [] { return false; },
+                         [](ExecutorId, uint64_t) {});
+    for (;;) {
+      auto buf = in.Next();  // drains real buffers, then blocks until abort
+      if (!buf.ok()) {
+        consumer_aborted.store(IsShuffleAborted(buf.status()));
+        return;
+      }
+      if (*buf == nullptr) return;
+    }
+  });
+  std::atomic<bool> producer_rejected{false};
+  std::thread producer([&] {
+    // Admitted (map 0 carve-out) — fills the window past its bound.
+    service.PushMapOutput(id, 0, 0, MakeBuffer(1, 512, 0));
+    // Map 1 now blocks on the window until the abort drops it.
+    producer_rejected.store(
+        !service.PushMapOutput(id, 1, 0, MakeBuffer(2, 512, 1)));
+  });
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  service.AbortStreaming(id);
+  consumer.join();
+  producer.join();
+  EXPECT_TRUE(consumer_aborted.load());
+  EXPECT_TRUE(producer_rejected.load());
+
+  // ShuffleWriter surfaces the abort as the canonical status.
+  ShuffleWriter writer(service, id, /*map_task=*/1, /*num_targets=*/1,
+                       /*source=*/1, /*streaming=*/true, /*hint_rows=*/4);
+  std::vector<uint8_t> row(512, 0);
+  const uint32_t len = 512;
+  std::memcpy(row.data(), &len, sizeof(len));
+  Status status = Status::OK();
+  // Push enough to cross the seal threshold and hit the aborted channel.
+  for (int i = 0; i < 600 && status.ok(); ++i) {
+    status = writer.Append(0, row.data(), len);
+  }
+  EXPECT_TRUE(IsShuffleAborted(status)) << status.message();
+  service.Release(id);
+}
+
+}  // namespace
+}  // namespace idf

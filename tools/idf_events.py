@@ -27,6 +27,7 @@ TASK_EVENTS = {"task_start", "task_finish", "task_fail", "steal",
 GOVERNOR_EVENTS = {"evict", "spill_write", "reload_demand", "reload_prefetch",
                    "prefetch_skip", "batch_seal"}
 ENGINE_EVENTS = {"recovery_block", "executor_kill"}
+SHUFFLE_EVENTS = {"shuffle_push", "shuffle_drain", "shuffle_stall"}
 
 
 def load_events(path):
@@ -88,6 +89,13 @@ def describe(ev):
         return f"prefetch skipped (no headroom) {fmt_bytes(a)} rdd={b} shard={c}"
     if t == "batch_seal":
         return f"batch sealed {fmt_bytes(a)} rdd={b} shard={c}"
+    if t == "shuffle_push":
+        return f"shuffle push {fmt_bytes(a)} map={b} -> reduce={c}"
+    if t == "shuffle_drain":
+        return f"shuffle drain {fmt_bytes(a)} map={b} -> reduce={c}"
+    if t == "shuffle_stall":
+        side = "push (window full)" if c == 0 else "drain (waiting for data)"
+        return f"shuffle stall {a / 1000.0:.1f}ms on task {b}, {side}"
     if t == "recovery_block":
         return f"recovery: recomputed rdd={a} partition={b} ({c} us)"
     if t == "executor_kill":
@@ -151,6 +159,9 @@ def print_timeline(events, out=sys.stdout):
         gov = sum(1 for e in st["events"] if e["type"] in GOVERNOR_EVENTS)
         if gov:
             print(f"  governor activity during stage: {gov} events", file=out)
+        shuf = sum(1 for e in st["events"] if e["type"] in SHUFFLE_EVENTS)
+        if shuf:
+            print(f"  shuffle activity during stage: {shuf} events", file=out)
         for ev in st["events"]:
             rel_ms = (ev["ts_us"] - base_ts) / 1000.0
             marker = "·" if ev["type"] in TASK_EVENTS else ">"
@@ -176,6 +187,12 @@ def print_summary(events, out=sys.stdout):
     if spilled or reloaded:
         print(f"  bytes spilled={fmt_bytes(spilled)} "
               f"reloaded={fmt_bytes(reloaded)}", file=out)
+    pushed = sum(e.get("a", 0) for e in events if e["type"] == "shuffle_push")
+    stalled_us = sum(e.get("a", 0) for e in events
+                     if e["type"] == "shuffle_stall")
+    if pushed or stalled_us:
+        print(f"  shuffle pushed={fmt_bytes(pushed)} "
+              f"stalled={stalled_us / 1000.0:.1f}ms", file=out)
     by_stage = defaultdict(Counter)
     for e in events:
         if e["type"] in TASK_EVENTS and e.get("name"):
