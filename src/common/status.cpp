@@ -15,6 +15,8 @@ std::string_view StatusCodeName(StatusCode code) {
     case StatusCode::kStale: return "Stale";
     case StatusCode::kUnimplemented: return "Unimplemented";
     case StatusCode::kInternal: return "Internal";
+    case StatusCode::kCancelled: return "Cancelled";
+    case StatusCode::kDeadlineExceeded: return "DeadlineExceeded";
   }
   return "Unknown";
 }

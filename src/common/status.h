@@ -28,6 +28,8 @@ enum class StatusCode {
   kStale,             // versioned block older than required (consistency, §III-D)
   kUnimplemented,
   kInternal,
+  kCancelled,         // query cancelled by its client (server/query_service.h)
+  kDeadlineExceeded,  // query deadline expired before completion
 };
 
 /// Human-readable name of a status code ("OK", "NotFound", ...).
@@ -52,6 +54,8 @@ class [[nodiscard]] Status {
   static Status Stale(std::string m) { return {StatusCode::kStale, std::move(m)}; }
   static Status Unimplemented(std::string m) { return {StatusCode::kUnimplemented, std::move(m)}; }
   static Status Internal(std::string m) { return {StatusCode::kInternal, std::move(m)}; }
+  static Status Cancelled(std::string m) { return {StatusCode::kCancelled, std::move(m)}; }
+  static Status DeadlineExceeded(std::string m) { return {StatusCode::kDeadlineExceeded, std::move(m)}; }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }

@@ -381,7 +381,16 @@ Result<uint64_t> IndexedRdd::Append(uint64_t parent_version,
                                    ctx.executor(), std::move(next));
         return Status::OK();
       });
-  IDF_RETURN_IF_ERROR(status);
+  if (!status.ok()) {
+    // Unwind a failed (or cancelled) append: reduce tasks that completed
+    // before the stage aborted have already published blocks at the new
+    // version. The version is never registered, so no reader can reach
+    // them — drop them now so they don't hold memory or shadow a future
+    // append that mints a fresh version. Shared state stays exactly as it
+    // was before this call.
+    session_->cluster().blocks().DropVersion(rdd_id_, new_version);
+    return status;
+  }
 
   std::lock_guard<std::mutex> lock(mutex_);
   versions_[new_version] =

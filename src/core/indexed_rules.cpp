@@ -106,8 +106,10 @@ Result<PhysOpPtr> IndexLookupStrategy::TryPlan(const PlanPtr& plan,
 
 void InstallIndexedExtensions(Session& session) {
   static const char kExtension[] = "indexed-dataframe";
-  if (session.HasExtension(kExtension)) return;
-  session.MarkExtension(kExtension);
+  // Atomic check-and-mark: two queries racing to create the first index on
+  // one session must not both install (duplicate strategies would plan
+  // correctly but shadow each other and bloat every later PlanNode pass).
+  if (!session.TryMarkExtension(kExtension)) return;
   // Lookup outranks join (more specific); both outrank vanilla strategies.
   session.planner().PrependStrategy(std::make_shared<RowAggStrategy>());
   session.planner().PrependStrategy(std::make_shared<IndexedJoinStrategy>());

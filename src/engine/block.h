@@ -107,6 +107,26 @@ class BlockManager {
     return dropped;
   }
 
+  /// Removes every partition's block at exactly `version` of one RDD.
+  /// Used to unwind a failed or cancelled append: reduce tasks that
+  /// completed before the stage unwound have already Put blocks at the
+  /// aborted new version, and leaving them behind would poison a later
+  /// append that mints the same version number. Returns blocks dropped.
+  size_t DropVersion(uint64_t rdd, uint64_t version) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    size_t dropped = 0;
+    for (auto it = blocks_.lower_bound(BlockId{rdd, 0, 0});
+         it != blocks_.end() && it->first.rdd == rdd;) {
+      if (it->first.version == version) {
+        it = blocks_.erase(it);
+        ++dropped;
+      } else {
+        ++it;
+      }
+    }
+    return dropped;
+  }
+
   /// Removes all versions of one RDD (uncache).
   void DropRdd(uint64_t rdd) {
     std::lock_guard<std::mutex> lock(mutex_);

@@ -1,0 +1,37 @@
+#include "engine/cancel.h"
+
+#include <chrono>
+
+namespace idf {
+
+namespace {
+thread_local QueryControl* t_query_control = nullptr;
+}  // namespace
+
+int64_t QueryControl::NowMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+Status QueryControl::Check() const {
+  if (cancel_requested()) {
+    return Status::Cancelled("query cancelled");
+  }
+  const int64_t deadline = deadline_micros();
+  if (deadline != 0 && NowMicros() >= deadline) {
+    return Status::DeadlineExceeded("query deadline expired");
+  }
+  return Status::OK();
+}
+
+QueryControl* CurrentQueryControl() { return t_query_control; }
+
+ScopedQueryControl::ScopedQueryControl(QueryControl* control)
+    : previous_(t_query_control) {
+  t_query_control = control;
+}
+
+ScopedQueryControl::~ScopedQueryControl() { t_query_control = previous_; }
+
+}  // namespace idf

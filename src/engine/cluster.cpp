@@ -8,6 +8,7 @@
 
 #include "common/logging.h"
 #include "common/timer.h"
+#include "engine/cancel.h"
 #include "engine/scheduler.h"
 #include "mem/governor.h"
 #include "obs/flight_recorder.h"
@@ -119,6 +120,7 @@ struct Cluster::PipelineContext {
   std::vector<TaskResult>* map_results = nullptr;
   uint64_t stage_span_id = 0;
   uint32_t map_name_id = 0;
+  QueryControl* control = nullptr;  // owning query's token (may be null)
   std::atomic<bool>* cancelled = nullptr;
   const std::function<void()>* fail = nullptr;
 
@@ -144,7 +146,7 @@ struct Cluster::PipelineContext {
     }
     TaskResult& out = (*map_results)[index];
     cluster->ExecuteTask(*map_stage, index, map_plan->assigned[index],
-                         stage_span_id, map_name_id, out);
+                         stage_span_id, map_name_id, control, out);
     if (map_plan->have_residency) {
       (map_plan->resident[index] ? em.resident_hits : em.resident_misses)
           .Increment();
@@ -196,9 +198,28 @@ ThreadPool& Cluster::pool() {
 
 void Cluster::ExecuteTask(const StageSpec& stage, uint32_t index,
                           ExecutorId executor, uint64_t stage_span_id,
-                          uint32_t stage_name_id, TaskResult& out) {
+                          uint32_t stage_name_id, QueryControl* control,
+                          TaskResult& out) {
   EngineMetrics& em = EngineMetrics::Get();
   obs::FlightRecorder& fr = obs::FlightRecorder::Global();
+  // Task-boundary cancellation check: a cancelled or past-deadline query
+  // fails this task before its body runs, and first-error-wins unwinds the
+  // rest of the stage. Cheap (two relaxed-ish atomic loads) and it runs on
+  // the host thread that claimed the task, so every lane observes a cancel
+  // within one task of it being requested.
+  if (control != nullptr) {
+    Status check = control->Check();
+    if (!check.ok()) {
+      out.status = std::move(check);
+      out.ran = true;
+      fr.Record(obs::EventType::kTaskFail, stage_name_id, index, executor, 0);
+      return;
+    }
+  }
+  // Propagate the driver's control onto this (pool) thread for the body's
+  // duration: nested in-line stages and polling bodies pick it up via
+  // CurrentQueryControl().
+  ScopedQueryControl scoped_control(control);
   // Explicit parent: on a pool thread the stage span lives on the driver's
   // stack, so the implicit thread-local link would miss it.
   obs::Span task_span("task", stage.name + " #" + std::to_string(index),
@@ -336,6 +357,11 @@ Cluster::StagePlan Cluster::BuildStagePlan(
 }
 
 Result<StageMetrics> Cluster::RunStage(const StageSpec& stage) {
+  // The owning query's cancellation token, captured once on the driver
+  // thread (pool workers receive it through ExecuteTask). Null outside a
+  // served query — all checks below collapse to a pointer compare.
+  QueryControl* const control = CurrentQueryControl();
+  if (control != nullptr) IDF_RETURN_IF_ERROR(control->Check());
   EngineMetrics& em = EngineMetrics::Get();
   obs::FlightRecorder& fr = obs::FlightRecorder::Global();
   // Interned once per stage (cold); tasks reuse the id on their hot path.
@@ -376,7 +402,7 @@ Result<StageMetrics> Cluster::RunStage(const StageSpec& stage) {
         prefetch_inputs(order[k + 1]);
       }
       ExecuteTask(stage, i, assigned[i], stage_span_id, stage_name_id,
-                  results[i]);
+                  control, results[i]);
       if (have_residency) {
         (resident[i] ? em.resident_hits : em.resident_misses).Increment();
         fr.Record(resident[i] ? obs::EventType::kResidentHit
@@ -412,7 +438,7 @@ Result<StageMetrics> Cluster::RunStage(const StageSpec& stage) {
             prefetch_inputs(next_in_lane);
           }
           ExecuteTask(stage, index, assigned[index], stage_span_id,
-                      stage_name_id, results[index]);
+                      stage_name_id, control, results[index]);
           if (have_residency) {
             (resident[index] ? em.resident_hits : em.resident_misses)
                 .Increment();
@@ -479,12 +505,15 @@ Result<StageMetrics> Cluster::RunStage(const StageSpec& stage) {
                 "simulated %.3fs",
                 stage.name.c_str(), metrics.num_tasks, metrics.real_seconds,
                 metrics.wall_seconds, metrics.simulated_seconds);
+  if (control != nullptr) control->OnStageComplete();
   return metrics;
 }
 
 Result<StageMetrics> Cluster::RunPipelinedStages(const StageSpec& map_stage,
                                                  const StageSpec& reduce_stage,
                                                  const PipelineHooks& hooks) {
+  QueryControl* const control = CurrentQueryControl();
+  if (control != nullptr) IDF_RETURN_IF_ERROR(control->Check());
   EngineMetrics& em = EngineMetrics::Get();
   obs::FlightRecorder& fr = obs::FlightRecorder::Global();
   const std::string fused_name = map_stage.name + "+" + reduce_stage.name;
@@ -530,14 +559,14 @@ Result<StageMetrics> Cluster::RunPipelinedStages(const StageSpec& map_stage,
          k < num_map && !cancelled.load(std::memory_order_relaxed); ++k) {
       const uint32_t i = map_plan.order[k];
       ExecuteTask(map_stage, i, map_plan.assigned[i], stage_span_id,
-                  map_name_id, map_results[i]);
+                  map_name_id, control, map_results[i]);
       if (!map_results[i].status.ok()) fail();
     }
     for (size_t k = 0;
          k < num_reduce && !cancelled.load(std::memory_order_relaxed); ++k) {
       const uint32_t i = reduce_plan.order[k];
       ExecuteTask(reduce_stage, i, reduce_plan.assigned[i], stage_span_id,
-                  reduce_name_id, reduce_results[i]);
+                  reduce_name_id, control, reduce_results[i]);
       if (!reduce_results[i].status.ok()) fail();
     }
   } else {
@@ -552,6 +581,7 @@ Result<StageMetrics> Cluster::RunPipelinedStages(const StageSpec& map_stage,
     pctx.map_results = &map_results;
     pctx.stage_span_id = stage_span_id;
     pctx.map_name_id = map_name_id;
+    pctx.control = control;
     pctx.cancelled = &cancelled;
     pctx.fail = &fail;
 
@@ -578,7 +608,8 @@ Result<StageMetrics> Cluster::RunPipelinedStages(const StageSpec& map_stage,
         }
       }
       ExecuteTask(reduce_stage, index, reduce_plan.assigned[index],
-                  stage_span_id, reduce_name_id, reduce_results[index]);
+                  stage_span_id, reduce_name_id, control,
+                  reduce_results[index]);
       if (reduce_plan.have_residency) {
         (reduce_plan.resident[index] ? em.resident_hits : em.resident_misses)
             .Increment();
@@ -689,6 +720,7 @@ Result<StageMetrics> Cluster::RunPipelinedStages(const StageSpec& map_stage,
                 "simulated %.3fs",
                 fused_name.c_str(), metrics.num_tasks, metrics.real_seconds,
                 metrics.wall_seconds, metrics.simulated_seconds);
+  if (control != nullptr) control->OnStageComplete();
   return metrics;
 }
 

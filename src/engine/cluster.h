@@ -23,6 +23,7 @@
 #include "common/status.h"
 #include "common/threadpool.h"
 #include "engine/block.h"
+#include "engine/cancel.h"
 #include "engine/des.h"
 #include "engine/metrics.h"
 #include "engine/shuffle.h"
@@ -116,6 +117,15 @@ class Cluster {
   /// aborts the stage and unstarted tasks are cancelled. Runs in-line
   /// sequentially when scheduler_threads() == 1 or when called from inside
   /// a task body (re-entrancy guard).
+  ///
+  /// Cooperative cancellation: when the calling thread has a QueryControl
+  /// installed (ScopedQueryControl — the query service does this around
+  /// each query), the stage checks it at entry and before every task body;
+  /// a cancelled or past-deadline query fails with kCancelled /
+  /// kDeadlineExceeded via the same first-error-wins unwinding as any task
+  /// failure. Granularity is the task boundary — running bodies finish
+  /// undisturbed, so pins and shuffle state release through their normal
+  /// error/success paths (engine/cancel.h).
   Result<StageMetrics> RunStage(const StageSpec& stage);
 
   /// Cancellation hooks for RunPipelinedStages, coordinating the scheduler
@@ -209,10 +219,13 @@ class Cluster {
   /// Executes one task body: span, context, timing, global counters, flight-
   /// recorder task events (stage_name_id is the stage name interned once by
   /// RunStage). The outcome lands in `out`; merging happens later, on the
-  /// driver, in task-index order.
+  /// driver, in task-index order. `control` is the owning query's
+  /// cancellation token (nullptr outside a served query): checked before
+  /// the body runs and installed on this thread for the body's duration so
+  /// nested stages and polling bodies observe it.
   void ExecuteTask(const StageSpec& stage, uint32_t index, ExecutorId executor,
                    uint64_t stage_span_id, uint32_t stage_name_id,
-                   TaskResult& out);
+                   QueryControl* control, TaskResult& out);
 
   /// Fused-stage state for the calling worker thread, consulted by
   /// TryHelpPipelinedMapTask (null outside RunPipelinedStages workers).

@@ -42,6 +42,8 @@ struct MemMetrics {
       obs::Registry::Global().GetCounter("mem.prefetch.skipped");
   obs::Counter& prefetch_failures =
       obs::Registry::Global().GetCounter("mem.prefetch.failures");
+  obs::Gauge& reserved =
+      obs::Registry::Global().GetGauge("mem.reserved_bytes");
 
   static MemMetrics& Get() {
     static MemMetrics* metrics = new MemMetrics();
@@ -131,6 +133,44 @@ const std::string& MemoryGovernor::SpillDirLocked() {
   std::error_code ec;
   std::filesystem::create_directories(spill_dir_, ec);
   return spill_dir_;
+}
+
+Status MemoryGovernor::TryReserve(uint64_t bytes) {
+  const uint64_t budget = budget_.load(std::memory_order_relaxed);
+  if (budget == 0) {
+    // No budget, no admission limit — still account so /queries can show
+    // outstanding reservations.
+    reserved_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+    MemMetrics::Get().reserved.Set(
+        static_cast<double>(reserved_bytes_.load(std::memory_order_relaxed)));
+    return Status::OK();
+  }
+  uint64_t current = reserved_bytes_.load(std::memory_order_relaxed);
+  while (true) {
+    if (current + bytes > budget) {
+      return Status::ResourceExhausted(
+          "reservation of " + std::to_string(bytes) + " bytes exceeds budget (" +
+          std::to_string(current) + " of " + std::to_string(budget) +
+          " already reserved)");
+    }
+    if (reserved_bytes_.compare_exchange_weak(current, current + bytes,
+                                              std::memory_order_relaxed)) {
+      MemMetrics::Get().reserved.Set(static_cast<double>(current + bytes));
+      return Status::OK();
+    }
+  }
+}
+
+void MemoryGovernor::ReleaseReservation(uint64_t bytes) {
+  uint64_t current = reserved_bytes_.load(std::memory_order_relaxed);
+  while (true) {
+    const uint64_t next = current >= bytes ? current - bytes : 0;
+    if (reserved_bytes_.compare_exchange_weak(current, next,
+                                              std::memory_order_relaxed)) {
+      MemMetrics::Get().reserved.Set(static_cast<double>(next));
+      return;
+    }
+  }
 }
 
 uint64_t MemoryGovernor::NewInstanceId() {

@@ -254,6 +254,26 @@ class MemoryGovernor {
   /// paths; callable directly (tests, benches).
   void EnforceBudget();
 
+  // ---- admission reservations (query service, docs/SERVER.md) -----------
+
+  /// Tries to reserve `bytes` of the budget for an admitted query. The
+  /// reservation is bookkeeping for admission control — it does not pin or
+  /// preallocate memory; the governor's eviction machinery remains the
+  /// enforcement backstop. Fails with kResourceExhausted when the budget is
+  /// nonzero and existing reservations plus `bytes` would exceed it (a
+  /// single reservation larger than the whole budget is also rejected).
+  /// With no budget configured every reservation succeeds.
+  Status TryReserve(uint64_t bytes);
+
+  /// Returns a reservation taken with TryReserve. Clamps at zero (releases
+  /// never underflow, e.g. when Configure() raced a release).
+  void ReleaseReservation(uint64_t bytes);
+
+  /// Sum of outstanding admission reservations.
+  uint64_t reserved_bytes() const {
+    return reserved_bytes_.load(std::memory_order_relaxed);
+  }
+
   // ---- residency map & prefetch (spill-aware scheduling) ----------------
 
   /// Per-(owner, shard) aggregate of where governed payloads live right
@@ -353,6 +373,7 @@ class MemoryGovernor {
   std::atomic<uint64_t> budget_{0};
   std::atomic<uint64_t> resident_bytes_{0};
   std::atomic<uint64_t> spilled_bytes_{0};
+  std::atomic<uint64_t> reserved_bytes_{0};  // admission reservations
   std::atomic<uint64_t> clock_{1};  // LRU tick, bumped per pin
 
   struct CatalogKey {

@@ -190,6 +190,13 @@ const char* EventTypeName(EventType type) {
     case EventType::kShufflePush: return "shuffle_push";
     case EventType::kShuffleDrain: return "shuffle_drain";
     case EventType::kShuffleStall: return "shuffle_stall";
+    case EventType::kQuerySubmit: return "query_submit";
+    case EventType::kQueryAdmit: return "query_admit";
+    case EventType::kQueryReject: return "query_reject";
+    case EventType::kQueryStart: return "query_start";
+    case EventType::kQueryFinish: return "query_finish";
+    case EventType::kQueryCancel: return "query_cancel";
+    case EventType::kQueryDeadline: return "query_deadline";
   }
   return "event";
 }

@@ -67,6 +67,15 @@ enum class EventType : uint8_t {
   kShufflePush = 16,   //             a=bytes       b=map task     c=reduce part
   kShuffleDrain = 17,  //             a=bytes       b=map task     c=reduce part
   kShuffleStall = 18,  //             a=micros      b=task index   c=0 push / 1 drain
+  // Query-service lifecycle (src/server/query_service.h). a=query id for
+  // all of them; name = the query's label when one was given.
+  kQuerySubmit = 19,   //             a=query id    b=reserved B   c=queue depth
+  kQueryAdmit = 20,    //             a=query id    b=reserved B   c=queued micros
+  kQueryReject = 21,   //             a=query id    b=reserved B   c=0 queue full / 1 reservation
+  kQueryStart = 22,    //             a=query id    b=reserved B   c=priority
+  kQueryFinish = 23,   //             a=query id    b=status code  c=run micros
+  kQueryCancel = 24,   //             a=query id    b=0 queued / 1 running  c=micros since submit
+  kQueryDeadline = 25, //             a=query id    b=0 queued / 1 running  c=micros since submit
 };
 
 /// Stable wire name for an event type ("task_start", "evict", ...); used by

@@ -223,11 +223,18 @@ Planner::Planner(JoinExec::Mode default_join_mode)
 }
 
 Result<PlanPtr> Planner::Optimize(const PlanPtr& plan) const {
+  // Snapshot the rule list: a concurrent AddRule (extension install from
+  // another query's thread) must not mutate the vector mid-iteration.
+  std::vector<LogicalRule> rules;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    rules = rules_;
+  }
   PlanPtr current = plan;
   for (int iteration = 0; iteration < 16; ++iteration) {
     bool changed = false;
     IDF_ASSIGN_OR_RETURN(current,
-                         ApplyRulesBottomUp(current, rules_, &changed));
+                         ApplyRulesBottomUp(current, rules, &changed));
     if (!changed) return current;
   }
   return current;  // fixpoint not reached; plan is still valid
@@ -239,7 +246,15 @@ Result<PhysOpPtr> Planner::Plan(const PlanPtr& plan) {
 }
 
 Result<PhysOpPtr> Planner::PlanNode(const PlanPtr& plan) {
-  for (const StrategyPtr& strategy : strategies_) {
+  // Snapshot under the lock (shared_ptr copies — strategies are immutable
+  // once installed); TryPlan may recurse back into PlanNode, so the lock
+  // cannot be held across it.
+  std::vector<StrategyPtr> strategies;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    strategies = strategies_;
+  }
+  for (const StrategyPtr& strategy : strategies) {
     IDF_ASSIGN_OR_RETURN(PhysOpPtr op, strategy->TryPlan(plan, *this));
     if (op != nullptr) return op;
   }

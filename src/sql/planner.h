@@ -11,6 +11,7 @@
 
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -39,18 +40,27 @@ class Strategy {
 };
 using StrategyPtr = std::shared_ptr<const Strategy>;
 
+/// Thread-safe for concurrent Plan()/Optimize() against concurrent
+/// AddRule/PrependStrategy: rule/strategy lists are guarded by a mutex and
+/// snapshotted per planning pass (plans in flight keep the list they
+/// started with — newly installed strategies apply from the next pass).
+/// Concurrent queries of one Session share this planner (docs/SERVER.md).
 class Planner {
  public:
   /// Installs the default rules (CombineFilters, PushFilterBelowProject)
   /// and the vanilla strategies.
   explicit Planner(JoinExec::Mode default_join_mode = JoinExec::Mode::kAuto);
 
-  void AddRule(LogicalRule rule) { rules_.push_back(std::move(rule)); }
+  void AddRule(LogicalRule rule) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    rules_.push_back(std::move(rule));
+  }
 
   /// Index-aware strategies are *prepended* so they outrank the vanilla
   /// fallbacks, mirroring how the paper's library injects rules into
   /// Catalyst ahead of stock planning.
   void PrependStrategy(StrategyPtr strategy) {
+    std::lock_guard<std::mutex> lock(mutex_);
     strategies_.insert(strategies_.begin(), std::move(strategy));
   }
 
@@ -69,9 +79,13 @@ class Planner {
     default_join_mode_ = mode;
   }
 
-  const std::vector<LogicalRule>& rules() const { return rules_; }
+  std::vector<LogicalRule> rules() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return rules_;
+  }
 
  private:
+  mutable std::mutex mutex_;  // guards rules_ and strategies_
   std::vector<LogicalRule> rules_;
   std::vector<StrategyPtr> strategies_;
   JoinExec::Mode default_join_mode_;

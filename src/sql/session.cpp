@@ -138,10 +138,12 @@ std::string CatalogKey(const std::string& name) {
 
 void Session::RegisterTable(const std::string& name, DatasetPtr dataset) {
   IDF_CHECK(dataset != nullptr);
+  std::lock_guard<std::mutex> lock(catalog_mutex_);
   catalog_[CatalogKey(name)] = std::move(dataset);
 }
 
 Result<DatasetPtr> Session::LookupTable(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(catalog_mutex_);
   auto it = catalog_.find(CatalogKey(name));
   if (it == catalog_.end()) {
     return Status::NotFound("no table named '" + name + "' in the catalog");

@@ -10,6 +10,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <set>
 #include <string>
 #include <vector>
@@ -102,9 +103,20 @@ class Session {
   /// Extension registry: lets add-on libraries (e.g. the Indexed DataFrame
   /// rules) install themselves into this session exactly once.
   bool HasExtension(const std::string& name) const {
+    std::lock_guard<std::mutex> lock(catalog_mutex_);
     return extensions_.count(name) > 0;
   }
-  void MarkExtension(const std::string& name) { extensions_.insert(name); }
+  void MarkExtension(const std::string& name) {
+    std::lock_guard<std::mutex> lock(catalog_mutex_);
+    extensions_.insert(name);
+  }
+  /// Atomic check-and-mark: true exactly once per name per session. The
+  /// install path for extensions shared by concurrent queries — two threads
+  /// racing to install the same extension must not both PrependStrategy.
+  bool TryMarkExtension(const std::string& name) {
+    std::lock_guard<std::mutex> lock(catalog_mutex_);
+    return extensions_.insert(name).second;
+  }
 
  private:
   /// Shared materialization path; EXPLAIN results skip the catalog so they
@@ -117,6 +129,9 @@ class Session {
   SessionOptions options_;
   std::unique_ptr<Cluster> cluster_;
   Planner planner_;
+  // Guards the catalog and extension registry: concurrent queries served
+  // through the query service register/look up tables on one Session.
+  mutable std::mutex catalog_mutex_;
   std::set<std::string> extensions_;
   std::map<std::string, DatasetPtr> catalog_;  // keys uppercased
 };

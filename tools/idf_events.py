@@ -28,6 +28,8 @@ GOVERNOR_EVENTS = {"evict", "spill_write", "reload_demand", "reload_prefetch",
                    "prefetch_skip", "batch_seal"}
 ENGINE_EVENTS = {"recovery_block", "executor_kill"}
 SHUFFLE_EVENTS = {"shuffle_push", "shuffle_drain", "shuffle_stall"}
+QUERY_EVENTS = {"query_submit", "query_admit", "query_reject", "query_start",
+                "query_finish", "query_cancel", "query_deadline"}
 
 
 def load_events(path):
@@ -96,6 +98,27 @@ def describe(ev):
     if t == "shuffle_stall":
         side = "push (window full)" if c == 0 else "drain (waiting for data)"
         return f"shuffle stall {a / 1000.0:.1f}ms on task {b}, {side}"
+    if t == "query_submit":
+        return (f"query {a} submitted (reservation {fmt_bytes(b)}, "
+                f"queue depth {c})")
+    if t == "query_admit":
+        return (f"query {a} admitted (reservation {fmt_bytes(b)}, "
+                f"queued {c / 1000.0:.1f}ms)")
+    if t == "query_reject":
+        reason = "queue full" if c == 0 else "reservation does not fit"
+        return f"query {a} REJECTED ({reason}, reservation {fmt_bytes(b)})"
+    if t == "query_start":
+        return f"query {a} start (reservation {fmt_bytes(b)}, priority {c})"
+    if t == "query_finish":
+        outcome = "OK" if b == 0 else f"status code {b}"
+        return f"query {a} finish {outcome} ({c / 1000.0:.1f}ms running)"
+    if t == "query_cancel":
+        phase = "while queued" if b == 0 else "while running"
+        return f"query {a} cancelled {phase} ({c / 1000.0:.1f}ms after submit)"
+    if t == "query_deadline":
+        phase = "while queued" if b == 0 else "while running"
+        return (f"query {a} deadline expired {phase} "
+                f"({c / 1000.0:.1f}ms after submit)")
     if t == "recovery_block":
         return f"recovery: recomputed rdd={a} partition={b} ({c} us)"
     if t == "executor_kill":
@@ -193,6 +216,23 @@ def print_summary(events, out=sys.stdout):
     if pushed or stalled_us:
         print(f"  shuffle pushed={fmt_bytes(pushed)} "
               f"stalled={stalled_us / 1000.0:.1f}ms", file=out)
+    submits = by_type.get("query_submit", 0)
+    if submits:
+        finishes = [e for e in events if e["type"] == "query_finish"]
+        failed = sum(1 for e in finishes if e.get("b", 0) != 0)
+        queued_us = sum(e.get("c", 0) for e in events
+                        if e["type"] == "query_admit")
+        run_us = sum(e.get("c", 0) for e in finishes)
+        print(f"  queries: {submits} submitted, "
+              f"{by_type.get('query_admit', 0)} admitted, "
+              f"{by_type.get('query_reject', 0)} rejected, "
+              f"{by_type.get('query_cancel', 0)} cancelled, "
+              f"{by_type.get('query_deadline', 0)} expired, "
+              f"{failed} failed", file=out)
+        if finishes:
+            print(f"  query time: queued {queued_us / 1000.0:.1f}ms total, "
+                  f"running {run_us / 1000.0:.1f}ms total "
+                  f"({run_us / len(finishes) / 1000.0:.1f}ms mean)", file=out)
     by_stage = defaultdict(Counter)
     for e in events:
         if e["type"] in TASK_EVENTS and e.get("name"):
