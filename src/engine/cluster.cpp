@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <future>
 #include <numeric>
+#include <thread>
 
+#include "common/hash.h"
 #include "common/logging.h"
 #include "common/timer.h"
 #include "engine/cancel.h"
@@ -15,6 +18,7 @@
 #include "obs/introspect.h"
 #include "obs/metrics_registry.h"
 #include "obs/trace.h"
+#include "testing/chaos.h"
 
 namespace idf {
 
@@ -81,10 +85,40 @@ std::string ResidencyJson() {
          ",\"partitions\":[" + partitions + "]}";
 }
 
+/// Force-evicts every governed payload (chaos kEvictWorld). Iterates a
+/// residency snapshot rather than calling EnforceBudget so it evicts even
+/// when the budget is satisfied — that is the point of the fault. Pinned
+/// payloads survive (EvictPartition skips them), exactly like a real
+/// worst-case pressure wave.
+size_t ChaosEvictWorld() {
+  mem::MemoryGovernor& gov = mem::MemoryGovernor::Global();
+  size_t evicted = 0;
+  for (const auto& [key, info] : gov.ResidencySnapshot()) {
+    evicted += gov.EvictPartition(key.first, key.second);
+  }
+  return evicted;
+}
+
+/// Chaos kBudgetSqueeze: halve the budget, enforce it (evicting down to the
+/// squeezed ceiling), then restore. Serialized so two racing squeezes can't
+/// observe each other's halved budget as the "previous" value and wedge the
+/// budget low permanently.
+void ChaosSqueezeBudget() {
+  static std::mutex squeeze_mutex;
+  std::lock_guard<std::mutex> lock(squeeze_mutex);
+  mem::MemoryGovernor& gov = mem::MemoryGovernor::Global();
+  const uint64_t prev = gov.budget_bytes();
+  if (prev < 2) return;  // unbudgeted runs have nothing to squeeze
+  gov.Configure(prev / 2);  // Configure(>0) enforces the squeezed budget
+  gov.Configure(prev);
+}
+
 /// One-time observability wiring, done at first Cluster construction: the
 /// /residency JSON source, the IDF_OBS_PORT server, and the IDF_EVENTS_DIR
 /// crash handler. All opt-in; without the env vars only the (always-cheap)
-/// handler registration happens.
+/// handler registration happens. Also hands the chaos engine its one upward
+/// actuator ("evict every governed payload", used by the background
+/// evictor) — registration is unconditional and costs one mutex'd store.
 void WireIntrospectionOnce() {
   static std::once_flag once;
   std::call_once(once, [] {
@@ -94,6 +128,7 @@ void WireIntrospectionOnce() {
     if (std::getenv("IDF_EVENTS_DIR") != nullptr) {
       obs::FlightRecorder::InstallCrashHandler();
     }
+    chaos::ChaosEngine::SetEvictWorldActuator(ChaosEvictWorld);
   });
 }
 
@@ -196,6 +231,41 @@ ThreadPool& Cluster::pool() {
   return *pool_;
 }
 
+void Cluster::ApplyTaskChaos(const StageSpec& stage, uint32_t index,
+                             ExecutorId executor, QueryControl* control) {
+  if (!chaos::ChaosEngine::Active()) return;
+  chaos::ChaosEngine& engine = chaos::ChaosEngine::Global();
+  const uint64_t stage_hash = HashString(stage.name);
+  const uint64_t key = HashCombine(stage_hash, index);
+  const chaos::TaskAction action = engine.OnTaskStart(stage_hash, index);
+  // Delaying this lane's task is also how "force a steal" is injected: the
+  // lane sits on its claimed task while the other lanes drain their queues
+  // and start stealing from it.
+  if (action.delay_us > 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(action.delay_us));
+  }
+  if (action.evict_world) ChaosEvictWorld();
+  if (action.squeeze_budget) ChaosSqueezeBudget();
+  // Kill/cancel/deadline sit behind guards the engine cannot evaluate, so
+  // the decision came back unrecorded; record only what actually fired.
+  if (action.kill_executor && TryKillExecutor(executor)) {
+    engine.RecordFault(chaos::Site::kTask, chaos::Fault::kKillExecutor, key,
+                       executor);
+  }
+  if (control != nullptr) {
+    if (action.cancel_query) {
+      control->Cancel();
+      engine.RecordFault(chaos::Site::kTask, chaos::Fault::kCancelQuery, key,
+                         0);
+    }
+    if (action.expire_query) {
+      control->SetDeadlineMicros(QueryControl::NowMicros());
+      engine.RecordFault(chaos::Site::kTask, chaos::Fault::kExpireQuery, key,
+                         0);
+    }
+  }
+}
+
 void Cluster::ExecuteTask(const StageSpec& stage, uint32_t index,
                           ExecutorId executor, uint64_t stage_span_id,
                           uint32_t stage_name_id, QueryControl* control,
@@ -232,9 +302,10 @@ void Cluster::ExecuteTask(const StageSpec& stage, uint32_t index,
   // this simulated executor.
   const int32_t prev_executor = mem::MemoryGovernor::CurrentExecutor();
   mem::MemoryGovernor::SetCurrentExecutor(static_cast<int32_t>(executor));
-  // Test hook: lets a deterministic pressure harness evict batches between
-  // tasks (mem::GovernorHooks::on_task_start). No-op unless hooks installed.
-  mem::MemoryGovernor::NotifyTaskStart();
+  // Chaos task-boundary site: scripted hooks (deterministic pressure
+  // harnesses evicting between tasks) and armed probability faults. One
+  // relaxed load when inactive.
+  ApplyTaskChaos(stage, index, executor, control);
   fr.Record(obs::EventType::kTaskStart, stage_name_id, index, executor, 0);
   Stopwatch timer;
   try {
@@ -820,6 +891,23 @@ size_t Cluster::KillExecutor(ExecutorId e) {
                   "cannot kill the last executor");
     alive_[e] = false;
   }
+  return DropKilledExecutor(e);
+}
+
+bool Cluster::TryKillExecutor(ExecutorId e) {
+  {
+    std::lock_guard<std::mutex> lock(alive_mutex_);
+    if (e >= alive_.size() || !alive_[e] ||
+        AliveExecutorsLocked().size() <= 1) {
+      return false;
+    }
+    alive_[e] = false;
+  }
+  DropKilledExecutor(e);
+  return true;
+}
+
+size_t Cluster::DropKilledExecutor(ExecutorId e) {
   const size_t lost = blocks_.DropExecutor(e);
   EngineMetrics::Get().killed_executors.Increment();
   obs::FlightRecorder::Global().Record(obs::EventType::kExecutorKill, 0, e,

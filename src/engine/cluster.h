@@ -189,6 +189,13 @@ class Cluster {
   size_t KillExecutor(ExecutorId e);
   void ReviveExecutor(ExecutorId e);
 
+  /// Guarded kill for concurrent injectors (the chaos engine fires kills
+  /// from racing task boundaries): refuses — instead of CHECK-failing —
+  /// when `e` is already dead or is the last alive executor. The check and
+  /// the kill are atomic under alive_mutex_, so two racing chaos kills can
+  /// never take the cluster to zero executors.
+  bool TryKillExecutor(ExecutorId e);
+
   // ---- lineage -------------------------------------------------------
 
   void RegisterLineage(uint64_t rdd, PartitionComputeFn fn);
@@ -226,6 +233,19 @@ class Cluster {
   void ExecuteTask(const StageSpec& stage, uint32_t index, ExecutorId executor,
                    uint64_t stage_span_id, uint32_t stage_name_id,
                    QueryControl* control, TaskResult& out);
+
+  /// Task-boundary chaos site: consults the chaos engine (scripted hooks +
+  /// armed probability faults) and applies the returned TaskAction with
+  /// engine/mem facilities — delay the lane, evict the world, squeeze the
+  /// budget, kill this task's executor, or fire the owning query's
+  /// cancel/deadline. One relaxed load when chaos is inactive.
+  void ApplyTaskChaos(const StageSpec& stage, uint32_t index,
+                      ExecutorId executor, QueryControl* control);
+
+  /// Post-kill bookkeeping shared by KillExecutor and TryKillExecutor:
+  /// drops the dead executor's blocks and records the kill. Returns the
+  /// number of blocks lost.
+  size_t DropKilledExecutor(ExecutorId e);
 
   /// Fused-stage state for the calling worker thread, consulted by
   /// TryHelpPipelinedMapTask (null outside RunPipelinedStages workers).

@@ -3,10 +3,12 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdlib>
+#include <thread>
 
 #include "mem/governor.h"
 #include "obs/flight_recorder.h"
 #include "obs/metrics_registry.h"
+#include "testing/chaos.h"
 
 namespace idf {
 namespace {
@@ -147,6 +149,20 @@ void ShuffleService::StartStreaming(uint64_t shuffle, uint64_t window_bytes,
 bool ShuffleService::PushMapOutput(uint64_t shuffle, uint32_t map_task,
                                    uint32_t reduce_part,
                                    ShuffleBuffer buffer) {
+  // Chaos push site: delay the seal-push before taking the service lock
+  // (the consumer side observes a late contribution, not a held lock), or
+  // abort the whole stream mid-flight — every producer and consumer then
+  // unwinds with ShuffleAbortedStatus, the retryable path the differential
+  // gate accepts.
+  if (chaos::ChaosEngine::Active()) {
+    const chaos::ShuffleAction action =
+        chaos::ChaosEngine::Global().OnShufflePush(shuffle, map_task,
+                                                   reduce_part);
+    if (action.delay_us > 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(action.delay_us));
+    }
+    if (action.abort) AbortStreaming(shuffle);
+  }
   const uint64_t size = buffer.bytes.size();
   auto buf = std::make_shared<ShuffleBuffer>(std::move(buffer));
   uint64_t stall_us = 0;
@@ -228,6 +244,16 @@ Result<std::shared_ptr<const ShuffleBuffer>> ShuffleService::PullNext(
     uint64_t* map_bytes, ExecutorId* map_source,
     const std::function<bool()>& idle,
     const std::function<void(ExecutorId, uint64_t)>& on_map_read) {
+  // Chaos pull site: stall this consumer's channel before it takes the
+  // lock, shearing the drain order against the producers.
+  if (chaos::ChaosEngine::Active()) {
+    const uint32_t delay_us =
+        chaos::ChaosEngine::Global().OnShufflePullDelayUs(shuffle,
+                                                          reduce_part);
+    if (delay_us > 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(delay_us));
+    }
+  }
   for (;;) {
     std::shared_ptr<ShuffleBuffer> delivered;
     ExecutorId read_source = kAnyExecutor;

@@ -11,6 +11,7 @@
 #include "obs/flight_recorder.h"
 #include "obs/metrics_registry.h"
 #include "obs/trace.h"
+#include "testing/chaos.h"
 
 namespace idf::mem {
 
@@ -53,6 +54,17 @@ struct MemMetrics {
 
 thread_local AccessScope* t_current_scope = nullptr;
 thread_local int32_t t_current_executor = -1;
+
+/// Chaos-bus reload site (src/testing/chaos.h): scripted hooks and armed
+/// probability faults, consulted before every payload reload. Production
+/// cost is one relaxed load. Called with the governor mutex held — an
+/// injected delay therefore widens the eviction/reload race exactly where
+/// concurrent readers of the same payload queue up.
+Status RunReloadChaos(const SpillIdentity& id, bool prefetch) {
+  if (!chaos::ChaosEngine::Active()) return Status::OK();
+  return chaos::ChaosEngine::Global().OnReload(id.owner, id.shard, id.index,
+                                               prefetch);
+}
 
 }  // namespace
 
@@ -357,7 +369,7 @@ Status MemoryGovernor::FaultIn(Evictable* e) {
   }
   obs::Span span("mem", "reload");
   IDF_CHECK_MSG(e->spill_file_ != nullptr, "evicted payload has no spill file");
-  IDF_RETURN_IF_ERROR(RunReloadHook(e->identity_, /*prefetch=*/false));
+  IDF_RETURN_IF_ERROR(RunReloadChaos(e->identity_, /*prefetch=*/false));
   IDF_RETURN_IF_ERROR(e->ReloadPayload(e->spill_file_->path()));
   e->state_.store(Evictable::kResident, std::memory_order_seq_cst);
   const uint64_t bytes = e->PayloadBytes();
@@ -436,40 +448,25 @@ size_t MemoryGovernor::EvictPartition(uint64_t owner, uint32_t shard) {
   return evicted;
 }
 
-void MemoryGovernor::SetHooks(GovernorHooks hooks) {
-  MemoryGovernor& g = Global();
-  const bool installed = hooks.on_reload != nullptr ||
-                         hooks.on_task_start != nullptr;
-  std::lock_guard<std::mutex> lock(g.hooks_mutex_);
-  g.hooks_ = installed
-                 ? std::make_shared<const GovernorHooks>(std::move(hooks))
-                 : nullptr;
-  g.reload_ordinal_.store(0, std::memory_order_relaxed);
-  g.hooks_installed_.store(installed, std::memory_order_release);
+uint64_t MemoryGovernor::TotalPinsForTesting() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  uint64_t pins = 0;
+  for (Evictable* e : registry_) {
+    pins += e->pins_.load(std::memory_order_seq_cst);
+  }
+  return pins;
 }
 
-void MemoryGovernor::NotifyTaskStart() {
-  MemoryGovernor& g = Global();
-  if (!g.hooks_installed_.load(std::memory_order_acquire)) return;
-  std::shared_ptr<const GovernorHooks> hooks;
-  {
-    std::lock_guard<std::mutex> lock(g.hooks_mutex_);
-    hooks = g.hooks_;
+size_t MemoryGovernor::ScrubTransientPinsForTesting() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  size_t released = 0;
+  for (auto& entry : transient_pins_) {
+    if (entry.second == nullptr) continue;
+    entry.second->pins_.fetch_sub(1, std::memory_order_seq_cst);
+    entry.second = nullptr;
+    ++released;
   }
-  if (hooks != nullptr && hooks->on_task_start) hooks->on_task_start();
-}
-
-Status MemoryGovernor::RunReloadHook(const SpillIdentity& id, bool prefetch) {
-  if (!hooks_installed_.load(std::memory_order_acquire)) return Status::OK();
-  std::shared_ptr<const GovernorHooks> hooks;
-  {
-    std::lock_guard<std::mutex> lock(hooks_mutex_);
-    hooks = hooks_;
-  }
-  if (hooks == nullptr || !hooks->on_reload) return Status::OK();
-  const uint64_t ordinal =
-      reload_ordinal_.fetch_add(1, std::memory_order_relaxed) + 1;
-  return hooks->on_reload(id, ordinal, prefetch);
+  return released;
 }
 
 void MemoryGovernor::PrefetchPartition(uint64_t owner, uint32_t shard) {
@@ -534,7 +531,7 @@ void MemoryGovernor::PrefetchPartitionSync(uint64_t owner, uint32_t shard) {
                                            e->spill_bytes_, owner, shard);
       continue;
     }
-    Status loaded = RunReloadHook(e->identity_, /*prefetch=*/true);
+    Status loaded = RunReloadChaos(e->identity_, /*prefetch=*/true);
     if (loaded.ok()) loaded = e->ReloadPayload(e->spill_file_->path());
     if (!loaded.ok()) {
       // Leave the payload evicted: the demand fault-in path will retry the

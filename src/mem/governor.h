@@ -119,26 +119,6 @@ struct ResidencyInfo {
 /// Keyed by (owner, shard); only identity-tagged payloads appear.
 using ResidencyMap = std::map<std::pair<uint64_t, uint32_t>, ResidencyInfo>;
 
-/// Test-only fault-injection points (tests/pressure_test.cpp). Installed via
-/// MemoryGovernor::SetHooks; pass {} to clear. Production code never installs
-/// hooks, so the fast paths stay a single relaxed load.
-struct GovernorHooks {
-  /// Consulted before every payload reload — demand fault-in and prefetch
-  /// alike. `ordinal` counts reloads since the hooks were installed
-  /// (1-based); `prefetch` distinguishes the prefetcher's reloads from
-  /// demand faults. Returning non-OK fails the reload exactly as a disk
-  /// error would; sleeping inside delays the fault-in (the governor lock is
-  /// held, so concurrent readers of the same payload queue behind it).
-  /// Must not call back into the governor.
-  std::function<Status(const SpillIdentity& id, uint64_t ordinal,
-                       bool prefetch)>
-      on_reload;
-  /// Invoked at every task boundary (Cluster::ExecuteTask, before the task
-  /// body), without governor locks held — may call EvictPartition etc. to
-  /// force evictions *between* tasks deterministically.
-  std::function<void()> on_task_start;
-};
-
 /// Base class for anything the governor may evict. Storage objects (row
 /// batches) derive from it, implement the payload I/O, and call
 /// SealForGovernor() once the payload is immutable and RetireFromGovernor()
@@ -301,12 +281,20 @@ class MemoryGovernor {
   /// (readers must take the pin/fault-in path afterwards).
   size_t EvictPartition(uint64_t owner, uint32_t shard);
 
-  /// Installs (or, with {}, clears) the test-only fault-injection hooks.
-  static void SetHooks(GovernorHooks hooks);
+  // ---- leak introspection (chaos determinism gate) ----------------------
 
-  /// Task-boundary notification from the engine (Cluster::ExecuteTask);
-  /// invokes GovernorHooks::on_task_start when hooks are installed.
-  static void NotifyTaskStart();
+  /// Sum of pins_ across every registered payload. Test-only: the chaos
+  /// gate asserts zero after scrubbing transient pins — any remainder is a
+  /// leaked AccessScope pin.
+  uint64_t TotalPinsForTesting();
+
+  /// Releases every thread's lingering transient pin (held by design until
+  /// the thread's next scope-less pin; see AccessScope::Pin) so
+  /// TotalPinsForTesting can distinguish leaks from linger. Returns how
+  /// many pins were released. Safe concurrently with readers: a scrubbed
+  /// slot just means the owning thread's next scope-less pin skips one
+  /// release.
+  size_t ScrubTransientPinsForTesting();
 
   // ---- salvage catalog (fault tolerance) --------------------------------
 
@@ -350,8 +338,6 @@ class MemoryGovernor {
   void PrefetchLoop();
   /// Reloads (owner, shard)'s evicted payloads within budget headroom.
   void PrefetchPartitionSync(uint64_t owner, uint32_t shard);
-  /// Runs the on_reload hook if installed; OK otherwise.
-  Status RunReloadHook(const SpillIdentity& id, bool prefetch);
 
   /// Scope-less pin (see AccessScope::Pin): pins `e` and releases the
   /// thread's previous transient pin. Serialized with eviction and retire
@@ -389,14 +375,6 @@ class MemoryGovernor {
   };
   std::mutex catalog_mutex_;
   std::map<CatalogKey, std::vector<CatalogEntry>> catalog_;
-
-  // Test-only fault-injection hooks. hooks_installed_ keeps the common
-  // no-hooks case to one relaxed load; hooks_mutex_ orders strictly after
-  // mutex_ when both are taken (RunReloadHook inside FaultIn).
-  std::atomic<bool> hooks_installed_{false};
-  std::mutex hooks_mutex_;
-  std::shared_ptr<const GovernorHooks> hooks_;
-  std::atomic<uint64_t> reload_ordinal_{0};
 
   // Prefetch queue, drained by a lazily-started detached thread. The thread
   // is never joined: the governor is a leaky singleton and the thread parks

@@ -197,6 +197,8 @@ const char* EventTypeName(EventType type) {
     case EventType::kQueryFinish: return "query_finish";
     case EventType::kQueryCancel: return "query_cancel";
     case EventType::kQueryDeadline: return "query_deadline";
+    case EventType::kChaosArm: return "chaos_arm";
+    case EventType::kChaosFault: return "chaos_fault";
   }
   return "event";
 }

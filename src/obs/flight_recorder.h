@@ -76,6 +76,12 @@ enum class EventType : uint8_t {
   kQueryFinish = 23,   //             a=query id    b=status code  c=run micros
   kQueryCancel = 24,   //             a=query id    b=0 queued / 1 running  c=micros since submit
   kQueryDeadline = 25, //             a=query id    b=0 queued / 1 running  c=micros since submit
+  // Chaos engine (src/testing/chaos.h). kChaosFault packs the injection
+  // site and fault kind into a (site << 8 | fault); b is the stable logical
+  // key the decision hashed, c a fault-specific aux (delay micros, reload
+  // ordinal, evicted count).
+  kChaosArm = 26,      //             a=seed        b=0            c=0
+  kChaosFault = 27,    //             a=site<<8|kind  b=decision key  c=aux
 };
 
 /// Stable wire name for an event type ("task_start", "evict", ...); used by

@@ -3,12 +3,14 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdlib>
+#include <thread>
 
 #include "common/logging.h"
 #include "mem/governor.h"
 #include "obs/flight_recorder.h"
 #include "obs/introspect.h"
 #include "obs/metrics_registry.h"
+#include "testing/chaos.h"
 
 namespace idf::server {
 
@@ -338,6 +340,17 @@ void QueryService::WorkerLoop() {
       rec = PopLocked();
       cancelling = stop_ && cancel_pending_;
       sm.queue_depth.Set(static_cast<double>(queue_.size()));
+    }
+
+    // Chaos admission site: stall between dequeue and the pre-admission
+    // checks, widening the window in which a client cancel or deadline can
+    // land on a queued query (admission-queue churn).
+    if (chaos::ChaosEngine::Active()) {
+      const uint32_t delay_us =
+          chaos::ChaosEngine::Global().OnAdmissionDelayUs(rec->id);
+      if (delay_us > 0) {
+        std::this_thread::sleep_for(std::chrono::microseconds(delay_us));
+      }
     }
 
     // Pre-admission resolution of queries that should never start.

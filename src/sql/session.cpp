@@ -218,8 +218,16 @@ Result<CollectedTable> Session::Collect(const TableHandle& handle) {
         BlockPtr block,
         cluster_->GetOrCompute(BlockId{handle.rdd_id, p, handle.version}, ctx));
     const auto& chunk = static_cast<const ColumnarChunk&>(*block);
-    for (size_t i = 0; i < chunk.num_rows(); ++i) {
-      out.rows.push_back(chunk.RowAt(i));
+    try {
+      for (size_t i = 0; i < chunk.num_rows(); ++i) {
+        out.rows.push_back(chunk.RowAt(i));
+      }
+    } catch (const mem::ReloadFault& fault) {
+      // The chunk's payload was evicted and could not be reloaded while this
+      // driver-side loop was reading it. Unlike stage bodies (whose faults
+      // ExecuteTask catches), this loop runs outside any task; surface the
+      // same kUnavailable status instead of unwinding into the caller.
+      return fault.status();
     }
   }
   return out;
@@ -231,7 +239,17 @@ Result<TableHandle> DataFrame::Execute(QueryMetrics* metrics) const {
   QueryMetrics& m = metrics != nullptr ? *metrics : local;
   obs::Span span("query", plan_->Describe());
   IDF_ASSIGN_OR_RETURN(PhysOpPtr op, session_->planner().Plan(plan_));
-  Result<TableHandle> result = op->Execute(*session_, m);
+  Result<TableHandle> result = [&]() -> Result<TableHandle> {
+    try {
+      return op->Execute(*session_, m);
+    } catch (const mem::ReloadFault& fault) {
+      // Driver-side reads (broadcast hash builds, inline chunk walks) pin
+      // payloads outside any stage task, so a failed reload unwinds to here
+      // rather than to ExecuteTask's catch. Same contract: the query fails
+      // with the reload's kUnavailable status, the process does not.
+      return fault.status();
+    }
+  }();
   if (span.active()) {
     span.AddArgInt("stages", m.num_stages);
     span.AddArgNum("real_s", m.real_seconds);

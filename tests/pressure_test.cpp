@@ -1,9 +1,9 @@
 // Deterministic memory-pressure harness (tests/pressure_test.cpp).
 //
 // The mem_test suite provokes pressure organically (tight budgets, file
-// truncation); this suite drives the governor's test-only fault-injection
-// hooks (mem::GovernorHooks) to place evictions, reload failures, and
-// fault-in delays at *exact* points in an execution:
+// truncation); this suite drives the chaos engine's scripted hooks
+// (chaos::ChaosHooks, src/testing/chaos.h) to place evictions, reload
+// failures, and fault-in delays at *exact* points in an execution:
 //  - on_task_start fires at every task boundary (Cluster::ExecuteTask),
 //    without governor locks — force-evicting between tasks is deterministic
 //    no matter how the scheduler interleaves threads;
@@ -29,6 +29,7 @@
 #include "obs/metrics_registry.h"
 #include "sql/columnar.h"
 #include "sql/session.h"
+#include "testing/chaos.h"
 
 namespace idf {
 namespace {
@@ -41,10 +42,10 @@ uint64_t CounterValue(const std::string& name) {
 /// leaked hooks would make every later test in the process nondeterministic.
 class ScopedHooks {
  public:
-  explicit ScopedHooks(mem::GovernorHooks hooks) {
-    mem::MemoryGovernor::SetHooks(std::move(hooks));
+  explicit ScopedHooks(chaos::ChaosHooks hooks) {
+    chaos::ChaosEngine::SetHooks(std::move(hooks));
   }
-  ~ScopedHooks() { mem::MemoryGovernor::SetHooks({}); }
+  ~ScopedHooks() { chaos::ChaosEngine::SetHooks({}); }
   ScopedHooks(const ScopedHooks&) = delete;
   ScopedHooks& operator=(const ScopedHooks&) = delete;
 };
@@ -121,7 +122,7 @@ TEST(PressureTest, EvictEverythingBetweenTasksKeepsResultsIdentical) {
   auto indexed = *IndexedDataFrame::Create(edges, "src", index_options);
 
   std::atomic<uint64_t> forced{0};
-  mem::GovernorHooks hooks;
+  chaos::ChaosHooks hooks;
   hooks.on_task_start = [&forced] { forced += EvictEverything(); };
   ScopedHooks guard(std::move(hooks));
 
@@ -147,9 +148,9 @@ TEST(PressureTest, PrefetchReloadFailureFallsBackToDemandPath) {
   ASSERT_EQ(gov.EvictPartition(kOwner, 0), 1u);
 
   std::atomic<uint64_t> prefetch_attempts{0};
-  mem::GovernorHooks hooks;
-  hooks.on_reload = [&prefetch_attempts](const mem::SpillIdentity&, uint64_t,
-                                         bool prefetch) {
+  chaos::ChaosHooks hooks;
+  hooks.on_reload = [&prefetch_attempts](uint64_t, uint32_t, uint32_t,
+                                         uint64_t, bool prefetch) {
     if (prefetch) {
       prefetch_attempts++;
       return Status::Unavailable("injected prefetch reload failure");
@@ -200,8 +201,8 @@ TEST(PressureTest, NthDemandReloadFailureFailsQueryThenRecovers) {
   // pass), so the Nth *demand* reload is selected by the hook's own count:
   // exactly the first demand fault-in fails.
   std::atomic<uint64_t> demand_reloads{0};
-  mem::GovernorHooks hooks;
-  hooks.on_reload = [&demand_reloads](const mem::SpillIdentity&,
+  chaos::ChaosHooks hooks;
+  hooks.on_reload = [&demand_reloads](uint64_t, uint32_t, uint32_t,
                                       uint64_t ordinal, bool prefetch) {
     if (!prefetch && demand_reloads.fetch_add(1) == 0) {
       return Status::Unavailable("injected reload failure (ordinal " +
@@ -238,8 +239,8 @@ TEST(PressureTest, DelayedFaultInUnderConcurrentScansStaysCorrect) {
   }
   std::shared_ptr<IndexedPartition> snap = part.Snapshot();
 
-  mem::GovernorHooks hooks;
-  hooks.on_reload = [](const mem::SpillIdentity&, uint64_t, bool) {
+  chaos::ChaosHooks hooks;
+  hooks.on_reload = [](uint64_t, uint32_t, uint32_t, uint64_t, bool) {
     std::this_thread::sleep_for(std::chrono::microseconds(200));
     return Status::OK();
   };
@@ -290,7 +291,7 @@ TEST(PressureTest, DoubleExecutorLossWithForcedEvictionStillRecovers) {
   ASSERT_FALSE(before.rows.empty());
 
   std::atomic<uint64_t> forced{0};
-  mem::GovernorHooks hooks;
+  chaos::ChaosHooks hooks;
   hooks.on_task_start = [&forced] { forced += EvictEverything(); };
   ScopedHooks guard(std::move(hooks));
 

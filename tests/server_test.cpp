@@ -24,6 +24,7 @@
 #include "server/query_service.h"
 #include "sql/columnar.h"
 #include "sql/session.h"
+#include "testing/chaos.h"
 
 namespace idf {
 namespace {
@@ -35,13 +36,13 @@ using server::QueryService;
 using server::QueryServiceConfig;
 using server::QueryState;
 
-/// Installs governor hooks for the enclosing scope; always clears on exit.
+/// Installs chaos-bus hooks for the enclosing scope; always clears on exit.
 class ScopedHooks {
  public:
-  explicit ScopedHooks(mem::GovernorHooks hooks) {
-    mem::MemoryGovernor::SetHooks(std::move(hooks));
+  explicit ScopedHooks(chaos::ChaosHooks hooks) {
+    chaos::ChaosEngine::SetHooks(std::move(hooks));
   }
-  ~ScopedHooks() { mem::MemoryGovernor::SetHooks({}); }
+  ~ScopedHooks() { chaos::ChaosEngine::SetHooks({}); }
   ScopedHooks(const ScopedHooks&) = delete;
   ScopedHooks& operator=(const ScopedHooks&) = delete;
 };
@@ -331,13 +332,13 @@ TEST(ServerTest, CancelMidStageReleasesEverythingAndSparesNeighbors) {
                        ServeConfig(/*workers=*/2, AdmitPolicy::kQueue));
 
   // Deterministic mid-stage cancel: the Nth task boundary of the victim's
-  // join stage fires Cancel() through the governor's task-start hook. The
+  // join stage fires Cancel() through the chaos bus's task-start hook. The
   // gate makes sure the handle exists before any task can run.
   Gate gate;
   QueryHandle victim;
   std::mutex handle_mu;
   std::atomic<int> task_starts{0};
-  mem::GovernorHooks hooks;
+  chaos::ChaosHooks hooks;
   hooks.on_task_start = [&] {
     if (task_starts.fetch_add(1) == 2) {
       std::lock_guard<std::mutex> lk(handle_mu);
@@ -364,7 +365,7 @@ TEST(ServerTest, CancelMidStageReleasesEverythingAndSparesNeighbors) {
   // Everything released: reservation gone, and with the hook disarmed the
   // exact same query over the same shared tables is byte-identical — no
   // pins leaked, no shared state poisoned.
-  mem::MemoryGovernor::SetHooks({});
+  chaos::ChaosEngine::SetHooks({});
   EXPECT_EQ(gov.reserved_bytes(), reserved_before);
   QueryHandle retry = service.Submit(
       [&](server::QueryContext& ctx) -> Status {
@@ -402,7 +403,7 @@ TEST(ServerTest, CancelMidPipelinedAppendLeavesNoOrphanVersion) {
   QueryHandle victim;
   std::mutex handle_mu;
   std::atomic<int> task_starts{0};
-  mem::GovernorHooks hooks;
+  chaos::ChaosHooks hooks;
   hooks.on_task_start = [&] {
     if (task_starts.fetch_add(1) == 3) {
       std::lock_guard<std::mutex> lk(handle_mu);
@@ -426,7 +427,7 @@ TEST(ServerTest, CancelMidPipelinedAppendLeavesNoOrphanVersion) {
   gate.Open();
   Status status = victim.Wait();
   EXPECT_EQ(status.code(), StatusCode::kCancelled) << status.ToString();
-  mem::MemoryGovernor::SetHooks({});
+  chaos::ChaosEngine::SetHooks({});
 
   // The aborted append must leave no trace: version list unchanged, no
   // orphan blocks at the aborted version, reservation released.

@@ -5,18 +5,50 @@
 //  - concurrent readers against published partition versions while a writer
 //    produces new snapshots (the paper's reader/writer regime);
 //  - randomized fault injection during a mixed workload.
+//
+// Every RNG in this binary derives from ONE base seed, logged at first use:
+// a failing run is replayed exactly by exporting the printed
+// IDF_STRESS_SEED. Parameterized suites enumerate stream ids, not raw
+// seeds, so overriding the base seed reseeds every case coherently.
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <cstdlib>
 #include <map>
 #include <thread>
 
+#include "common/hash.h"
 #include "common/rng.h"
 #include "core/indexed_dataframe.h"
 #include "mem/governor.h"
 
 namespace idf {
 namespace {
+
+/// The binary-wide base seed: a fixed default (CI stays reproducible with
+/// no setup) overridden by IDF_STRESS_SEED, printed once with the replay
+/// recipe.
+uint64_t StressBaseSeed() {
+  static const uint64_t seed = [] {
+    uint64_t s = 0x5eedc0de;
+    if (const char* env = std::getenv("IDF_STRESS_SEED")) {
+      char* end = nullptr;
+      const unsigned long long v = std::strtoull(env, &end, 10);
+      if (end != env) s = static_cast<uint64_t>(v);
+    }
+    std::fprintf(stderr,
+                 "[stress] base seed %llu — replay with IDF_STRESS_SEED=%llu\n",
+                 static_cast<unsigned long long>(s),
+                 static_cast<unsigned long long>(s));
+    return s;
+  }();
+  return seed;
+}
+
+/// Seed for one named RNG stream, as a pure function of (base seed, stream).
+uint64_t DerivedSeed(uint64_t stream) {
+  return HashCombine(Mix64(StressBaseSeed()), stream);
+}
 
 SessionOptions SmallOptions() {
   SessionOptions opts;
@@ -105,11 +137,11 @@ void RunMvccVersionTree(uint64_t seed) {
 }
 
 TEST_P(MvccStress, RandomVersionTreeMatchesModel) {
-  RunMvccVersionTree(GetParam());
+  RunMvccVersionTree(DerivedSeed(GetParam()));
 }
 
-INSTANTIATE_TEST_SUITE_P(Seeds, MvccStress,
-                         ::testing::Values(11, 22, 33, 44, 55));
+INSTANTIATE_TEST_SUITE_P(Streams, MvccStress,
+                         ::testing::Values(0, 1, 2, 3, 4));
 
 // ---- concurrent readers during snapshot/append -----------------------------
 
@@ -131,7 +163,7 @@ TEST(ConcurrencyStress, ReadersOnPublishedVersionsDuringAppends) {
   std::vector<std::thread> readers;
   for (int t = 0; t < 3; ++t) {
     readers.emplace_back([&, t] {
-      Rng rng(static_cast<uint64_t>(t) + 99);
+      Rng rng(DerivedSeed(99 + static_cast<uint64_t>(t)));
       while (!stop.load(std::memory_order_relaxed)) {
         std::shared_ptr<IndexedPartition> snapshot;
         size_t version;
@@ -180,7 +212,7 @@ class FaultStress : public ::testing::TestWithParam<uint64_t> {};
 
 TEST_P(FaultStress, MixedWorkloadSurvivesRandomFailures) {
   Session session(SmallOptions());
-  Rng rng(GetParam());
+  Rng rng(DerivedSeed(GetParam()));
 
   std::vector<RowVec> rows;
   Model model;
@@ -236,8 +268,8 @@ TEST_P(FaultStress, MixedWorkloadSurvivesRandomFailures) {
   }
 }
 
-INSTANTIATE_TEST_SUITE_P(Seeds, FaultStress,
-                         ::testing::Values(7, 17, 27, 37));
+INSTANTIATE_TEST_SUITE_P(Streams, FaultStress,
+                         ::testing::Values(100, 101, 102, 103));
 
 // ---- budgeted pass ---------------------------------------------------------
 
@@ -249,7 +281,7 @@ TEST(MvccStressBudgeted, TightBudgetPassMatchesModel) {
   ::unsetenv("IDF_MEMORY_BUDGET");
   mem::ScopedBudget tight(mem::MemoryGovernor::Global().resident_bytes() +
                           (128 << 10));
-  RunMvccVersionTree(11);
+  RunMvccVersionTree(DerivedSeed(0));
 }
 
 }  // namespace

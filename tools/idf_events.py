@@ -30,6 +30,15 @@ ENGINE_EVENTS = {"recovery_block", "executor_kill"}
 SHUFFLE_EVENTS = {"shuffle_push", "shuffle_drain", "shuffle_stall"}
 QUERY_EVENTS = {"query_submit", "query_admit", "query_reject", "query_start",
                 "query_finish", "query_cancel", "query_deadline"}
+CHAOS_EVENTS = {"chaos_arm", "chaos_fault"}
+
+# chaos_fault packs a = site << 8 | kind (see idf::chaos::Site / Fault).
+CHAOS_SITES = {1: "task", 2: "reload", 3: "shuffle-push", 4: "shuffle-pull",
+               5: "admission"}
+CHAOS_FAULTS = {1: "task-delay", 2: "evict-world", 3: "kill-executor",
+                4: "cancel-query", 5: "expire-query", 6: "budget-squeeze",
+                7: "reload-fail", 8: "reload-delay", 9: "prefetch-fail",
+                10: "shuffle-delay", 11: "shuffle-abort", 12: "admit-delay"}
 
 
 def load_events(path):
@@ -123,6 +132,22 @@ def describe(ev):
         return f"recovery: recomputed rdd={a} partition={b} ({c} us)"
     if t == "executor_kill":
         return f"executor {b} killed, {c} blocks lost"
+    if t == "chaos_arm":
+        return f"chaos armed, seed {a} (replay with IDF_CHAOS_SEED={a})"
+    if t == "chaos_fault":
+        site = CHAOS_SITES.get(a >> 8, f"site-{a >> 8}")
+        kind = CHAOS_FAULTS.get(a & 0xFF, f"kind-{a & 0xFF}")
+        aux = ""
+        if kind in ("task-delay", "reload-delay", "shuffle-delay",
+                    "admit-delay"):
+            aux = f" ({c} us)"
+        elif kind == "evict-world":
+            aux = f" ({c} evicted)"
+        elif kind in ("reload-fail", "prefetch-fail"):
+            aux = f" (reload #{c})"
+        elif kind == "kill-executor":
+            aux = f" (executor {c})"
+        return f"CHAOS {kind} at {site} site, key {b:#x}{aux}"
     if t == "crash":
         return f"FATAL SIGNAL {a} — journal dumped by crash handler"
     return f"{t} a={a} b={b} c={c}"
@@ -233,6 +258,16 @@ def print_summary(events, out=sys.stdout):
             print(f"  query time: queued {queued_us / 1000.0:.1f}ms total, "
                   f"running {run_us / 1000.0:.1f}ms total "
                   f"({run_us / len(finishes) / 1000.0:.1f}ms mean)", file=out)
+    arms = [e for e in events if e["type"] == "chaos_arm"]
+    faults = [e for e in events if e["type"] == "chaos_fault"]
+    if arms or faults:
+        seeds = sorted({e.get("a", 0) for e in arms})
+        by_kind = Counter(CHAOS_FAULTS.get(e.get("a", 0) & 0xFF,
+                                           f"kind-{e.get('a', 0) & 0xFF}")
+                          for e in faults)
+        kinds = ", ".join(f"{k}={n}" for k, n in sorted(by_kind.items()))
+        print(f"  chaos: armed seeds {seeds}, {len(faults)} faults injected"
+              + (f" ({kinds})" if kinds else ""), file=out)
     by_stage = defaultdict(Counter)
     for e in events:
         if e["type"] in TASK_EVENTS and e.get("name"):
