@@ -24,11 +24,13 @@
 #include <cstring>
 #include <string>
 #include <thread>
+#include <unordered_set>
 #include <vector>
 
 #include "bench/bench_util.h"
 #include "core/indexed_dataframe.h"
 #include "mem/governor.h"
+#include "obs/query_profile.h"
 #include "server/query_service.h"
 #include "sql/columnar.h"
 
@@ -79,6 +81,9 @@ struct PointResult {
   double seconds = 0;
   double qps = 0;
   double p50_ms = 0, p95_ms = 0, p99_ms = 0;
+  /// Per-query resource profiles of this point's queries (obs/
+  /// query_profile.h), heaviest task-wall first.
+  std::vector<obs::QueryProfileSnapshot> profiles;
 };
 
 PointResult RunPoint(Session& session, IndexedDataFrame& indexed,
@@ -86,6 +91,11 @@ PointResult RunPoint(Session& session, IndexedDataFrame& indexed,
                      const std::vector<std::vector<std::string>>& lookup_exp,
                      const std::vector<std::string>& join_exp,
                      uint32_t clients, double seconds, double target_qps) {
+  // Profile ids allocated before this point belong to earlier points (or
+  // the ground-truth EXPLAINs); diffing the registry afterwards isolates
+  // this point's queries.
+  const std::vector<uint64_t> prior_ids =
+      obs::QueryProfileRegistry::Global().Ids();
   server::QueryService service(session);
   std::atomic<uint64_t> mismatches{0};
   std::atomic<uint64_t> rejected{0};
@@ -192,6 +202,17 @@ PointResult RunPoint(Session& session, IndexedDataFrame& indexed,
   out.p50_ms = all.Quantile(0.50);
   out.p95_ms = all.Quantile(0.95);
   out.p99_ms = all.Quantile(0.99);
+  const std::unordered_set<uint64_t> seen(prior_ids.begin(), prior_ids.end());
+  for (obs::QueryProfileSnapshot& snap :
+       obs::QueryProfileRegistry::Global().SnapshotAll()) {
+    if (snap.id == 0 || seen.count(snap.id) != 0) continue;
+    out.profiles.push_back(std::move(snap));
+  }
+  std::sort(out.profiles.begin(), out.profiles.end(),
+            [](const obs::QueryProfileSnapshot& a,
+               const obs::QueryProfileSnapshot& b) {
+              return a.task_wall_us > b.task_wall_us;
+            });
   return out;
 }
 
@@ -308,7 +329,7 @@ int main(int argc, char** argv) {
           "%s{\"clients\": %u, \"queries\": %llu, \"lookups\": %llu, "
           "\"joins\": %llu, \"appends\": %llu, \"seconds\": %.2f, "
           "\"qps\": %.2f, \"p50_ms\": %.3f, \"p95_ms\": %.3f, "
-          "\"p99_ms\": %.3f, \"rejected\": %llu, \"mismatches\": %llu}",
+          "\"p99_ms\": %.3f, \"rejected\": %llu, \"mismatches\": %llu",
           i == 0 ? "" : ", ", r.clients,
           static_cast<unsigned long long>(r.completed),
           static_cast<unsigned long long>(r.lookups),
@@ -317,6 +338,35 @@ int main(int argc, char** argv) {
           r.p50_ms, r.p95_ms, r.p99_ms,
           static_cast<unsigned long long>(r.rejected),
           static_cast<unsigned long long>(r.mismatches));
+      // Summed attribution across every query of the point, then the
+      // heaviest few individual profiles (the full set can be thousands of
+      // one-lookup queries; the sum is what conservation checks need).
+      obs::QueryProfileSnapshot totals;
+      for (const obs::QueryProfileSnapshot& p : r.profiles) {
+        totals.tasks += p.tasks;
+        totals.task_wall_us += p.task_wall_us;
+        totals.steals += p.steals;
+        totals.resident_hits += p.resident_hits;
+        totals.resident_misses += p.resident_misses;
+        totals.bytes_spilled += p.bytes_spilled;
+        totals.evictions += p.evictions;
+        totals.bytes_reloaded += p.bytes_reloaded;
+        totals.bytes_prefetched += p.bytes_prefetched;
+        totals.shuffle_stall_us += p.shuffle_stall_us;
+        totals.shuffle_pushed_bytes += p.shuffle_pushed_bytes;
+        totals.admission_wait_us += p.admission_wait_us;
+        totals.peak_pinned_bytes =
+            std::max(totals.peak_pinned_bytes, p.peak_pinned_bytes);
+      }
+      std::fprintf(f, ", \"profiled_queries\": %zu, \"profile_totals\": %s",
+                   r.profiles.size(), obs::QueryProfileJson(totals).c_str());
+      std::fprintf(f, ", \"profiles\": [");
+      const size_t top = std::min<size_t>(r.profiles.size(), 8);
+      for (size_t j = 0; j < top; ++j) {
+        std::fprintf(f, "%s%s", j == 0 ? "" : ", ",
+                     obs::QueryProfileJson(r.profiles[j]).c_str());
+      }
+      std::fprintf(f, "]}");
     }
     std::fprintf(f, "]}\n");
     std::fclose(f);

@@ -68,10 +68,18 @@ class QueryControl {
     stages_completed_.fetch_add(1, std::memory_order_relaxed);
   }
 
+  /// The owning query's id for per-query attribution (obs/query_profile.h);
+  /// 0 = none. Written once by the query service before the control is
+  /// published to any worker (the submit queue's mutex provides the
+  /// happens-before), so a plain field suffices.
+  void set_query_id(uint64_t id) { query_id_ = id; }
+  uint64_t query_id() const { return query_id_; }
+
  private:
   std::atomic<bool> cancelled_{false};
   std::atomic<int64_t> deadline_us_{0};  // 0 = no deadline
   std::atomic<uint32_t> stages_completed_{0};
+  uint64_t query_id_ = 0;
 };
 
 /// The control block governing work on the calling thread (nullptr outside

@@ -17,6 +17,7 @@
 #include "obs/flight_recorder.h"
 #include "obs/introspect.h"
 #include "obs/metrics_registry.h"
+#include "obs/query_profile.h"
 #include "obs/trace.h"
 #include "testing/chaos.h"
 
@@ -272,6 +273,13 @@ void Cluster::ExecuteTask(const StageSpec& stage, uint32_t index,
                           TaskResult& out) {
   EngineMetrics& em = EngineMetrics::Get();
   obs::FlightRecorder& fr = obs::FlightRecorder::Global();
+  // Per-query attribution for everything this task does — the start/finish
+  // events below, and every governor/shuffle event the body triggers on
+  // this thread. The control's id wins (it is the served query's identity);
+  // the ambient id covers unserved work (benches, tests, EXPLAIN ANALYZE).
+  obs::QueryScope query_scope(control != nullptr && control->query_id() != 0
+                                  ? control->query_id()
+                                  : obs::CurrentQueryId());
   // Task-boundary cancellation check: a cancelled or past-deadline query
   // fails this task before its body runs, and first-error-wins unwinds the
   // rest of the stage. Cheap (two relaxed-ish atomic loads) and it runs on
@@ -322,6 +330,10 @@ void Cluster::ExecuteTask(const StageSpec& stage, uint32_t index,
   t_in_stage_task = was_in_task;
   out.ran = true;
   em.tasks.Increment();
+  // Direct feed, not event-derived: the pre-body cancellation path above
+  // records task_fail without counting a task, so deriving counts from
+  // events would break conservation against engine.tasks.
+  obs::CurrentQueryProfile()->tasks.fetch_add(1, std::memory_order_relaxed);
   em.task_seconds.Observe(out.elapsed);
   fr.Record(out.status.ok() ? obs::EventType::kTaskFinish
                             : obs::EventType::kTaskFail,
@@ -435,6 +447,12 @@ Result<StageMetrics> Cluster::RunStage(const StageSpec& stage) {
   if (control != nullptr) IDF_RETURN_IF_ERROR(control->Check());
   EngineMetrics& em = EngineMetrics::Get();
   obs::FlightRecorder& fr = obs::FlightRecorder::Global();
+  // The owning query id, re-installed on every pool worker below so steal
+  // and residency events (recorded on the worker before/after ExecuteTask)
+  // attribute to this query, not to whatever ran on that thread last.
+  const uint64_t query_id = control != nullptr && control->query_id() != 0
+                                ? control->query_id()
+                                : obs::CurrentQueryId();
   // Interned once per stage (cold); tasks reuse the id on their hot path.
   const uint32_t stage_name_id =
       fr.enabled() ? fr.InternName(stage.name) : 0;
@@ -489,6 +507,7 @@ Result<StageMetrics> Cluster::RunStage(const StageSpec& stage) {
     done.reserve(workers);
     for (size_t w = 0; w < workers; ++w) {
       done.push_back(pool().Submit([&, w] {
+        obs::QueryScope query_scope(query_id);
         uint32_t index = 0;
         bool stolen = false;
         uint32_t next_in_lane = TaskLanes::kNoTask;
@@ -587,6 +606,9 @@ Result<StageMetrics> Cluster::RunPipelinedStages(const StageSpec& map_stage,
   if (control != nullptr) IDF_RETURN_IF_ERROR(control->Check());
   EngineMetrics& em = EngineMetrics::Get();
   obs::FlightRecorder& fr = obs::FlightRecorder::Global();
+  const uint64_t query_id = control != nullptr && control->query_id() != 0
+                                ? control->query_id()
+                                : obs::CurrentQueryId();
   const std::string fused_name = map_stage.name + "+" + reduce_stage.name;
   // Sub-stage names intern separately: the journal still groups task events
   // by which half of the fused stage they belong to.
@@ -697,6 +719,7 @@ Result<StageMetrics> Cluster::RunPipelinedStages(const StageSpec& map_stage,
     done.reserve(workers);
     for (size_t w = 0; w < workers; ++w) {
       done.push_back(pool().Submit([&, w] {
+        obs::QueryScope query_scope(query_id);
         const size_t home = w % alive.size();
         PipelineContext* const prev_ctx = t_pipeline_;
         const size_t prev_home = t_pipeline_home_;

@@ -10,6 +10,7 @@
 #include "common/logging.h"
 #include "obs/flight_recorder.h"
 #include "obs/metrics_registry.h"
+#include "obs/query_profile.h"
 #include "obs/trace.h"
 #include "testing/chaos.h"
 
@@ -474,9 +475,11 @@ void MemoryGovernor::PrefetchPartition(uint64_t owner, uint32_t shard) {
   MemMetrics::Get().prefetch_requests.Increment();
   std::lock_guard<std::mutex> lock(prefetch_mutex_);
   for (const auto& queued : prefetch_queue_) {
-    if (queued.first == owner && queued.second == shard) return;  // coalesce
+    if (queued.owner == owner && queued.shard == shard) return;  // coalesce
   }
-  prefetch_queue_.emplace_back(owner, shard);
+  // Stamp the enqueuer's query id: the prefetch thread re-installs it so
+  // the reload is charged to the query whose stage asked for it.
+  prefetch_queue_.push_back({owner, shard, obs::CurrentQueryId()});
   if (!prefetch_thread_started_) {
     prefetch_thread_started_ = true;
     // Detached on purpose: the governor is a leaky singleton, and the
@@ -488,7 +491,7 @@ void MemoryGovernor::PrefetchPartition(uint64_t owner, uint32_t shard) {
 
 void MemoryGovernor::PrefetchLoop() {
   for (;;) {
-    std::pair<uint64_t, uint32_t> target;
+    PrefetchRequest target;
     {
       std::unique_lock<std::mutex> lock(prefetch_mutex_);
       prefetch_active_ = false;
@@ -498,7 +501,10 @@ void MemoryGovernor::PrefetchLoop() {
       prefetch_queue_.pop_front();
       prefetch_active_ = true;
     }
-    PrefetchPartitionSync(target.first, target.second);
+    // Attribute the reload (kReloadPrefetch / kPrefetchSkip events and the
+    // profile bytes they feed) to the query that requested the prefetch.
+    obs::QueryScope query_scope(target.query_id);
+    PrefetchPartitionSync(target.owner, target.shard);
   }
 }
 
@@ -624,6 +630,7 @@ AccessScope::~AccessScope() {
   for (Evictable* e : pinned_) {
     e->pins_.fetch_sub(1, std::memory_order_seq_cst);
   }
+  if (profile_ != nullptr) profile_->ReleasePinned(profile_pinned_bytes_);
 }
 
 void AccessScope::PinSlow(Evictable* e) {
@@ -655,6 +662,15 @@ void AccessScope::PinSlow(Evictable* e) {
     Status reloaded = governor.FaultIn(e);
     if (!reloaded.ok()) throw ReloadFault(std::move(reloaded));
   }
+  // Charge the payload to the current query's pinned-byte high-water mark
+  // only after it is resident (PayloadBytes of an evicted payload would
+  // under-count). Released in bulk when the outermost scope closes.
+  if (scope->profile_ == nullptr) {
+    scope->profile_ = obs::CurrentQueryProfile();
+  }
+  const uint64_t payload = e->PayloadBytes();
+  scope->profile_->AddPinned(payload);
+  scope->profile_pinned_bytes_ += payload;
 }
 
 // ---- ScopedBudget -----------------------------------------------------------

@@ -52,6 +52,10 @@
 
 #include "common/status.h"
 
+namespace idf::obs {
+struct QueryProfile;
+}  // namespace idf::obs
+
 namespace idf::mem {
 
 class MemoryGovernor;
@@ -378,11 +382,18 @@ class MemoryGovernor {
 
   // Prefetch queue, drained by a lazily-started detached thread. The thread
   // is never joined: the governor is a leaky singleton and the thread parks
-  // on prefetch_cv_ whenever the queue is empty.
+  // on prefetch_cv_ whenever the queue is empty. Each request carries the
+  // enqueueing thread's query id so the prefetch thread can attribute the
+  // reload (bytes, skips) to the query that asked for it (obs/query_profile.h).
+  struct PrefetchRequest {
+    uint64_t owner;
+    uint32_t shard;
+    uint64_t query_id;
+  };
   std::mutex prefetch_mutex_;
   std::condition_variable prefetch_cv_;       // queue became non-empty
   std::condition_variable prefetch_idle_cv_;  // queue drained & thread idle
-  std::deque<std::pair<uint64_t, uint32_t>> prefetch_queue_;
+  std::deque<PrefetchRequest> prefetch_queue_;
   bool prefetch_thread_started_ = false;  // guarded by prefetch_mutex_
   bool prefetch_active_ = false;          // guarded by prefetch_mutex_
 };
@@ -418,6 +429,13 @@ class AccessScope {
   bool owner_ = false;
   uint64_t id_ = 0;
   std::vector<Evictable*> pinned_;
+  // Per-query pinned-byte attribution: the outermost scope charges every
+  // payload it pins (once resident) to the profile that was current when
+  // the scope first pinned, and releases the whole charge on scope exit.
+  // The raw pointer stays valid for the scope's lifetime because profiles
+  // are never destroyed (registry entries are leaky, like the governor).
+  obs::QueryProfile* profile_ = nullptr;
+  uint64_t profile_pinned_bytes_ = 0;
 };
 
 /// Test/bench helper: sets a budget (and optionally a spill dir) for the

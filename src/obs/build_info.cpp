@@ -1,0 +1,55 @@
+#include "obs/build_info.h"
+
+#include <chrono>
+#include <cstdio>
+
+#ifndef IDF_GIT_SHA
+#define IDF_GIT_SHA "unknown"
+#endif
+#ifndef IDF_BUILD_TYPE
+#define IDF_BUILD_TYPE "unknown"
+#endif
+#ifndef IDF_SANITIZE_FLAGS
+#define IDF_SANITIZE_FLAGS "none"
+#endif
+
+namespace idf::obs {
+
+namespace {
+
+std::chrono::steady_clock::time_point& Epoch() {
+  static std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  return epoch;
+}
+
+}  // namespace
+
+const BuildInfo& GetBuildInfo() {
+  static const BuildInfo info{IDF_GIT_SHA, IDF_BUILD_TYPE, IDF_SANITIZE_FLAGS};
+  (void)Epoch();
+  return info;
+}
+
+double UptimeSeconds() {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       Epoch())
+      .count();
+}
+
+std::string BuildInfoSummary() {
+  const BuildInfo& info = GetBuildInfo();
+  return std::string("sha=") + info.git_sha + " build=" + info.build_type +
+         " san=" + info.sanitizer;
+}
+
+std::string BuildInfoJson() {
+  const BuildInfo& info = GetBuildInfo();
+  char uptime[32];
+  std::snprintf(uptime, sizeof(uptime), "%.3f", UptimeSeconds());
+  return std::string("{\"status\":\"ok\",\"git_sha\":\"") + info.git_sha +
+         "\",\"build_type\":\"" + info.build_type + "\",\"sanitizer\":\"" +
+         info.sanitizer + "\",\"uptime_seconds\":" + uptime + "}";
+}
+
+}  // namespace idf::obs

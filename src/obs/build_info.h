@@ -1,0 +1,32 @@
+// Build metadata for /healthz and crash journals: which binary is this,
+// exactly, and how long has it been up. The git sha, build type, and
+// sanitizer flags are baked in at compile time (src/obs/CMakeLists.txt
+// stamps them onto build_info.cpp only, so a new commit recompiles one TU).
+#pragma once
+
+#include <string>
+
+namespace idf::obs {
+
+struct BuildInfo {
+  const char* git_sha;     // "unknown" outside a git checkout
+  const char* build_type;  // CMAKE_BUILD_TYPE
+  const char* sanitizer;   // IDF_SANITIZE value, "none" when plain
+};
+
+/// The compiled-in build identity. Also latches the process-uptime epoch on
+/// first call (the flight recorder calls it at construction).
+const BuildInfo& GetBuildInfo();
+
+/// Seconds since the uptime epoch was latched.
+double UptimeSeconds();
+
+/// Compact one-line summary ("sha=<sha> build=<type> san=<flags>") — the
+/// interned flight-recorder name of the build_info event.
+std::string BuildInfoSummary();
+
+/// The /healthz document: {"status":"ok","git_sha":...,"build_type":...,
+/// "sanitizer":...,"uptime_seconds":...}.
+std::string BuildInfoJson();
+
+}  // namespace idf::obs

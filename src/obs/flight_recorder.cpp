@@ -11,7 +11,9 @@
 #include <cstring>
 
 #include "common/logging.h"
+#include "obs/build_info.h"
 #include "obs/metrics_registry.h"
+#include "obs/query_profile.h"
 
 namespace idf::obs {
 
@@ -82,8 +84,8 @@ size_t AppendJsonStr(char* buf, size_t len, size_t cap, const char* s) {
 /// Renders one event as a JSONL line (without trailing newline appended by
 /// the caller). Returns the line length.
 size_t FormatEventLine(char* buf, size_t cap, uint64_t seq, uint64_t ts_us,
-                       EventType type, uint32_t tid, const char* name,
-                       uint64_t a, uint64_t b, uint64_t c) {
+                       EventType type, uint32_t tid, uint64_t q,
+                       const char* name, uint64_t a, uint64_t b, uint64_t c) {
   size_t len = 0;
   len = AppendStr(buf, len, cap, "{\"seq\":");
   len = AppendU64(buf, len, cap, seq);
@@ -93,6 +95,8 @@ size_t FormatEventLine(char* buf, size_t cap, uint64_t seq, uint64_t ts_us,
   len = AppendStr(buf, len, cap, EventTypeName(type));
   len = AppendStr(buf, len, cap, "\",\"tid\":");
   len = AppendU64(buf, len, cap, tid);
+  len = AppendStr(buf, len, cap, ",\"q\":");
+  len = AppendU64(buf, len, cap, q);
   if (name != nullptr && name[0] != '\0') {
     len = AppendStr(buf, len, cap, ",\"name\":\"");
     len = AppendJsonStr(buf, len, cap, name);
@@ -138,6 +142,7 @@ void CrashSignalHandler(int signo) {
   // A fault inside the dump (or a second faulting thread) must not recurse.
   if (!crash.dumping.exchange(true)) {
     FlightRecorder& fr = FlightRecorder::Global();
+    fr.RecordBuildInfo();
     fr.Record(EventType::kCrash, 0, static_cast<uint64_t>(signo), 0, 0);
     char path[600];
     size_t len = 0;
@@ -199,8 +204,18 @@ const char* EventTypeName(EventType type) {
     case EventType::kQueryDeadline: return "query_deadline";
     case EventType::kChaosArm: return "chaos_arm";
     case EventType::kChaosFault: return "chaos_fault";
+    case EventType::kBuildInfo: return "build_info";
   }
   return "event";
+}
+
+std::string EventJson(const FlightEvent& event) {
+  char line[1024];
+  const size_t len =
+      FormatEventLine(line, sizeof(line), event.seq, event.ts_us, event.type,
+                      event.tid, event.q, event.name.c_str(), event.a,
+                      event.b, event.c);
+  return std::string(line, len);
 }
 
 FlightRecorder& FlightRecorder::Global() {
@@ -208,7 +223,23 @@ FlightRecorder& FlightRecorder::Global() {
   return *recorder;
 }
 
-FlightRecorder::FlightRecorder() : slots_(kCapacity) {
+size_t FlightRecorder::RingCapacityFromEnv() {
+  const char* env = std::getenv("IDF_EVENTS_RING_POW2");
+  if (env == nullptr || env[0] == '\0') return kCapacity;
+  char* end = nullptr;
+  const long pow2 = std::strtol(env, &end, 10);
+  if (end == env || *end != '\0' || pow2 < 10 || pow2 > 24) {
+    IDF_LOG_WARN("ignoring IDF_EVENTS_RING_POW2='%s' (want 10..24)", env);
+    return kCapacity;
+  }
+  return static_cast<size_t>(1) << pow2;
+}
+
+FlightRecorder::FlightRecorder()
+    : capacity_(RingCapacityFromEnv()),
+      mask_(capacity_ - 1),
+      slots_(capacity_),
+      dump_buffer_(new RawEvent[capacity_]) {
   epoch_ns_ = SteadyNowNs();
   if (const char* env = std::getenv("IDF_FLIGHT_RECORDER")) {
     if (env[0] == '0' && env[1] == '\0') {
@@ -216,6 +247,16 @@ FlightRecorder::FlightRecorder() : slots_(kCapacity) {
     }
   }
   pool_full_id_ = InternName("<pool-full>");
+  // Resolved here, never in Record: the lapped counter makes journal
+  // truncation visible on /metrics instead of silent.
+  lapped_ = &Registry::Global().GetCounter("obs.ring.lapped");
+  build_info_name_id_ = InternName(BuildInfoSummary());
+  RecordBuildInfo();
+}
+
+void FlightRecorder::RecordBuildInfo() {
+  Record(EventType::kBuildInfo, build_info_name_id_,
+         static_cast<uint64_t>(UptimeSeconds()), 0, 0);
 }
 
 uint64_t FlightRecorder::NowMicros() const {
@@ -251,7 +292,8 @@ void FlightRecorder::Record(EventType type, uint32_t name_id, uint64_t a,
                             uint64_t b, uint64_t c) {
   if (!enabled_.load(std::memory_order_relaxed)) return;
   const uint64_t ticket = head_.fetch_add(1, std::memory_order_relaxed);
-  Slot& slot = slots_[ticket & (kCapacity - 1)];
+  if (ticket >= capacity_) lapped_->Increment();  // overwrote an old event
+  Slot& slot = slots_[ticket & mask_];
   // Invalidate, write payload, publish. All payload words are relaxed
   // atomics: a lapping writer racing this slot produces a seq mismatch the
   // reader discards, never a torn word or a TSan race.
@@ -259,24 +301,80 @@ void FlightRecorder::Record(EventType type, uint32_t name_id, uint64_t a,
   slot.ts.store(NowMicros(), std::memory_order_relaxed);
   slot.meta.store(PackMeta(type, ThreadId(), name_id),
                   std::memory_order_relaxed);
+  slot.q.store(CurrentQueryId(), std::memory_order_relaxed);
   slot.a.store(a, std::memory_order_relaxed);
   slot.b.store(b, std::memory_order_relaxed);
   slot.c.store(c, std::memory_order_relaxed);
   slot.seq.store(ticket + 1, std::memory_order_release);
+
+  // Per-query attribution rides the event stream: every branch below has a
+  // 1:1 co-located metric increment at its Record call site, which is what
+  // the conservation gate (tests/query_profile_test.cpp) checks. Types not
+  // listed (query lifecycle, crash, build info, chaos) cost nothing here —
+  // in particular the crash path never resolves a profile (mutex).
+  switch (type) {
+    case EventType::kTaskFinish:
+      CurrentQueryProfile()->OnTaskDone(name_id, c, /*failed=*/false);
+      break;
+    case EventType::kTaskFail:
+      CurrentQueryProfile()->OnTaskDone(name_id, c, /*failed=*/true);
+      break;
+    case EventType::kSteal:
+      CurrentQueryProfile()->steals.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case EventType::kResidentHit:
+      CurrentQueryProfile()->resident_hits.fetch_add(
+          1, std::memory_order_relaxed);
+      break;
+    case EventType::kResidentMiss:
+      CurrentQueryProfile()->resident_misses.fetch_add(
+          1, std::memory_order_relaxed);
+      break;
+    case EventType::kEvict:
+      CurrentQueryProfile()->evictions.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case EventType::kSpillWrite:
+      CurrentQueryProfile()->bytes_spilled.fetch_add(
+          a, std::memory_order_relaxed);
+      break;
+    case EventType::kReloadDemand:
+      CurrentQueryProfile()->bytes_reloaded.fetch_add(
+          a, std::memory_order_relaxed);
+      break;
+    case EventType::kReloadPrefetch:
+      CurrentQueryProfile()->bytes_prefetched.fetch_add(
+          a, std::memory_order_relaxed);
+      break;
+    case EventType::kPrefetchSkip:
+      CurrentQueryProfile()->prefetch_skips.fetch_add(
+          1, std::memory_order_relaxed);
+      break;
+    case EventType::kShuffleStall:
+      CurrentQueryProfile()->shuffle_stall_us.fetch_add(
+          a, std::memory_order_relaxed);
+      break;
+    case EventType::kShufflePush:
+      CurrentQueryProfile()->shuffle_pushed_bytes.fetch_add(
+          a, std::memory_order_relaxed);
+      break;
+    default:
+      break;
+  }
 }
 
 size_t FlightRecorder::CopyValid(RawEvent* out, size_t max_events) const {
   const uint64_t head = head_.load(std::memory_order_acquire);
-  const uint64_t window = std::min<uint64_t>(head, kCapacity);
+  const uint64_t window = std::min<uint64_t>(head, capacity_);
   uint64_t want = window;
   if (max_events > 0) want = std::min<uint64_t>(want, max_events);
   size_t n = 0;
   for (uint64_t ticket = head - want; ticket < head; ++ticket) {
-    const Slot& slot = slots_[ticket & (kCapacity - 1)];
+    const Slot& slot = slots_[ticket & mask_];
     const uint64_t seq_before = slot.seq.load(std::memory_order_acquire);
     RawEvent raw;
     raw.ts = slot.ts.load(std::memory_order_relaxed);
     raw.meta = slot.meta.load(std::memory_order_relaxed);
+    raw.q = slot.q.load(std::memory_order_relaxed);
     raw.a = slot.a.load(std::memory_order_relaxed);
     raw.b = slot.b.load(std::memory_order_relaxed);
     raw.c = slot.c.load(std::memory_order_relaxed);
@@ -293,7 +391,7 @@ size_t FlightRecorder::CopyValid(RawEvent* out, size_t max_events) const {
 
 std::vector<FlightEvent> FlightRecorder::Snapshot(size_t max_events) const {
   std::vector<RawEvent> raw(std::min<size_t>(
-      max_events == 0 ? kCapacity : max_events, kCapacity));
+      max_events == 0 ? capacity_ : max_events, capacity_));
   const size_t n = CopyValid(raw.data(), raw.size());
   std::vector<FlightEvent> out;
   out.reserve(n);
@@ -303,6 +401,7 @@ std::vector<FlightEvent> FlightRecorder::Snapshot(size_t max_events) const {
     e.ts_us = raw[i].ts;
     e.type = static_cast<EventType>(raw[i].meta & 0xFF);
     e.tid = static_cast<uint32_t>((raw[i].meta >> 8) & 0xFFFFFFu);
+    e.q = raw[i].q;
     e.name = NameAt(static_cast<uint32_t>(raw[i].meta >> 32));
     e.a = raw[i].a;
     e.b = raw[i].b;
@@ -320,7 +419,7 @@ std::string FlightRecorder::ToJsonl(size_t max_events) const {
   for (const FlightEvent& e : events) {
     const size_t len =
         FormatEventLine(line, sizeof(line), e.seq, e.ts_us, e.type, e.tid,
-                        e.name.c_str(), e.a, e.b, e.c);
+                        e.q, e.name.c_str(), e.a, e.b, e.c);
     out.append(line, len);
     out.push_back('\n');
   }
@@ -343,18 +442,19 @@ Status FlightRecorder::DumpJsonl(const std::string& path,
 }
 
 size_t FlightRecorder::DumpToFd(int fd, size_t max_events) const {
-  // Static buffer: the crash path must not allocate. The dumping flag in
-  // CrashSignalHandler (and single-threaded test use) keeps this exclusive.
-  static RawEvent raw[kCapacity];
-  const size_t n = CopyValid(raw, max_events == 0 ? kCapacity : max_events);
+  // Preallocated buffer (ctor): the crash path must not allocate. The
+  // dumping flag in CrashSignalHandler (and single-threaded test use)
+  // keeps this exclusive.
+  RawEvent* raw = dump_buffer_.get();
+  const size_t n = CopyValid(raw, max_events == 0 ? capacity_ : max_events);
   char line[1024];
   for (size_t i = 0; i < n; ++i) {
     const EventType type = static_cast<EventType>(raw[i].meta & 0xFF);
     const uint32_t tid = static_cast<uint32_t>((raw[i].meta >> 8) & 0xFFFFFFu);
     const char* name = NameAt(static_cast<uint32_t>(raw[i].meta >> 32));
     size_t len = FormatEventLine(line, sizeof(line), raw[i].seq, raw[i].ts,
-                                 type, tid, name, raw[i].a, raw[i].b,
-                                 raw[i].c);
+                                 type, tid, raw[i].q, name, raw[i].a,
+                                 raw[i].b, raw[i].c);
     if (len + 1 < sizeof(line)) line[len++] = '\n';
     WriteAll(fd, line, len);
   }

@@ -19,11 +19,16 @@
 // a flight recorder tolerates losing an event it is in the middle of
 // replacing anyway.
 //
-// Event payloads are three uint64 words (a, b, c) plus an interned name id.
-// Names (stage names, mostly) intern into a fixed char pool so the
-// fatal-signal dump path can read them without touching the heap. The
-// per-type payload conventions are listed next to EventType below and
-// mirrored in tools/idf_events.py.
+// Event payloads are three uint64 words (a, b, c) plus an interned name id
+// and the owning query id (q — stamped from the thread's QueryScope, see
+// obs/query_profile.h). Names (stage names, mostly) intern into a fixed
+// char pool so the fatal-signal dump path can read them without touching
+// the heap. The per-type payload conventions are listed next to EventType
+// below and mirrored in tools/idf_events.py.
+//
+// Ring size: 1 << IDF_EVENTS_RING_POW2 events (default 1 << 16), read once
+// at construction. Overwrites of not-yet-dumped slots count into the
+// obs.ring.lapped metric so journal truncation is visible on /metrics.
 //
 // Crash dumps: InstallCrashHandler() (done automatically by the Cluster
 // constructor when IDF_EVENTS_DIR is set) registers handlers for the fatal
@@ -38,6 +43,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <unordered_map>
@@ -82,6 +88,10 @@ enum class EventType : uint8_t {
   // ordinal, evicted count).
   kChaosArm = 26,      //             a=seed        b=0            c=0
   kChaosFault = 27,    //             a=site<<8|kind  b=decision key  c=aux
+  // Build identity (obs/build_info.h): name = "sha=.. build=.. san=..".
+  // Recorded once at construction and again by the crash handler so every
+  // journal — however lapped — says which binary wrote it.
+  kBuildInfo = 28,     //             a=uptime secs b=0            c=0
 };
 
 /// Stable wire name for an event type ("task_start", "evict", ...); used by
@@ -94,14 +104,29 @@ struct FlightEvent {
   uint64_t ts_us = 0;  // microseconds since the recorder's construction
   EventType type = EventType::kCrash;
   uint32_t tid = 0;    // dense per-thread id, 1-based, first-record order
+  uint64_t q = 0;      // owning query id (obs/query_profile.h); 0 = none
   std::string name;    // interned name ("" when the event carries none)
   uint64_t a = 0, b = 0, c = 0;
 };
 
+/// One event rendered as its JSONL object (same encoding as ToJsonl, for
+/// callers composing filtered slices, e.g. /queries/<id>).
+std::string EventJson(const FlightEvent& event);
+
+class Counter;
+
 class FlightRecorder {
  public:
-  /// Ring capacity in events (~3 MB resident). Power of two by construction.
+  /// Default ring capacity in events (~4 MB resident). The actual capacity
+  /// is set once at construction from IDF_EVENTS_RING_POW2 (see
+  /// RingCapacityFromEnv); this constant is the fallback.
   static constexpr size_t kCapacity = 1u << 16;
+
+  /// Capacity the recorder would use given the current environment:
+  /// 1 << IDF_EVENTS_RING_POW2, clamped to [10, 24]; kCapacity when the
+  /// variable is unset or unparsable. Exposed for tests — the global
+  /// recorder reads it exactly once.
+  static size_t RingCapacityFromEnv();
 
   /// The process-wide recorder. Recording starts enabled unless
   /// IDF_FLIGHT_RECORDER=0 was exported before first use.
@@ -120,17 +145,29 @@ class FlightRecorder {
 
   /// Records one event. Lock-free, allocation-free, ~10ns: a relaxed
   /// fetch_add to claim a slot plus relaxed stores. Safe from any thread.
+  /// The event is stamped with the thread's current query id and, for
+  /// cost-shaped types (steal, residency, spill/reload bytes, shuffle
+  /// stalls, task finish), also folded into the thread's QueryProfile —
+  /// attribution rides the existing event stream instead of a second set
+  /// of instrumentation sites.
   void Record(EventType type, uint32_t name_id, uint64_t a, uint64_t b,
               uint64_t c);
 
   /// Microseconds since construction (the event clock).
   uint64_t NowMicros() const;
 
+  /// Actual ring capacity (power of two; see RingCapacityFromEnv).
+  size_t capacity() const { return capacity_; }
+
   /// Events recorded since process start (monotonic; ring keeps the last
-  /// kCapacity of them).
+  /// capacity() of them).
   uint64_t total_recorded() const {
     return head_.load(std::memory_order_relaxed);
   }
+
+  /// Resolves an interned name id ("" for 0 / out of range). Stable for the
+  /// process lifetime; safe from any thread.
+  const char* NameForId(uint32_t id) const { return NameAt(id); }
 
   /// Copies out up to `max_events` of the newest valid events, oldest
   /// first (0 = the whole ring). Slots mid-overwrite are skipped.
@@ -145,9 +182,14 @@ class FlightRecorder {
   Status DumpJsonl(const std::string& path, size_t max_events = 0) const;
 
   /// Async-signal-safe dump of the ring tail to an open fd — write(2) and
-  /// stack buffers only. Returns the number of events written. Public so
-  /// tests can exercise the crash-dump encoder without dying.
+  /// preallocated buffers only. Returns the number of events written.
+  /// Public so tests can exercise the crash-dump encoder without dying.
   size_t DumpToFd(int fd, size_t max_events = 0) const;
+
+  /// Records a kBuildInfo event using the name interned at construction.
+  /// Allocation-free (async-signal-safe); the crash handler calls it so a
+  /// lapped ring still identifies the binary.
+  void RecordBuildInfo();
 
   /// Installs fatal-signal handlers (SEGV/ABRT/BUS/FPE/ILL) that dump the
   /// ring to <dir>/idf-crash-<pid>.events.jsonl and re-raise. `dir` empty
@@ -167,6 +209,7 @@ class FlightRecorder {
     std::atomic<uint64_t> seq{0};
     std::atomic<uint64_t> ts{0};
     std::atomic<uint64_t> meta{0};  // type(8) | tid(24) | name(32)
+    std::atomic<uint64_t> q{0};     // owning query id
     std::atomic<uint64_t> a{0};
     std::atomic<uint64_t> b{0};
     std::atomic<uint64_t> c{0};
@@ -174,7 +217,7 @@ class FlightRecorder {
 
   /// Raw (still-packed) copy of one slot, validated against its seqlock.
   struct RawEvent {
-    uint64_t seq, ts, meta, a, b, c;
+    uint64_t seq, ts, meta, q, a, b, c;
   };
 
   /// Copies the newest valid slots, oldest first, into `out` (fixed caller
@@ -186,7 +229,14 @@ class FlightRecorder {
   std::atomic<bool> enabled_{true};
   std::atomic<uint64_t> head_{0};
   uint64_t epoch_ns_ = 0;  // steady_clock at construction
+  size_t capacity_ = kCapacity;  // power of two, fixed at construction
+  uint64_t mask_ = kCapacity - 1;
   std::vector<Slot> slots_;
+  Counter* lapped_ = nullptr;  // obs.ring.lapped — overwritten-slot count
+  uint32_t build_info_name_id_ = 0;  // interned at ctor for the crash path
+  // Preallocated CopyValid buffer for the signal-safe dump (the crash path
+  // must not allocate; exclusivity via the crash handler's dumping flag).
+  std::unique_ptr<RawEvent[]> dump_buffer_;
 
   // Interned names: a fixed char pool + offset table so the signal handler
   // can resolve ids without the heap. Writers append under names_mutex_;

@@ -13,6 +13,7 @@
 #include <cstring>
 
 #include "common/logging.h"
+#include "obs/build_info.h"
 #include "obs/flight_recorder.h"
 #include "obs/metrics_registry.h"
 
@@ -213,6 +214,12 @@ void IntrospectionServer::AddJsonHandler(const std::string& path,
   handlers_[path] = std::move(fn);
 }
 
+void IntrospectionServer::AddPrefixHandler(
+    const std::string& prefix, std::function<std::string(const std::string&)> fn) {
+  std::lock_guard<std::mutex> lock(handlers_mutex_);
+  prefix_handlers_[prefix] = std::move(fn);
+}
+
 void IntrospectionServer::ServeLoop() {
   while (!stop_.load(std::memory_order_acquire)) {
     pollfd pfd;
@@ -256,32 +263,54 @@ void IntrospectionServer::HandleConnection(int fd) {
     reason = "Bad Request";
     body = "only GET is served here\n";
   } else if (path == "/healthz") {
-    body = "ok\n";
+    // Liveness plus build identity: which binary is this, exactly.
+    content_type = "application/json";
+    body = BuildInfoJson() + "\n";
   } else if (path == "/metrics") {
     content_type = "text/plain; version=0.0.4; charset=utf-8";
     body = PrometheusText(Registry::Global().Snapshot());
   } else if (path == "/events") {
+    // n= is advisory: malformed values fall back to the default, oversize
+    // values clamp to the ring capacity — a bad scrape never errors or
+    // over-allocates.
     size_t limit = 512;
     if (query.rfind("n=", 0) == 0) {
       const long parsed = std::strtol(query.c_str() + 2, nullptr, 10);
       if (parsed > 0) limit = static_cast<size_t>(parsed);
     }
+    limit = std::min(limit, FlightRecorder::Global().capacity());
     content_type = "application/x-ndjson";
     body = FlightRecorder::Global().ToJsonl(limit);
   } else {
     std::function<std::string()> handler;
+    std::function<std::string(const std::string&)> prefix_handler;
     {
       std::lock_guard<std::mutex> lock(handlers_mutex_);
       auto it = handlers_.find(path);
-      if (it != handlers_.end()) handler = it->second;
+      if (it != handlers_.end()) {
+        handler = it->second;
+      } else {
+        // Longest matching prefix wins (std::map iterates sorted, so a
+        // later match is longer or disjoint).
+        for (const auto& [prefix, fn] : prefix_handlers_) {
+          if (path.rfind(prefix, 0) == 0) prefix_handler = fn;
+        }
+      }
     }
+    std::string handled;
     if (handler) {
+      handled = handler();
+    } else if (prefix_handler) {
+      handled = prefix_handler(path);
+    }
+    if (!handled.empty()) {
       content_type = "application/json";
-      body = handler();
+      body = std::move(handled);
     } else {
       status = 404;
       reason = "Not Found";
-      body = "unknown path; try /metrics /events /residency /healthz\n";
+      body = "unknown path; try /metrics /events /residency /queries "
+             "/healthz\n";
     }
   }
 

@@ -10,10 +10,14 @@
 //                 (`mem.evictions{executor=3}`) render as proper labels.
 //   /events?n=N   The newest N flight-recorder events (default 512) as
 //                 JSONL (application/x-ndjson).
-//   /healthz      200 "ok" — liveness probe.
-//   <registered>  Arbitrary JSON sources added via AddJsonHandler — the
-//                 engine registers /residency (the memory governor's live
-//                 ResidencyMap) this way, keeping obs free of upward deps.
+//   /healthz      Liveness probe returning the build identity as JSON:
+//                 {"status":"ok","git_sha":..,"build_type":..,
+//                  "sanitizer":..,"uptime_seconds":..}.
+//   <registered>  Arbitrary JSON sources added via AddJsonHandler (exact
+//                 path) or AddPrefixHandler (path prefix) — the engine
+//                 registers /residency (the memory governor's live
+//                 ResidencyMap) and the query service /queries and
+//                 /queries/<id> this way, keeping obs free of upward deps.
 //
 // Opt-in and intentionally minimal: one background thread, one request at
 // a time, Connection: close. Enabled by exporting IDF_OBS_PORT=<port>
@@ -68,6 +72,14 @@ class IntrospectionServer {
   /// must return a complete JSON document.
   void AddJsonHandler(const std::string& path, std::function<std::string()> fn);
 
+  /// Registers (or replaces) a JSON source for every path starting with
+  /// `prefix` (e.g. "/queries/" serves /queries/<id>). The handler receives
+  /// the full request path; exact AddJsonHandler routes win over prefixes,
+  /// and the longest matching prefix wins among prefixes. Return "" to have
+  /// the server answer 404 (unknown id).
+  void AddPrefixHandler(const std::string& prefix,
+                        std::function<std::string(const std::string&)> fn);
+
   IntrospectionServer(const IntrospectionServer&) = delete;
   IntrospectionServer& operator=(const IntrospectionServer&) = delete;
 
@@ -85,6 +97,8 @@ class IntrospectionServer {
   std::thread thread_;
   std::mutex handlers_mutex_;
   std::map<std::string, std::function<std::string()>> handlers_;
+  std::map<std::string, std::function<std::string(const std::string&)>>
+      prefix_handlers_;
   std::mutex lifecycle_mutex_;  // serializes Start/Stop
 };
 

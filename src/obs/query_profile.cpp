@@ -1,0 +1,192 @@
+#include "obs/query_profile.h"
+
+#include <algorithm>
+
+#include "obs/flight_recorder.h"
+#include "obs/metrics_registry.h"
+
+namespace idf::obs {
+
+namespace {
+
+// Thread-local identity. The profile pointer is a cache of
+// Registry.Get(t_query_id): resolved on scope install (or lazily for the
+// unattributed bucket) so the recorder's feed never takes the registry
+// mutex on the hot path.
+thread_local uint64_t t_query_id = 0;
+thread_local QueryProfile* t_profile = nullptr;
+
+}  // namespace
+
+void QueryProfile::OnTaskDone(uint32_t name_id, uint64_t wall_us,
+                              bool failed) {
+  task_wall_us.fetch_add(wall_us, std::memory_order_relaxed);
+  if (failed) task_fails.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(stages_mu_);
+  for (StageTotals& s : stages_) {
+    if (s.name_id != name_id) continue;
+    ++s.tasks;
+    s.wall_us += wall_us;
+    return;
+  }
+  stages_.push_back(StageTotals{name_id, 1, wall_us});
+}
+
+void QueryProfile::AddPinned(uint64_t bytes) {
+  const uint64_t now =
+      current_pinned_bytes.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  uint64_t peak = peak_pinned_bytes.load(std::memory_order_relaxed);
+  while (now > peak && !peak_pinned_bytes.compare_exchange_weak(
+                           peak, now, std::memory_order_relaxed)) {
+  }
+}
+
+void QueryProfile::ReleasePinned(uint64_t bytes) {
+  current_pinned_bytes.fetch_sub(bytes, std::memory_order_relaxed);
+}
+
+std::vector<QueryProfile::StageTotals> QueryProfile::Stages() const {
+  std::lock_guard<std::mutex> lock(stages_mu_);
+  return stages_;
+}
+
+QueryProfileRegistry& QueryProfileRegistry::Global() {
+  static QueryProfileRegistry* registry = new QueryProfileRegistry();
+  return *registry;
+}
+
+QueryProfile* QueryProfileRegistry::Get(uint64_t id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<QueryProfile>& slot = profiles_[id];
+  if (slot == nullptr) slot = std::make_unique<QueryProfile>(id);
+  return slot.get();
+}
+
+QueryProfile* QueryProfileRegistry::Find(uint64_t id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = profiles_.find(id);
+  return it != profiles_.end() ? it->second.get() : nullptr;
+}
+
+std::vector<uint64_t> QueryProfileRegistry::Ids() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<uint64_t> ids;
+  ids.reserve(profiles_.size());
+  for (const auto& [id, profile] : profiles_) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+namespace {
+
+QueryProfileSnapshot SnapshotOf(const QueryProfile& p) {
+  QueryProfileSnapshot out;
+  out.id = p.id;
+  out.tasks = p.tasks.load(std::memory_order_relaxed);
+  out.task_fails = p.task_fails.load(std::memory_order_relaxed);
+  out.task_wall_us = p.task_wall_us.load(std::memory_order_relaxed);
+  out.steals = p.steals.load(std::memory_order_relaxed);
+  out.resident_hits = p.resident_hits.load(std::memory_order_relaxed);
+  out.resident_misses = p.resident_misses.load(std::memory_order_relaxed);
+  out.bytes_spilled = p.bytes_spilled.load(std::memory_order_relaxed);
+  out.evictions = p.evictions.load(std::memory_order_relaxed);
+  out.bytes_reloaded = p.bytes_reloaded.load(std::memory_order_relaxed);
+  out.bytes_prefetched = p.bytes_prefetched.load(std::memory_order_relaxed);
+  out.prefetch_skips = p.prefetch_skips.load(std::memory_order_relaxed);
+  out.shuffle_stall_us = p.shuffle_stall_us.load(std::memory_order_relaxed);
+  out.shuffle_pushed_bytes =
+      p.shuffle_pushed_bytes.load(std::memory_order_relaxed);
+  out.admission_wait_us = p.admission_wait_us.load(std::memory_order_relaxed);
+  out.current_pinned_bytes =
+      p.current_pinned_bytes.load(std::memory_order_relaxed);
+  out.peak_pinned_bytes = p.peak_pinned_bytes.load(std::memory_order_relaxed);
+  FlightRecorder& fr = FlightRecorder::Global();
+  for (const QueryProfile::StageTotals& s : p.Stages()) {
+    QueryProfileSnapshot::Stage stage;
+    stage.name = fr.NameForId(s.name_id);
+    stage.tasks = s.tasks;
+    stage.wall_us = s.wall_us;
+    out.stages.push_back(std::move(stage));
+  }
+  return out;
+}
+
+}  // namespace
+
+bool QueryProfileRegistry::Snapshot(uint64_t id,
+                                    QueryProfileSnapshot* out) const {
+  QueryProfile* profile = Find(id);
+  if (profile == nullptr) return false;
+  *out = SnapshotOf(*profile);
+  return true;
+}
+
+std::vector<QueryProfileSnapshot> QueryProfileRegistry::SnapshotAll() const {
+  std::vector<QueryProfileSnapshot> out;
+  for (const uint64_t id : Ids()) {
+    QueryProfile* profile = Find(id);
+    if (profile != nullptr) out.push_back(SnapshotOf(*profile));
+  }
+  return out;
+}
+
+std::string QueryProfileJson(const QueryProfileSnapshot& snap) {
+  std::string out = "{\"query_id\":" + std::to_string(snap.id);
+  out += ",\"tasks\":" + std::to_string(snap.tasks);
+  out += ",\"task_fails\":" + std::to_string(snap.task_fails);
+  out += ",\"task_wall_us\":" + std::to_string(snap.task_wall_us);
+  out += ",\"steals\":" + std::to_string(snap.steals);
+  out += ",\"resident_hits\":" + std::to_string(snap.resident_hits);
+  out += ",\"resident_misses\":" + std::to_string(snap.resident_misses);
+  out += ",\"bytes_spilled\":" + std::to_string(snap.bytes_spilled);
+  out += ",\"evictions\":" + std::to_string(snap.evictions);
+  out += ",\"bytes_reloaded\":" + std::to_string(snap.bytes_reloaded);
+  out += ",\"bytes_prefetched\":" + std::to_string(snap.bytes_prefetched);
+  out += ",\"prefetch_skips\":" + std::to_string(snap.prefetch_skips);
+  out += ",\"shuffle_stall_us\":" + std::to_string(snap.shuffle_stall_us);
+  out += ",\"shuffle_pushed_bytes\":" +
+         std::to_string(snap.shuffle_pushed_bytes);
+  out += ",\"admission_wait_us\":" + std::to_string(snap.admission_wait_us);
+  out += ",\"peak_pinned_bytes\":" + std::to_string(snap.peak_pinned_bytes);
+  out += ",\"stages\":[";
+  bool first = true;
+  for (const QueryProfileSnapshot::Stage& s : snap.stages) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"name\":\"" + JsonEscape(s.name) + "\"";
+    out += ",\"tasks\":" + std::to_string(s.tasks);
+    out += ",\"wall_us\":" + std::to_string(s.wall_us) + "}";
+  }
+  return out + "]}";
+}
+
+uint64_t AllocateQueryId() {
+  static std::atomic<uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+uint64_t CurrentQueryId() { return t_query_id; }
+
+QueryProfile* CurrentQueryProfile() {
+  if (t_profile == nullptr) {
+    t_profile = QueryProfileRegistry::Global().Get(t_query_id);
+  }
+  return t_profile;
+}
+
+QueryScope::QueryScope(uint64_t id)
+    : previous_id_(t_query_id), previous_profile_(t_profile) {
+  t_query_id = id;
+  // Resolve eagerly only on an id change: re-installing the ambient id
+  // (nested scopes on the same lane) keeps the cached pointer.
+  if (id != previous_id_ || t_profile == nullptr) {
+    t_profile = QueryProfileRegistry::Global().Get(id);
+  }
+}
+
+QueryScope::~QueryScope() {
+  t_query_id = previous_id_;
+  t_profile = previous_profile_;
+}
+
+}  // namespace idf::obs

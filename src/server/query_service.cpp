@@ -10,6 +10,7 @@
 #include "obs/flight_recorder.h"
 #include "obs/introspect.h"
 #include "obs/metrics_registry.h"
+#include "obs/query_profile.h"
 #include "testing/chaos.h"
 
 namespace idf::server {
@@ -93,6 +94,65 @@ struct QueryRecord {
 }  // namespace detail
 
 using detail::QueryRecord;
+
+namespace {
+
+/// IDF_SLOW_QUERY_MS: a query whose running phase takes at least this many
+/// milliseconds emits one structured `slow_query {...}` WARN line carrying
+/// its full resource profile (docs/OBSERVABILITY.md). Unset = disabled.
+int64_t SlowQueryThresholdMs() {
+  static const int64_t threshold = [] {
+    const char* env = std::getenv("IDF_SLOW_QUERY_MS");
+    if (env == nullptr || env[0] == '\0') return static_cast<int64_t>(-1);
+    char* end = nullptr;
+    const long long v = std::strtoll(env, &end, 10);
+    if (end == env || *end != '\0' || v < 0) {
+      IDF_LOG_WARN("ignoring unparsable IDF_SLOW_QUERY_MS='%s'", env);
+      return static_cast<int64_t>(-1);
+    }
+    return static_cast<int64_t>(v);
+  }();
+  return threshold;
+}
+
+/// One query's /queries row: the record's state machine plus a summary of
+/// its resource profile (the full profile, with per-stage rows and the
+/// query's recent events, is served at /queries/<id>).
+std::string RenderQueryJson(const std::shared_ptr<QueryRecord>& rec,
+                            int64_t now) {
+  std::lock_guard<std::mutex> lk(rec->mu);
+  const int64_t end = Terminal(rec->state) ? rec->finish_us : now;
+  const double age = static_cast<double>(end - rec->submit_us) * 1e-6;
+  std::string out = "{\"id\":" + std::to_string(rec->id);
+  if (!rec->label.empty()) {
+    out += ",\"label\":\"" + JsonEscape(rec->label) + "\"";
+  }
+  out += ",\"state\":\"" + std::string(QueryStateName(rec->state)) + "\"";
+  out += ",\"age_seconds\":" + std::to_string(age);
+  out += ",\"reserved_bytes\":" +
+         std::to_string(rec->reserved ? rec->reservation : 0);
+  out += ",\"reservation_bytes\":" + std::to_string(rec->reservation);
+  out += ",\"priority\":" + std::to_string(rec->priority);
+  out += ",\"stages_completed\":" +
+         std::to_string(rec->control.stages_completed());
+  obs::QueryProfileSnapshot snap;
+  if (obs::QueryProfileRegistry::Global().Snapshot(rec->id, &snap)) {
+    out += ",\"tasks\":" + std::to_string(snap.tasks);
+    out += ",\"task_wall_us\":" + std::to_string(snap.task_wall_us);
+    out += ",\"resident_hits\":" + std::to_string(snap.resident_hits);
+    out += ",\"resident_misses\":" + std::to_string(snap.resident_misses);
+    out += ",\"bytes_spilled\":" + std::to_string(snap.bytes_spilled);
+    out += ",\"bytes_reloaded\":" + std::to_string(snap.bytes_reloaded);
+    out += ",\"peak_pinned_bytes\":" + std::to_string(snap.peak_pinned_bytes);
+    out += ",\"admission_wait_us\":" + std::to_string(snap.admission_wait_us);
+  }
+  if (Terminal(rec->state) && !rec->status.ok()) {
+    out += ",\"status\":\"" + JsonEscape(rec->status.ToString()) + "\"";
+  }
+  return out + "}";
+}
+
+}  // namespace
 
 const char* QueryStateName(QueryState state) {
   switch (state) {
@@ -223,6 +283,48 @@ void RegisterServiceForIntrospection(QueryService* service) {
       }
       return out + "]";
     });
+    obs::IntrospectionServer::Global().AddPrefixHandler(
+        "/queries/", [](const std::string& path) -> std::string {
+          // /queries/<id>: one query's record, its full resource profile,
+          // and its slice of the recent event ring. Returning "" makes the
+          // server answer 404 (unparsable or unknown id).
+          const char* tail = path.c_str() + sizeof("/queries/") - 1;
+          char* end = nullptr;
+          const unsigned long long id = std::strtoull(tail, &end, 10);
+          if (end == tail || *end != '\0' || id == 0) return "";
+          std::string record;
+          {
+            std::lock_guard<std::mutex> lock(g_services_mu);
+            for (QueryService* s : g_services) {
+              record = s->QueryJson(id);
+              if (!record.empty()) break;
+            }
+          }
+          obs::QueryProfileSnapshot snap;
+          const bool has_profile =
+              obs::QueryProfileRegistry::Global().Snapshot(id, &snap);
+          if (record.empty() && !has_profile) return "";
+          std::string out = "{\"id\":" + std::to_string(id);
+          out += ",\"record\":";
+          out += record.empty() ? std::string("null") : record;
+          out += ",\"profile\":";
+          out += has_profile ? obs::QueryProfileJson(snap) : "null";
+          // The newest ring events stamped with this id, oldest first,
+          // bounded so a hot query cannot balloon the document.
+          out += ",\"events\":[";
+          const std::vector<obs::FlightEvent> events =
+              obs::FlightRecorder::Global().Snapshot();
+          std::vector<const obs::FlightEvent*> mine;
+          for (const obs::FlightEvent& e : events) {
+            if (e.q == id) mine.push_back(&e);
+          }
+          const size_t start = mine.size() > 128 ? mine.size() - 128 : 0;
+          for (size_t i = start; i < mine.size(); ++i) {
+            if (i > start) out += ",";
+            out += obs::EventJson(*mine[i]);
+          }
+          return out + "]}";
+        });
   }
 }
 
@@ -256,7 +358,12 @@ QueryHandle QueryService::Submit(QueryWork work, QueryOptions options) {
   obs::FlightRecorder& fr = obs::FlightRecorder::Global();
 
   auto rec = std::make_shared<QueryRecord>();
-  rec->id = next_query_id_.fetch_add(1, std::memory_order_relaxed);
+  // Process-global id sequence (shared with EXPLAIN ANALYZE's ephemeral
+  // scopes) so the profile registry never merges queries from two services.
+  // The control carries the id into the engine: pool workers re-install it
+  // for attribution (obs/query_profile.h).
+  rec->id = obs::AllocateQueryId();
+  rec->control.set_query_id(rec->id);
   rec->label = std::move(options.label);
   rec->name_id =
       fr.enabled() && !rec->label.empty() ? fr.InternName(rec->label) : 0;
@@ -444,6 +551,8 @@ void QueryService::WorkerLoop() {
               rec->reservation, queued_us);
     sm.admitted.Increment();
     sm.queued_seconds.Observe(static_cast<double>(queued_us) * 1e-6);
+    obs::QueryProfileRegistry::Global().Get(rec->id)->admission_wait_us
+        .fetch_add(queued_us, std::memory_order_relaxed);
     RunQuery(rec);
   }
 }
@@ -452,6 +561,10 @@ void QueryService::RunQuery(const std::shared_ptr<QueryRecord>& rec) {
   ServerMetrics& sm = ServerMetrics::Get();
   obs::FlightRecorder& fr = obs::FlightRecorder::Global();
 
+  // Attribute everything this driver thread does — the kQueryStart/
+  // kQueryFinish events below, sequential stages, spills its allocations
+  // force — to this query; pool workers re-install the id from the control.
+  obs::QueryScope query_scope(rec->id);
   {
     std::lock_guard<std::mutex> lk(rec->mu);
     rec->state = QueryState::kRunning;
@@ -493,6 +606,25 @@ void QueryService::RunQuery(const std::shared_ptr<QueryRecord>& rec) {
   }
   fr.Record(obs::EventType::kQueryFinish, rec->name_id, rec->id,
             static_cast<uint64_t>(status.code()), run_us);
+  const int64_t slow_ms = SlowQueryThresholdMs();
+  if (slow_ms >= 0 && run_us >= static_cast<uint64_t>(slow_ms) * 1000) {
+    // One structured line per slow query: grep for `slow_query ` and the
+    // rest of the line is a JSON object (docs/OBSERVABILITY.md).
+    obs::QueryProfileSnapshot snap;
+    const std::string profile =
+        obs::QueryProfileRegistry::Global().Snapshot(rec->id, &snap)
+            ? obs::QueryProfileJson(snap)
+            : "null";
+    IDF_LOG_WARN(
+        "slow_query {\"query_id\":%llu,\"label\":\"%s\",\"state\":\"%s\","
+        "\"run_ms\":%llu,\"queued_ms\":%llu,\"profile\":%s}",
+        static_cast<unsigned long long>(rec->id),
+        JsonEscape(rec->label).c_str(), QueryStateName(state),
+        static_cast<unsigned long long>(run_us / 1000),
+        static_cast<unsigned long long>(
+            (rec->start_us - rec->submit_us) / 1000),
+        profile.c_str());
+  }
   if (status.ok()) {
     std::lock_guard<std::mutex> lk(rec->mu);
     rec->result = std::move(ctx.result);
@@ -564,37 +696,15 @@ size_t QueryService::ActiveQueries() const {
 
 std::string QueryService::QueriesJson() const {
   const int64_t now = QueryControl::NowMicros();
-  auto render = [now](const std::shared_ptr<QueryRecord>& rec) {
-    std::lock_guard<std::mutex> lk(rec->mu);
-    const int64_t end = Terminal(rec->state) ? rec->finish_us : now;
-    const double age = static_cast<double>(end - rec->submit_us) * 1e-6;
-    std::string out = "{\"id\":" + std::to_string(rec->id);
-    if (!rec->label.empty()) {
-      out += ",\"label\":\"" + JsonEscape(rec->label) + "\"";
-    }
-    out += ",\"state\":\"" + std::string(QueryStateName(rec->state)) + "\"";
-    out += ",\"age_seconds\":" + std::to_string(age);
-    out += ",\"reserved_bytes\":" +
-           std::to_string(rec->reserved ? rec->reservation : 0);
-    out += ",\"reservation_bytes\":" + std::to_string(rec->reservation);
-    out += ",\"priority\":" + std::to_string(rec->priority);
-    out += ",\"stages_completed\":" +
-           std::to_string(rec->control.stages_completed());
-    if (Terminal(rec->state) && !rec->status.ok()) {
-      out += ",\"status\":\"" + JsonEscape(rec->status.ToString()) + "\"";
-    }
-    return out + "}";
-  };
-
   std::lock_guard<std::mutex> lk(mu_);
   std::string queries;
   for (const auto& rec : live_) {
     if (!queries.empty()) queries += ",";
-    queries += render(rec);
+    queries += RenderQueryJson(rec, now);
   }
   for (const auto& rec : finished_) {
     if (!queries.empty()) queries += ",";
-    queries += render(rec);
+    queries += RenderQueryJson(rec, now);
   }
   return "{\"workers\":" + std::to_string(config_.workers) +
          ",\"max_queue\":" + std::to_string(config_.max_queue) +
@@ -602,6 +712,18 @@ std::string QueryService::QueriesJson() const {
          ",\"reserved_bytes\":" +
          std::to_string(mem::MemoryGovernor::Global().reserved_bytes()) +
          ",\"queries\":[" + queries + "]}";
+}
+
+std::string QueryService::QueryJson(uint64_t id) const {
+  const int64_t now = QueryControl::NowMicros();
+  std::lock_guard<std::mutex> lk(mu_);
+  for (const auto& rec : live_) {
+    if (rec->id == id) return RenderQueryJson(rec, now);
+  }
+  for (const auto& rec : finished_) {
+    if (rec->id == id) return RenderQueryJson(rec, now);
+  }
+  return "";
 }
 
 }  // namespace idf::server

@@ -37,6 +37,15 @@
 //   IDF_ADMIT_QUEUE_DEPTH  max queued queries              (default 64)
 //   IDF_ADMIT_RESERVATION  default per-query reservation   (default 16m)
 //   IDF_ADMIT_POLICY       queue | reject                  (default queue)
+//   IDF_SLOW_QUERY_MS      slow-query log threshold        (default off)
+//
+// Attribution: every query gets a process-unique id (obs::AllocateQueryId)
+// carried by its QueryControl; the engine re-installs it on pool workers so
+// per-query profiles (obs/query_profile.h) charge spills, reloads, stalls,
+// and task time to the triggering query. /queries rows embed a profile
+// summary; /queries/<id> serves the record, the full profile, and the
+// query's slice of the flight-recorder ring; queries running longer than
+// IDF_SLOW_QUERY_MS emit a structured `slow_query {...}` WARN line.
 #pragma once
 
 #include <condition_variable>
@@ -190,8 +199,13 @@ class QueryService {
   size_t ActiveQueries() const;
 
   /// JSON document served at /queries: every live query plus a bounded
-  /// tail of finished ones (age, state, reserved bytes, stages completed).
+  /// tail of finished ones (age, state, reserved bytes, stages completed,
+  /// and a summary of the query's resource profile — obs/query_profile.h).
   std::string QueriesJson() const;
+
+  /// One query's /queries row by id, or "" when this service never saw it
+  /// (or it aged out of the finished tail). Backs /queries/<id>.
+  std::string QueryJson(uint64_t id) const;
 
  private:
   void WorkerLoop();
@@ -218,7 +232,6 @@ class QueryService {
   bool shut_down_ = false;
 
   std::vector<std::thread> workers_;
-  std::atomic<uint64_t> next_query_id_{1};
 };
 
 }  // namespace idf::server

@@ -6,6 +6,7 @@
 #include <cstdio>
 
 #include "mem/governor.h"
+#include "obs/query_profile.h"
 #include "obs/trace.h"
 #include "sql/parser.h"
 
@@ -264,19 +265,41 @@ Result<std::string> DataFrame::ExplainAnalyze(QueryMetrics* metrics) const {
   QueryMetrics local;
   QueryMetrics& m = metrics != nullptr ? *metrics : local;
   m.op_profile = std::make_shared<std::map<const void*, OpProfile>>();
+  // Inside a query service the run keeps the service's query id; standalone
+  // runs get an ephemeral id of their own, so the profile footer below
+  // reports this execution rather than the unattributed bucket.
+  const uint64_t query_id = obs::CurrentQueryId() != 0
+                                ? obs::CurrentQueryId()
+                                : obs::AllocateQueryId();
+  obs::QueryScope query_scope(query_id);
   obs::Span span("query", "EXPLAIN ANALYZE " + plan_->Describe());
   // Plan once and execute that exact tree: the profile is keyed by the
   // physical nodes' addresses.
   IDF_ASSIGN_OR_RETURN(PhysOpPtr op, session_->planner().Plan(plan_));
   IDF_RETURN_IF_ERROR(op->Execute(*session_, m).status());
   std::string out = op->ExplainAnalyze(m);
-  char buf[160];
+  char buf[256];
   std::snprintf(buf, sizeof(buf),
                 "-- %u stages, real %.3fms, simulated %.3fms, network %.3fms",
                 m.num_stages, m.real_seconds * 1e3, m.simulated_seconds * 1e3,
                 m.network_seconds * 1e3);
   out += buf;
   out += "\n";
+  obs::QueryProfileSnapshot snap;
+  if (obs::QueryProfileRegistry::Global().Snapshot(query_id, &snap)) {
+    std::snprintf(buf, sizeof(buf),
+                  "-- query %llu: tasks %llu, resident hits/misses %llu/%llu, "
+                  "spilled %llu B, reloaded %llu B, peak pinned %llu B",
+                  static_cast<unsigned long long>(snap.id),
+                  static_cast<unsigned long long>(snap.tasks),
+                  static_cast<unsigned long long>(snap.resident_hits),
+                  static_cast<unsigned long long>(snap.resident_misses),
+                  static_cast<unsigned long long>(snap.bytes_spilled),
+                  static_cast<unsigned long long>(snap.bytes_reloaded),
+                  static_cast<unsigned long long>(snap.peak_pinned_bytes));
+    out += buf;
+    out += "\n";
+  }
   return out;
 }
 

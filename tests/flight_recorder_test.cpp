@@ -28,8 +28,10 @@
 #include "core/indexed_dataframe.h"
 #include "mem/governor.h"
 #include "obs/flight_recorder.h"
+#include "obs/build_info.h"
 #include "obs/introspect.h"
 #include "obs/metrics_registry.h"
+#include "obs/query_profile.h"
 #include "sql/session.h"
 
 namespace idf {
@@ -448,6 +450,180 @@ TEST(RegistryDeltaTest, CountersAndHistogramsDiff) {
 
   delta.Reset();
   EXPECT_EQ(delta.Counter("fr_test.delta_counter"), 0u);
+}
+
+// ---- query-id stamping, ring sizing, build identity -----------------------
+
+TEST(FlightRecorderTest, EventsCarryCurrentQueryId) {
+  FlightRecorder& fr = FlightRecorder::Global();
+  fr.SetEnabled(true);
+  const uint32_t name = fr.InternName("fr-q-stage");
+  const uint64_t qid = obs::AllocateQueryId();
+  {
+    obs::QueryScope scope(qid);
+    fr.Record(EventType::kSteal, name, 111, 222, 333);
+  }
+  fr.Record(EventType::kSteal, name, 444, 555, 666);  // outside: q == 0
+  bool saw_scoped = false, saw_unscoped = false;
+  for (const FlightEvent& e : fr.Snapshot()) {
+    if (e.type != EventType::kSteal || e.name != "fr-q-stage") continue;
+    if (e.a == 111) {
+      EXPECT_EQ(e.q, qid);
+      EXPECT_NE(obs::EventJson(e).find("\"q\":" + std::to_string(qid)),
+                std::string::npos);
+      saw_scoped = true;
+    } else if (e.a == 444) {
+      EXPECT_EQ(e.q, 0u);
+      saw_unscoped = true;
+    }
+  }
+  EXPECT_TRUE(saw_scoped);
+  EXPECT_TRUE(saw_unscoped);
+}
+
+TEST(FlightRecorderTest, RingCapacityFromEnvParsesAndRejects) {
+  ::unsetenv("IDF_EVENTS_RING_POW2");
+  EXPECT_EQ(FlightRecorder::RingCapacityFromEnv(), FlightRecorder::kCapacity);
+  ::setenv("IDF_EVENTS_RING_POW2", "12", 1);
+  EXPECT_EQ(FlightRecorder::RingCapacityFromEnv(), size_t{1} << 12);
+  ::setenv("IDF_EVENTS_RING_POW2", "10", 1);
+  EXPECT_EQ(FlightRecorder::RingCapacityFromEnv(), size_t{1} << 10);
+  // Out-of-range or malformed values fall back to the default capacity.
+  for (const char* bad : {"9", "25", "abc", "12x", "", "-3"}) {
+    ::setenv("IDF_EVENTS_RING_POW2", bad, 1);
+    EXPECT_EQ(FlightRecorder::RingCapacityFromEnv(), FlightRecorder::kCapacity)
+        << "value '" << bad << "'";
+  }
+  ::unsetenv("IDF_EVENTS_RING_POW2");
+}
+
+TEST(FlightRecorderTest, LappedCounterTracksRingOverwrites) {
+  FlightRecorder& fr = FlightRecorder::Global();
+  fr.SetEnabled(true);
+  const uint32_t name = fr.InternName("fr-lap-stage");
+  // Make sure the ring has wrapped at least once before the baseline so
+  // every further Record is an overwrite.
+  for (size_t i = 0; i < fr.capacity(); ++i) {
+    fr.Record(EventType::kSteal, name, i, 0, 0);
+  }
+  obs::RegistryDelta delta;
+  constexpr uint64_t kRecords = 1000;
+  for (uint64_t i = 0; i < kRecords; ++i) {
+    fr.Record(EventType::kSteal, name, i, 0, 0);
+  }
+  EXPECT_GE(delta.Counter("obs.ring.lapped"), kRecords);
+}
+
+TEST(BuildInfoTest, SummaryAndJsonAgree) {
+  const obs::BuildInfo& info = obs::GetBuildInfo();
+  const std::string sha = info.git_sha;
+  const std::string build_type = info.build_type;
+  const std::string sanitizer = info.sanitizer;
+  EXPECT_FALSE(sha.empty());
+  EXPECT_FALSE(build_type.empty());
+  EXPECT_FALSE(sanitizer.empty());
+  const std::string json = obs::BuildInfoJson();
+  EXPECT_NE(json.find("\"status\":\"ok\""), std::string::npos);
+  EXPECT_NE(json.find("\"git_sha\":\"" + sha), std::string::npos);
+  EXPECT_NE(json.find("\"build_type\":\"" + build_type), std::string::npos);
+  EXPECT_NE(json.find("\"sanitizer\":\"" + sanitizer), std::string::npos);
+  EXPECT_NE(json.find("\"uptime_seconds\":"), std::string::npos);
+  const std::string summary = obs::BuildInfoSummary();
+  EXPECT_NE(summary.find("sha=" + sha), std::string::npos);
+  // The recorder stamped a build_info event at construction, so every
+  // journal identifies its binary.
+  bool saw_build_info = false;
+  for (const FlightEvent& e : FlightRecorder::Global().Snapshot()) {
+    if (e.type == EventType::kBuildInfo) saw_build_info = true;
+  }
+  // The ring may have lapped past it in long-running suites; only assert
+  // when the recorder has not wrapped yet.
+  if (FlightRecorder::Global().total_recorded() <
+      FlightRecorder::Global().capacity()) {
+    EXPECT_TRUE(saw_build_info);
+  }
+}
+
+// ---- introspection error paths & concurrent scrapes ------------------------
+
+TEST(IntrospectionServerTest, ErrorPathsAndBoundsAreSafe) {
+  obs::IntrospectionServer& server = obs::IntrospectionServer::Global();
+  Result<uint16_t> port = server.Start(0);
+  ASSERT_TRUE(port.ok()) << port.status().ToString();
+
+  // /healthz is the build identity document.
+  const std::string health = HttpGet(*port, "/healthz");
+  EXPECT_NE(health.find("200 OK"), std::string::npos);
+  EXPECT_NE(health.find("application/json"), std::string::npos);
+  EXPECT_NE(health.find("\"git_sha\":"), std::string::npos);
+  EXPECT_NE(health.find("\"build_type\":"), std::string::npos);
+  EXPECT_NE(health.find("\"sanitizer\":"), std::string::npos);
+  EXPECT_NE(health.find("\"uptime_seconds\":"), std::string::npos);
+
+  // Unknown endpoints 404 with a hint, never crash the serve loop.
+  const std::string unknown = HttpGet(*port, "/definitely-not-a-path");
+  EXPECT_NE(unknown.find("404"), std::string::npos);
+  EXPECT_NE(unknown.find("/queries"), std::string::npos);
+
+  // Malformed n= falls back to the default instead of erroring.
+  const std::string malformed = HttpGet(*port, "/events?n=abc");
+  EXPECT_NE(malformed.find("200 OK"), std::string::npos);
+
+  // Oversize n= clamps to the ring capacity instead of over-allocating.
+  const std::string oversize = HttpGet(*port, "/events?n=99999999999");
+  EXPECT_NE(oversize.find("200 OK"), std::string::npos);
+  const std::string body = oversize.substr(oversize.find("\r\n\r\n") + 4);
+  size_t lines = 0;
+  for (const char ch : body) lines += ch == '\n';
+  EXPECT_LE(lines, obs::FlightRecorder::Global().capacity());
+
+  server.Stop();
+}
+
+TEST(IntrospectionServerTest, ConcurrentScrapesDuringBudgetedQuery) {
+  obs::IntrospectionServer& server = obs::IntrospectionServer::Global();
+  Result<uint16_t> port = server.Start(0);
+  ASSERT_TRUE(port.ok()) << port.status().ToString();
+
+  constexpr int64_t kRows = 20000;
+  IndexOptions index_options;
+  index_options.batch_capacity = 16 << 10;
+  Session session(BudgetedOptions(256 << 10));
+  std::vector<RowVec> rows;
+  rows.reserve(kRows);
+  for (int64_t i = 0; i < kRows; ++i) {
+    rows.push_back({Value::Int64(i % 97), Value::Int64(i),
+                    Value::Float64(0.25 * static_cast<double>(i))});
+  }
+  auto edges = *session.CreateTable("edges", EdgeSchema(), rows);
+
+  // Scrapers hammer every endpoint while the query below spills and
+  // faults; every response must be well-formed (200 or 404, never empty).
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> bad{0};
+  std::vector<std::thread> scrapers;
+  const char* paths[] = {"/metrics", "/events?n=64", "/healthz",
+                         "/residency", "/queries/7", "/nope"};
+  for (int t = 0; t < 3; ++t) {
+    scrapers.emplace_back([&, t] {
+      for (int i = 0; !stop.load(std::memory_order_relaxed); ++i) {
+        const std::string response =
+            HttpGet(*port, paths[(t + i) % (sizeof(paths) / sizeof(*paths))]);
+        if (response.find("HTTP/1.0 ") != 0) {
+          bad.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  auto indexed = *IndexedDataFrame::Create(edges, "src", index_options);
+  for (int64_t key = 0; key < 20; ++key) {
+    auto hits = indexed.GetRows(Value::Int64(key));
+    ASSERT_TRUE(hits.ok());
+  }
+  stop.store(true);
+  for (std::thread& s : scrapers) s.join();
+  EXPECT_EQ(bad.load(), 0u);
+  server.Stop();
 }
 
 TEST(RegistryDeltaTest, GaugeDeltaKeepsLevel) {

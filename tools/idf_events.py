@@ -8,10 +8,20 @@ groups task events by stage and interleaves governor/storage activity
 journal reads as "what the scheduler and the memory governor were doing to
 each other" during a run.
 
+Every event carries a `q` field: the id of the query whose work produced
+it (0 = unattributed background work). `--query N` narrows every view to
+one query; the summary always ends with a per-query attribution table.
+
 Usage:
   tools/idf_events.py journal.jsonl              # per-stage timeline
   tools/idf_events.py journal.jsonl --summary    # counts only
   tools/idf_events.py journal.jsonl --raw        # normalized event dump
+  tools/idf_events.py journal.jsonl --query 7    # one query's events only
+  tools/idf_events.py journal.jsonl --strict     # nonzero exit on bad input
+
+Malformed (truncated) lines and unknown event kinds are skipped and
+counted; they fail the run (exit 2) only under --strict, so a journal from
+a newer binary still decodes on a best-effort basis.
 
 Stdlib only; no third-party dependencies.
 """
@@ -31,6 +41,10 @@ SHUFFLE_EVENTS = {"shuffle_push", "shuffle_drain", "shuffle_stall"}
 QUERY_EVENTS = {"query_submit", "query_admit", "query_reject", "query_start",
                 "query_finish", "query_cancel", "query_deadline"}
 CHAOS_EVENTS = {"chaos_arm", "chaos_fault"}
+META_EVENTS = {"crash", "build_info"}
+
+KNOWN_EVENTS = (TASK_EVENTS | GOVERNOR_EVENTS | ENGINE_EVENTS |
+                SHUFFLE_EVENTS | QUERY_EVENTS | CHAOS_EVENTS | META_EVENTS)
 
 # chaos_fault packs a = site << 8 | kind (see idf::chaos::Site / Fault).
 CHAOS_SITES = {1: "task", 2: "reload", 3: "shuffle-push", 4: "shuffle-pull",
@@ -42,10 +56,12 @@ CHAOS_FAULTS = {1: "task-delay", 2: "evict-world", 3: "kill-executor",
 
 
 def load_events(path):
-    """Parses a JSONL journal, skipping malformed lines (a crash dump may be
-    truncated mid-line)."""
+    """Parses a JSONL journal. Malformed lines (a crash dump may be truncated
+    mid-line) and unknown event kinds (journal from a newer binary) are
+    skipped and counted, not fatal — see --strict."""
     events = []
     dropped = 0
+    unknown = Counter()
     with open(path, "r", encoding="utf-8", errors="replace") as f:
         for line in f:
             line = line.strip()
@@ -59,9 +75,12 @@ def load_events(path):
             if not isinstance(ev, dict) or "type" not in ev:
                 dropped += 1
                 continue
+            if ev["type"] not in KNOWN_EVENTS:
+                unknown[ev["type"]] += 1
+                continue
             events.append(ev)
     events.sort(key=lambda e: (e.get("ts_us", 0), e.get("seq", 0)))
-    return events, dropped
+    return events, dropped, unknown
 
 
 def fmt_bytes(n):
@@ -150,6 +169,8 @@ def describe(ev):
         return f"CHAOS {kind} at {site} site, key {b:#x}{aux}"
     if t == "crash":
         return f"FATAL SIGNAL {a} — journal dumped by crash handler"
+    if t == "build_info":
+        return f"build {ev.get('name', '?')} (up {a}s)"
     return f"{t} a={a} b={b} c={c}"
 
 
@@ -192,8 +213,11 @@ def build_stages(events):
 def print_timeline(events, out=sys.stdout):
     crash = [e for e in events if e["type"] == "crash"]
     if crash:
+        build = [e for e in events if e["type"] == "build_info"]
         print("=" * 66, file=out)
         print(f"  CRASH JOURNAL: {describe(crash[0])}", file=out)
+        if build:
+            print(f"  {describe(build[-1])}", file=out)
         print("=" * 66, file=out)
     order, stages, unattributed = build_stages(events)
     base_ts = events[0]["ts_us"] if events else 0
@@ -214,14 +238,14 @@ def print_timeline(events, out=sys.stdout):
             rel_ms = (ev["ts_us"] - base_ts) / 1000.0
             marker = "·" if ev["type"] in TASK_EVENTS else ">"
             print(f"  {rel_ms:10.3f}ms {marker} tid={ev.get('tid', 0):<3} "
-                  f"{describe(ev)}", file=out)
+                  f"q={ev.get('q', 0):<3} {describe(ev)}", file=out)
     if unattributed:
         print(f"\noutside any stage window ({len(unattributed)} events):",
               file=out)
         for ev in unattributed:
             rel_ms = (ev.get("ts_us", 0) - base_ts) / 1000.0
             print(f"  {rel_ms:10.3f}ms > tid={ev.get('tid', 0):<3} "
-                  f"{describe(ev)}", file=out)
+                  f"q={ev.get('q', 0):<3} {describe(ev)}", file=out)
 
 
 def print_summary(events, out=sys.stdout):
@@ -277,6 +301,40 @@ def print_summary(events, out=sys.stdout):
         extra = f", residency {hits}H/{misses}M" if hits or misses else ""
         print(f"  stage {name!r}: {counts['task_start']} tasks, "
               f"{counts['steal']} steals{extra}", file=out)
+    print_query_table(events, out=out)
+
+
+def print_query_table(events, out=sys.stdout):
+    """Per-query attribution: what each query id cost, from its events."""
+    by_q = defaultdict(Counter)
+    for e in events:
+        q = e.get("q", 0)
+        t = e["type"]
+        by_q[q][t] += 1
+        if t == "spill_write":
+            by_q[q]["spilled_bytes"] += e.get("a", 0)
+        elif t in ("reload_demand", "reload_prefetch"):
+            by_q[q]["reloaded_bytes"] += e.get("a", 0)
+        elif t == "shuffle_stall":
+            by_q[q]["stall_us"] += e.get("a", 0)
+    if set(by_q) <= {0}:
+        return
+    print("  per-query attribution:", file=out)
+    for q in sorted(by_q):
+        c = by_q[q]
+        who = "(unattributed)" if q == 0 else ""
+        parts = [f"{c['task_finish'] + c['task_fail']} tasks"]
+        if c["steal"]:
+            parts.append(f"{c['steal']} steals")
+        if c["resident_hit"] or c["resident_miss"]:
+            parts.append(f"{c['resident_hit']}H/{c['resident_miss']}M")
+        if c["spilled_bytes"]:
+            parts.append(f"spilled {fmt_bytes(c['spilled_bytes'])}")
+        if c["reloaded_bytes"]:
+            parts.append(f"reloaded {fmt_bytes(c['reloaded_bytes'])}")
+        if c["stall_us"]:
+            parts.append(f"stalled {c['stall_us'] / 1000.0:.1f}ms")
+        print(f"    q={q:<4} {', '.join(parts)} {who}".rstrip(), file=out)
 
 
 def main():
@@ -286,11 +344,28 @@ def main():
                         help="print aggregate counts only")
     parser.add_argument("--raw", action="store_true",
                         help="print every event, decoded, in time order")
+    parser.add_argument("--query", type=int, metavar="ID",
+                        help="only events attributed to this query id")
+    parser.add_argument("--strict", action="store_true",
+                        help="exit 2 when any line was malformed or any "
+                             "event kind was unknown")
     args = parser.parse_args()
 
-    events, dropped = load_events(args.journal)
+    events, dropped, unknown = load_events(args.journal)
     if dropped:
         print(f"warning: skipped {dropped} malformed line(s)", file=sys.stderr)
+    if unknown:
+        kinds = ", ".join(f"{k} x{n}" for k, n in sorted(unknown.items()))
+        print(f"warning: skipped {sum(unknown.values())} event(s) of "
+              f"unknown kind(s): {kinds}", file=sys.stderr)
+    if args.strict and (dropped or unknown):
+        return 2
+    if args.query is not None:
+        events = [e for e in events if e.get("q", 0) == args.query]
+        if not events:
+            print(f"no events attributed to query {args.query}",
+                  file=sys.stderr)
+            return 1
     if not events:
         print("no events in journal", file=sys.stderr)
         return 1
@@ -301,7 +376,8 @@ def main():
         base_ts = events[0]["ts_us"]
         for ev in events:
             rel_ms = (ev["ts_us"] - base_ts) / 1000.0
-            print(f"{rel_ms:10.3f}ms tid={ev.get('tid', 0):<3} {describe(ev)}")
+            print(f"{rel_ms:10.3f}ms tid={ev.get('tid', 0):<3} "
+                  f"q={ev.get('q', 0):<3} {describe(ev)}")
     else:
         print_timeline(events)
         print()
